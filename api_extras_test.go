@@ -1,0 +1,95 @@
+package rpq
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPatternMirrorPublic(t *testing.T) {
+	p := MustParsePattern("open(f) access(f)* close(f)")
+	m := p.Mirror()
+	if m.String() != "close(f) access(f)* open(f)" {
+		t.Fatalf("Mirror = %q", m.String())
+	}
+	// A suffix question: from which vertices does an open..close window run
+	// to the exit? Ask with the mirrored pattern backward from the exit.
+	g, err := FromMiniC(`
+func main() {
+	int a;
+	a = 1;
+	open(f);
+	access(f);
+	close(f);
+}
+`, MiniCConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := g.Exist(MustParsePattern("open(f) access(f)* close(f) _*"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Forward from entry: no match (the def/use prefix precedes the open).
+	if len(res.Answers) != 0 {
+		t.Fatalf("forward from entry matched: %v", res.Answers)
+	}
+	// Backward with the mirror: matches, starting at the vertex before
+	// open(f).
+	back, err := g.Exist(MustParsePattern("open(f) access(f)* close(f) _*").Mirror(), &Options{Backward: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Answers) == 0 {
+		t.Fatalf("mirrored backward query found nothing")
+	}
+}
+
+func TestUniversalCompletionPublic(t *testing.T) {
+	g := NewGraph()
+	g.MustAddEdge("v0", "a()", "v1")
+	g.MustAddEdge("v1", "b()", "v2")
+	g.MustAddEdge("v2", "c()", "v3")
+	g.SetStart("v0")
+	p := MustParsePattern("(a() b())* c()?")
+	base, err := g.Universal(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []Completion{TrapCompletion, ExplicitCompletion} {
+		res, err := g.Universal(p, &Options{Completion: c})
+		if err != nil {
+			t.Fatalf("completion %v: %v", c, err)
+		}
+		if len(res.Answers) != len(base.Answers) {
+			t.Fatalf("completion %v changed results: %v vs %v", c, res.Answers, base.Answers)
+		}
+	}
+	// Explicit completion rejects parametric patterns.
+	if _, err := g.Universal(MustParsePattern("def(x)*"), &Options{Completion: ExplicitCompletion}); err == nil {
+		t.Fatal("explicit completion accepted a parametric pattern")
+	}
+}
+
+func TestFrontEndErrorsPublic(t *testing.T) {
+	if _, err := FromMiniC("func main() {", MiniCConfig{}); err == nil {
+		t.Error("broken MiniC accepted")
+	}
+	if _, err := FromMiniPy("def main(:\n", MiniPyConfig{}); err == nil {
+		t.Error("broken MiniPy accepted")
+	}
+	if _, err := FromXML(strings.NewReader("<a>")); err == nil {
+		t.Error("broken XML accepted")
+	}
+	if _, err := FromAUT(strings.NewReader("junk"), false); err == nil {
+		t.Error("broken AUT accepted")
+	}
+	if _, err := ReadGraphString("edge oops"); err == nil {
+		t.Error("broken graph accepted")
+	}
+	g := NewGraph()
+	g.MustAddEdge("a", "f()", "b")
+	g.SetStart("a")
+	if _, err := g.Violations("((", false, nil); err == nil {
+		t.Error("broken discipline accepted")
+	}
+}

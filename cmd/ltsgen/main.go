@@ -1,0 +1,54 @@
+// Command ltsgen emits a synthetic labeled transition system in the
+// Aldébaran (.aut) format: either one of the Table 2 presets by name, or a
+// custom size.
+//
+// Usage:
+//
+//	ltsgen -preset vasy-0-1 > vasy-0-1.aut
+//	ltsgen -states 500 -trans 2000 -deadlocks 1 > custom.aut
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rpq/internal/gen"
+)
+
+func main() {
+	var (
+		preset    = flag.String("preset", "", "Table 2 preset name (vasy-0-1, cwi-1-2, ...)")
+		list      = flag.Bool("list", false, "list presets and exit")
+		states    = flag.Int("states", 200, "number of states (custom)")
+		trans     = flag.Int("trans", 800, "number of transitions (custom)")
+		actions   = flag.Int("actions", 8, "visible action alphabet size (custom)")
+		deadlocks = flag.Int("deadlocks", 0, "number of reachable deadlock states (custom)")
+		invisible = flag.Float64("invisible", 0.2, "fraction of invisible (i) transitions (custom)")
+		seed      = flag.Int64("seed", 1, "random seed (custom)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, s := range gen.Table2Specs() {
+			fmt.Printf("%-11s states %6d  transitions %6d\n", s.Name, s.States, s.Trans)
+		}
+		return
+	}
+	spec := gen.LTSSpec{
+		Name: "custom", Seed: *seed, States: *states, Trans: *trans,
+		Actions: *actions, Deadlocks: *deadlocks, InvisibleFrac: *invisible,
+	}
+	if *preset != "" {
+		_, l, isProg, err := gen.FindSpec(*preset)
+		if err != nil || isProg {
+			fmt.Fprintf(os.Stderr, "ltsgen: unknown LTS preset %q\n", *preset)
+			os.Exit(1)
+		}
+		spec = l
+	}
+	if err := gen.RandomLTS(spec).WriteAUT(os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "ltsgen: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,202 @@
+// Command rpq runs a parametric regular path query against a graph file.
+//
+// Usage:
+//
+//	rpq -graph g.txt -pattern '(!def(x))* use(x)' [flags]
+//	rpq -graph g.txt -analysis uninit-uses [flags]
+//	rpq -list
+//
+// Flags select the query kind (existential/universal), the algorithm
+// variant of the paper (basic, memo, precomputation, enumeration, hybrid),
+// the data-structure representation (hashing or nested arrays), direction,
+// and the start vertex. Graphs in the Aldébaran .aut format are accepted
+// with -aut.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"rpq"
+)
+
+func main() {
+	var (
+		graphPath = flag.String("graph", "", "graph file (textual format, or .aut with -aut)")
+		aut       = flag.Bool("aut", false, "treat the graph file as an Aldébaran LTS")
+		patt      = flag.String("pattern", "", "query pattern, e.g. '(!def(x))* use(x)'")
+		violation = flag.String("violations", "", "universal discipline pattern; generates and runs the merged violation query (Section 5.4)")
+		withExit  = flag.Bool("exit-violations", true, "with -violations, also flag resources left incomplete at exit()")
+		analysis  = flag.String("analysis", "", "named analysis from the catalog instead of -pattern")
+		universal = flag.Bool("universal", false, "run a universal query (default existential)")
+		algo      = flag.String("algo", "auto", "auto|basic|memo|precomp|enum|hybrid")
+		table     = flag.String("table", "hash", "hash|nested")
+		backward  = flag.Bool("backward", false, "reverse all edges before the query")
+		start     = flag.String("start", "", "start vertex (default: graph's start; backward: after exit())")
+		compact   = flag.Bool("compact", false, "drop query-irrelevant edges first (existential)")
+		stats     = flag.Bool("stats", false, "print run statistics")
+		jsonOut   = flag.Bool("json", false, "emit answers as JSON")
+		dotOut    = flag.Bool("dot", false, "emit the graph as Graphviz DOT with answers highlighted, instead of listing answers")
+		witness   = flag.Bool("witness", false, "attach a witnessing path to each existential answer")
+		list      = flag.Bool("list", false, "list the analysis catalog and exit")
+		estimate  = flag.Bool("estimate", false, "print the Figure 2 complexity report and query advice, then run")
+		maxPrint  = flag.Int("n", 0, "print at most n answers (0 = all)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, a := range rpq.Analyses() {
+			fmt.Printf("%-24s %-11s %-8s %s\n", a.Name, a.Kind, a.Dir, a.Pattern)
+			fmt.Printf("%-24s %s\n", "", a.Description)
+		}
+		return
+	}
+	if *graphPath == "" {
+		fail("missing -graph (or use -list)")
+	}
+	f, err := os.Open(*graphPath)
+	if err != nil {
+		fail("%v", err)
+	}
+	defer f.Close()
+
+	var g *rpq.Graph
+	if *aut {
+		g, err = rpq.FromAUT(f, *universal)
+	} else {
+		g, err = rpq.ReadGraph(f)
+	}
+	if err != nil {
+		fail("%v", err)
+	}
+
+	opts := &rpq.Options{Backward: *backward, Start: *start, Compact: *compact, Witnesses: *witness}
+	switch *algo {
+	case "auto":
+		opts.Algorithm = rpq.Auto
+	case "basic":
+		opts.Algorithm = rpq.Basic
+	case "memo":
+		opts.Algorithm = rpq.Memo
+	case "precomp":
+		opts.Algorithm = rpq.Precompute
+	case "enum":
+		opts.Algorithm = rpq.Enumerate
+	case "hybrid":
+		opts.Algorithm = rpq.Hybrid
+	default:
+		fail("unknown -algo %q", *algo)
+	}
+	switch *table {
+	case "hash":
+		opts.Table = rpq.Hashing
+	case "nested":
+		opts.Table = rpq.NestedArrays
+	default:
+		fail("unknown -table %q", *table)
+	}
+
+	if *estimate {
+		src := *patt
+		if *analysis != "" {
+			a, err := rpq.AnalysisByName(*analysis)
+			if err != nil {
+				fail("%v", err)
+			}
+			src = a.Pattern
+		}
+		p, err := rpq.ParsePattern(src)
+		if err != nil {
+			fail("%v", err)
+		}
+		est, err := g.EstimateQuery(p, opts.Domains)
+		if err != nil {
+			fail("%v", err)
+		}
+		fmt.Fprint(os.Stderr, est)
+		advice, err := g.Advise(p)
+		if err != nil {
+			fail("%v", err)
+		}
+		for _, a := range advice {
+			fmt.Fprintf(os.Stderr, "advice: %s\n", a)
+		}
+	}
+
+	var res *rpq.Result
+	switch {
+	case *violation != "":
+		var err error
+		res, err = g.Violations(*violation, *withExit, opts)
+		if err != nil {
+			fail("%v", err)
+		}
+	case *analysis != "":
+		a, err := rpq.AnalysisByName(*analysis)
+		if err != nil {
+			fail("%v", err)
+		}
+		res, err = g.RunAnalysis(a, opts)
+		if err != nil {
+			fail("%v", err)
+		}
+	case *patt != "":
+		p, err := rpq.ParsePattern(*patt)
+		if err != nil {
+			fail("%v", err)
+		}
+		if *universal {
+			res, err = g.Universal(p, opts)
+		} else {
+			res, err = g.Exist(p, opts)
+		}
+		if err != nil {
+			fail("%v", err)
+		}
+	default:
+		fail("one of -pattern, -analysis, or -violations is required")
+	}
+
+	switch {
+	case *dotOut:
+		var hl []string
+		for _, a := range res.Answers {
+			hl = append(hl, a.Vertex)
+		}
+		if err := g.WriteDOT(os.Stdout, "query", hl); err != nil {
+			fail("%v", err)
+		}
+	case *jsonOut:
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res.Answers); err != nil {
+			fail("%v", err)
+		}
+	default:
+		n := len(res.Answers)
+		if *maxPrint > 0 && *maxPrint < n {
+			n = *maxPrint
+		}
+		for _, a := range res.Answers[:n] {
+			fmt.Println(a)
+			for _, st := range a.Witness {
+				fmt.Printf("    %s -%s-> %s\n", st.From, st.Label, st.To)
+			}
+		}
+		if n < len(res.Answers) {
+			fmt.Printf("... and %d more answers\n", len(res.Answers)-n)
+		}
+	}
+	if *stats {
+		s := res.Stats
+		fmt.Fprintf(os.Stderr, "answers=%d worklist=%d reach=%d substs=%d match=%d merge=%d bytes=%d\n",
+			len(res.Answers), s.WorklistInserts, s.ReachSize, s.Substs, s.MatchCalls, s.MergeCalls, s.Bytes)
+	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "rpq: %s\n", fmt.Sprintf(format, args...))
+	os.Exit(1)
+}

@@ -1,0 +1,59 @@
+package rpq
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEstimateQueryPublic(t *testing.T) {
+	g, err := ReadGraphString(`
+start v1
+edge v1 def(a) v2
+edge v2 use(a) v3
+edge v2 use(b) v3
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := MustParsePattern("(!def(x))* use(x)")
+	est, err := g.EstimateQuery(p, RefinedDomains)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Verts != 3 || est.GraphEdges != 3 || est.Pars != 1 {
+		t.Fatalf("estimate = %+v", est)
+	}
+	if est.SubstsBound != 2 { // domain of x: {a, b}
+		t.Fatalf("substs bound = %v, want 2", est.SubstsBound)
+	}
+	all, err := g.EstimateQuery(p, AllSymbols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all.SubstsBound < est.SubstsBound {
+		t.Fatalf("all-symbols bound %v below refined %v", all.SubstsBound, est.SubstsBound)
+	}
+	if !strings.Contains(est.String(), "time bounds") {
+		t.Fatalf("String() = %q", est.String())
+	}
+}
+
+func TestAdvisePublic(t *testing.T) {
+	g := NewGraph()
+	g.MustAddEdge("a", "def(v)", "b")
+	g.SetStart("a")
+	advice, err := g.Advise(MustParsePattern("(!def(x))* use(x)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(advice) != 1 {
+		t.Fatalf("advice = %v", advice)
+	}
+	advice, err = g.Advise(MustParsePattern("use(x) (!def(x))*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(advice) != 0 {
+		t.Fatalf("well-formed query got advice: %v", advice)
+	}
+}

@@ -1,0 +1,90 @@
+// Filesafety: resource-discipline checking — the file and setuid examples
+// of Section 2.2 plus the Section 5.4 extension where a single universal
+// discipline specification (open → access* → close) is turned into one
+// merged existential violation query automatically.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"rpq"
+)
+
+const program = `
+// A privileged program juggling several files, with bugs.
+func main() {
+	int n;
+	open(config);
+	n = 1;
+	access(config);
+	if (n) {
+		close(config);
+	}
+	access(config);     // bug: closed on the then-path
+	open(logfile);
+	access(logfile);
+	seteuid(1000);      // bug: logfile still open when dropping privileges
+	access(scratch);    // bug: scratch was never opened
+	close(logfile);
+}
+`
+
+func main() {
+	g, err := rpq.FromMiniC(program, rpq.MiniCConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Hand-written queries, as in Section 2.2, with witness traces.
+	for _, name := range []string{"file-access-violation", "file-unclosed", "setuid-security"} {
+		a, _ := rpq.AnalysisByName(name)
+		fmt.Printf("== %s: %s\n", a.Name, a.Pattern)
+		res, err := g.RunAnalysis(a, &rpq.Options{Witnesses: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		seen := map[string]bool{}
+		for _, ans := range res.Answers {
+			for _, b := range ans.Bindings {
+				if !seen[b.Symbol] {
+					seen[b.Symbol] = true
+					fmt.Printf("   %s (at %s)\n", b.Symbol, ans.Vertex)
+					// The witness is the error trace: the operations along
+					// one offending path.
+					var ops []string
+					for _, st := range ans.Witness {
+						if st.Label != "nop()" {
+							ops = append(ops, st.Label)
+						}
+					}
+					if len(ops) > 0 {
+						fmt.Printf("     trace: %s\n", strings.Join(ops, " → "))
+					}
+				}
+			}
+		}
+		if len(res.Answers) == 0 {
+			fmt.Println("   clean")
+		}
+		fmt.Println()
+	}
+
+	// Section 5.4: specify the discipline once, get all violation kinds.
+	fmt.Println("== generated violation query from discipline (open(f) (access(f))* close(f))*")
+	res, err := g.Violations("(open(f) (access(f))* close(f))*", true, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, ans := range res.Answers {
+		for _, b := range ans.Bindings {
+			key := b.Symbol + "@" + ans.Vertex
+			if !seen[key] {
+				seen[key] = true
+				fmt.Printf("   discipline violated for %s (at %s)\n", b.Symbol, ans.Vertex)
+			}
+		}
+	}
+}

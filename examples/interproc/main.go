@@ -1,0 +1,91 @@
+// Interproc: the Section 5.2 extension — interprocedural analysis with
+// parameter/return equality tracking. The same file-discipline query is run
+// with and without equality tracking to show the false alarms it removes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rpq"
+)
+
+const program = `
+// The file handle flows through helper functions under different names.
+func fetch(handle) {
+	access(handle);
+	return handle;
+}
+
+func shutdown(h) {
+	close(h);
+	return h;
+}
+
+func main() {
+	int file, alias, x;
+	open(file);
+	alias = fetch(file);    // alias == file
+	x = shutdown(alias);    // closes the same file
+}
+`
+
+func report(g *rpq.Graph, title string) {
+	fmt.Printf("== %s\n", title)
+	// Unclosed files: backward query from the exit.
+	a, _ := rpq.AnalysisByName("file-unclosed")
+	res, err := g.RunAnalysis(a, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, ans := range res.Answers {
+		for _, b := range ans.Bindings {
+			if !seen[b.Symbol] {
+				seen[b.Symbol] = true
+				fmt.Printf("   possibly unclosed: %s\n", b.Symbol)
+			}
+		}
+	}
+	if len(res.Answers) == 0 {
+		fmt.Println("   all files closed")
+	}
+	// Accesses while not open.
+	v, err := g.RunAnalysis(mustAnalysis("file-access-violation"), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, ans := range v.Answers {
+		fmt.Printf("   access while not open: %s\n", ans)
+	}
+	if len(v.Answers) == 0 {
+		fmt.Println("   all accesses are between open and close")
+	}
+	fmt.Println()
+}
+
+func mustAnalysis(name string) rpq.Analysis {
+	a, err := rpq.AnalysisByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+func main() {
+	// With interprocedural splicing and equality tracking, file ≈ handle ≈
+	// alias ≈ h ≈ x: the discipline is seen to hold.
+	with, err := rpq.FromMiniC(program, rpq.MiniCConfig{Interproc: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	report(with, "interprocedural, parameter/return equalities tracked")
+
+	// Without it, calls are opaque: the open of file is never matched by a
+	// close of the same symbol, a false alarm.
+	without, err := rpq.FromMiniC(program, rpq.MiniCConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	report(without, "intraprocedural, calls opaque")
+}

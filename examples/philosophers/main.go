@@ -1,0 +1,59 @@
+// Philosophers: model checking a classic concurrent system with the paper's
+// queries. The dining philosophers' state space is built as an interleaving
+// product, transformed to an edge-labeled graph (Section 2.3), and checked
+// for deadlock with the pattern `_* state(s) act(_)`. The symmetric table
+// deadlocks; flipping one philosopher's fork order fixes it — both verified
+// by the same query.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rpq"
+	"rpq/internal/core"
+	"rpq/internal/interleave"
+	"rpq/internal/pattern"
+)
+
+func check(n int, rightFirstAt int, title string) {
+	procs, forks := interleave.Philosophers(n, rightFirstAt)
+	l, err := interleave.Product(procs, forks, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g := l.ForExistential()
+	fmt.Printf("== %s\n", title)
+	fmt.Printf("   %d philosophers: %d reachable states, %d transitions\n",
+		n, l.NumStates, len(l.Trans))
+
+	a, _ := rpq.AnalysisByName("lts-deadlock")
+	q := core.MustCompile(pattern.MustParse(a.Pattern), g.U)
+	res, err := core.Exist(g, g.Start(), q, core.Options{Algo: core.AlgoMemo})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sIdx, _ := q.PS.Lookup("s")
+	alive := map[int32]bool{}
+	for _, p := range res.Pairs {
+		alive[p.Subst[sIdx]] = true
+	}
+	deadlocks := 0
+	for i := 0; i < l.NumStates; i++ {
+		sym, ok := g.U.Syms.Lookup(fmt.Sprintf("s%d", i))
+		if ok && !alive[sym] {
+			deadlocks++
+			fmt.Printf("   DEADLOCK: state s%d (every philosopher holds one fork)\n", i)
+		}
+	}
+	if deadlocks == 0 {
+		fmt.Println("   no deadlock: every reachable state can move")
+	}
+	fmt.Printf("   (query worklist: %d, time negligible)\n\n", res.Stats.WorklistInserts)
+}
+
+func main() {
+	check(4, -1, "symmetric table — all philosophers take their left fork first")
+	check(4, 0, "asymmetric table — philosopher 0 takes the right fork first")
+	check(6, -1, "six philosophers, symmetric")
+}

@@ -1,0 +1,64 @@
+// Quickstart: the paper's running example (Figure 1). Builds the example
+// program graph, runs the uninitialized-variable queries of Section 2.2 in
+// both the all-uses and first-uses forms, and prints the answers.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rpq"
+)
+
+func main() {
+	// The program of Figure 1:
+	//
+	//	a := 5; b := a + 1; a := 10; c := b * 2; b := 7; d := a * b
+	//
+	// as its program graph: vertices are program points, edges are the
+	// def/use operations.
+	g := rpq.NewGraph()
+	for _, e := range [][3]string{
+		{"v1", "def(a)", "v2"},  // a := 5
+		{"v2", "use(a)", "v3"},  // ... a + 1
+		{"v3", "def(b)", "v4"},  // b := a + 1
+		{"v4", "def(a)", "v5"},  // a := 10
+		{"v5", "use(b)", "v6"},  // ... b * 2
+		{"v6", "def(c)", "v7"},  // c := b * 2
+		{"v7", "def(b)", "v8"},  // b := 7
+		{"v8", "use(a)", "v9"},  // ... a * b
+		{"v9", "use(d)", "v10"}, // d used before any definition!
+	} {
+		g.MustAddEdge(e[0], e[1], e[2])
+	}
+	g.SetStart("v1")
+
+	fmt.Println("Program graph:")
+	fmt.Print(g)
+	fmt.Println()
+
+	// "Will some path reach a use of a variable never defined before it?"
+	p := rpq.MustParsePattern("(!def(x))* use(x)")
+	fmt.Printf("Existential query %s:\n", p)
+	res, err := g.Exist(p, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, a := range res.Answers {
+		fmt.Printf("  %s — variable %s is used uninitialized just before %s\n",
+			a, a.Bindings[0].Symbol, a.Vertex)
+	}
+	fmt.Printf("  (worklist inserts: %d, substitutions interned: %d)\n\n",
+		res.Stats.WorklistInserts, res.Stats.Substs)
+
+	// Restrict to the first offending use on each path.
+	p2 := rpq.MustParsePattern("(!(def(x)|use(x)))* use(x)")
+	fmt.Printf("First-use query %s:\n", p2)
+	res2, err := g.Exist(p2, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, a := range res2.Answers {
+		fmt.Printf("  %s\n", a)
+	}
+}

@@ -1,0 +1,88 @@
+// Xmlquery: parametric regular path queries over semi-structured data — the
+// XML application the paper's introduction motivates and Section 5.4 frames
+// as a generalization of XPath: Kleene-star repetition on paths (not just
+// descendant skipping) and parameters correlating tags, attributes, and
+// text.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"rpq"
+)
+
+const catalog = `
+<library>
+  <shelf floor="1">
+    <book lang="en" year="2003">
+      <title>Types and Programming Languages</title>
+      <author>Pierce</author>
+    </book>
+    <book lang="de" year="1986">
+      <title>Compilerbau</title>
+      <author>Wirth</author>
+    </book>
+  </shelf>
+  <shelf floor="2">
+    <box>
+      <box>
+        <book lang="en" year="1977">
+          <title>The C Programming Language Drafts</title>
+          <author>Kernighan</author>
+        </book>
+      </box>
+    </box>
+    <journal lang="en">
+      <title>TOPLAS</title>
+    </journal>
+  </shelf>
+</library>
+`
+
+func show(g *rpq.Graph, what, pat string) {
+	p, err := rpq.ParsePattern(pat)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := g.Exist(p, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("== %s\n   %s\n", what, pat)
+	for _, a := range res.Answers {
+		fmt.Printf("   %s\n", a)
+	}
+	if len(res.Answers) == 0 {
+		fmt.Println("   (none)")
+	}
+	fmt.Println()
+}
+
+func main() {
+	g, err := rpq.FromXML(strings.NewReader(catalog))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("document graph: %d vertices, %d edges\n\n", g.NumVertices(), g.NumEdges())
+
+	// XPath-style navigation.
+	show(g, "books directly on shelves (XPath /library/shelf/book)",
+		"child('library') child('shelf') child('book')")
+	show(g, "every title, at any depth (XPath //title)",
+		"_* child('title')")
+
+	// Parameters correlate information XPath needs extra machinery for.
+	show(g, "books and their languages",
+		"_* child('book') attr('lang', l)")
+	show(g, "English titles with their text",
+		"_* attr('lang','en') child('title') text(x)")
+
+	// Beyond XPath 1.0: the Kleene star over a *repeating* step and a
+	// parameter repeated across steps.
+	show(g, "elements reached by one or more nested box steps",
+		"_* (child('box'))+ child(t)")
+	show(g, "a tag nested directly inside itself (same t twice)",
+		"_* child(t) child(t)")
+}

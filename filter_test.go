@@ -1,0 +1,65 @@
+package rpq
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestResultFilterAndBinding(t *testing.T) {
+	doc := `
+<library>
+  <book year="1999"><title>Old</title></book>
+  <book year="2005"><title>New</title></book>
+  <book><title>Undated</title></book>
+</library>`
+	g, err := FromXML(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := g.Exist(MustParsePattern("_* child('book') attr('year', y)"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Answers) != 2 {
+		t.Fatalf("books with a year = %d, want 2", len(res.Answers))
+	}
+	// A computation on the parameter value (Section 5.4): year > 2000.
+	recent := res.Filter(func(a Answer) bool {
+		y, err := strconv.Atoi(a.Binding("y"))
+		return err == nil && y > 2000
+	})
+	if len(recent.Answers) != 1 || recent.Answers[0].Binding("y") != "2005" {
+		t.Fatalf("recent books = %v", recent.Answers)
+	}
+	if recent.Stats.WorklistInserts != res.Stats.WorklistInserts {
+		t.Fatalf("Filter dropped the stats")
+	}
+	if res.Answers[0].Binding("absent") != "" {
+		t.Fatalf("Binding of absent parameter should be empty")
+	}
+}
+
+func TestVertexLabels(t *testing.T) {
+	g := NewGraph()
+	g.MustAddEdge("v1", "step()", "v2")
+	g.MustAddEdge("v2", "step()", "v3")
+	g.SetStart("v1")
+	ig := g.Internal()
+	for _, v := range []string{"v1", "v2", "v3"} {
+		if err := ig.AddVertexLabelStr(v, "mark("+v+")"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The vertex label is readable mid-path without consuming progress.
+	res, err := g.Exist(MustParsePattern("step() mark(m) step()"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Answers) != 1 || res.Answers[0].Binding("m") != "v2" {
+		t.Fatalf("vertex label query = %v", res.Answers)
+	}
+	if err := ig.AddVertexLabelStr("v1", "broken("); err == nil {
+		t.Fatal("bad vertex label accepted")
+	}
+}

@@ -1,0 +1,3 @@
+module rpq
+
+go 1.22

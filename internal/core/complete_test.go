@@ -1,0 +1,136 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"rpq/internal/automata"
+	"rpq/internal/graph"
+	"rpq/internal/label"
+	"rpq/internal/pattern"
+)
+
+// completionGraph has several distinct labels so that explicit completion
+// pays a visible per-label cost.
+func completionGraph() *graph.Graph {
+	return graph.MustReadString(`
+start v0
+edge v0 a() v1
+edge v1 b() v2
+edge v2 a() v3
+edge v3 b() v4
+edge v0 a() v5
+edge v5 c() v6
+edge v6 d() v7
+edge v2 e() v7
+`)
+}
+
+func TestCompletionModesAgree(t *testing.T) {
+	g := completionGraph()
+	// Ground deterministic pattern: alternating a b.
+	pats := []string{"(a() b())*", "a() (b() a())* b()?", "(a()|c())* d()?"}
+	for _, pat := range pats {
+		q := MustCompile(pattern.MustParse(pat), g.U)
+		var ref string
+		for i, cm := range []CompletionMode{Incomplete, CompleteTrap, CompleteExplicit} {
+			res, err := Univ(g, g.Start(), q, Options{Completion: cm})
+			if err != nil {
+				t.Fatalf("%s / %v: %v", pat, cm, err)
+			}
+			s := fmt.Sprint(pairsAsStrings(g, q, res))
+			if i == 0 {
+				ref = s
+			} else if s != ref {
+				t.Fatalf("%s: completion %v result %s != incomplete %s", pat, cm, s, ref)
+			}
+		}
+	}
+}
+
+func TestCompletionTrapParametricDeterministicChain(t *testing.T) {
+	// The trap completion preserves results on a parametric pattern whose
+	// graph never feeds two substitutions to one edge (a pure chain).
+	g := graph.MustReadString(`
+start v0
+edge v0 def(a) v1
+edge v1 use(b) v2
+`)
+	q := MustCompile(pattern.MustParse("def(x)*"), g.U)
+	inc, err := Univ(g, g.Start(), q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// v2 excluded via badstate; v0, v1 answered.
+	if len(inc.Pairs) != 2 {
+		t.Fatalf("incomplete: %v", pairsAsStrings(g, q, inc))
+	}
+	trap, err := Univ(g, g.Start(), q, Options{Completion: CompleteTrap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(pairsAsStrings(g, q, trap)) != fmt.Sprint(pairsAsStrings(g, q, inc)) {
+		t.Fatalf("trap completion changed the result: %v vs %v",
+			pairsAsStrings(g, q, trap), pairsAsStrings(g, q, inc))
+	}
+}
+
+func TestCompleteExplicitRejectsParametricPattern(t *testing.T) {
+	g := completionGraph()
+	q := MustCompile(pattern.MustParse("def(x)*"), g.U)
+	if _, err := Univ(g, g.Start(), q, Options{Completion: CompleteExplicit}); err == nil {
+		t.Fatal("explicit completion accepted a parametric pattern")
+	}
+}
+
+func TestCompletionCost(t *testing.T) {
+	// The paper's point: the incomplete algorithm does strictly less work
+	// than running on an explicitly completed automaton.
+	g := completionGraph()
+	q := MustCompile(pattern.MustParse("(a() b())*"), g.U)
+	inc, err := Univ(g, g.Start(), q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp, err := Univ(g, g.Start(), q, Options{Completion: CompleteExplicit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exp.Stats.MatchCalls <= inc.Stats.MatchCalls {
+		t.Errorf("explicit completion should cost more match calls: %d vs %d",
+			exp.Stats.MatchCalls, inc.Stats.MatchCalls)
+	}
+	// Transition count blow-up: states × edgelabels.
+	dfa := q.DFA()
+	comp := automata.CompleteExplicit(dfa, g.Labels())
+	if comp.NumTrans() <= dfa.NumTrans()+g.NumLabels() {
+		t.Errorf("explicit completion added too few transitions: %d vs %d over %d labels",
+			comp.NumTrans(), dfa.NumTrans(), g.NumLabels())
+	}
+}
+
+func TestCompleteAutomatonShape(t *testing.T) {
+	u := label.NewUniverse()
+	ps := &label.ParamSpace{}
+	nfa := automata.MustFromPattern(pattern.MustParse("(a() b())*"), u, ps)
+	dfa := automata.Determinize(nfa)
+
+	c := automata.Complete(dfa)
+	if c.NumStates != dfa.NumStates+1 {
+		t.Fatalf("trap completion states = %d, want %d", c.NumStates, dfa.NumStates+1)
+	}
+	// Every original state gains exactly one trap transition.
+	for s := 0; s < dfa.NumStates; s++ {
+		if len(c.Trans[s]) != len(dfa.Trans[s])+1 {
+			t.Errorf("state %d: %d transitions, want %d", s, len(c.Trans[s]), len(dfa.Trans[s])+1)
+		}
+	}
+	// The trap self-loops on everything.
+	trap := c.NumStates - 1
+	if len(c.Trans[trap]) != 1 || c.Trans[trap][0].To != int32(trap) {
+		t.Errorf("trap transitions: %v", c.Trans[trap])
+	}
+	if c.Final[trap] {
+		t.Errorf("trap must not be final")
+	}
+}

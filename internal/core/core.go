@@ -1,0 +1,344 @@
+// Package core implements the query solvers of Liu et al., "Parametric
+// Regular Path Queries" (PLDI 2004): the existential algorithms of Section 3
+// (basic, match-memoization, target-and-substitution-map precomputation,
+// enumeration) and the universal algorithms of Section 4 (basic with runtime
+// determinism checking, determinism-and-substitution-map precomputation,
+// enumeration, hybrid).
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"rpq/internal/automata"
+	"rpq/internal/graph"
+	"rpq/internal/label"
+	"rpq/internal/pattern"
+	"rpq/internal/subst"
+)
+
+// Algo selects the algorithm variant (Sections 3, 4, 6).
+type Algo int
+
+const (
+	// AlgoBasic is the plain worklist algorithm, pseudo-code (2)/(6).
+	AlgoBasic Algo = iota
+	// AlgoMemo adds memoization of match results (the substitution map M_s).
+	AlgoMemo
+	// AlgoPrecomp precomputes the target-and-substitution map M_ts
+	// (existential, pseudo-code (3)/(4)) or the determinism-and-substitution
+	// map M_ds (universal).
+	AlgoPrecomp
+	// AlgoEnum enumerates all full substitutions over the parameter domains
+	// and runs a parameter-free query per substitution.
+	AlgoEnum
+	// AlgoHybrid (universal only) first runs an existential query, then
+	// enumerates only extensions of the substitutions it found.
+	AlgoHybrid
+)
+
+func (a Algo) String() string {
+	switch a {
+	case AlgoBasic:
+		return "basic"
+	case AlgoMemo:
+		return "memo"
+	case AlgoPrecomp:
+		return "precomputation"
+	case AlgoEnum:
+		return "enumeration"
+	case AlgoHybrid:
+		return "hybrid"
+	}
+	return fmt.Sprintf("Algo(%d)", int(a))
+}
+
+// DomainMode selects how parameter domains are computed for extension
+// enumeration and the enumeration algorithms.
+type DomainMode int
+
+const (
+	// DomainsRefined restricts each parameter to the symbols occurring in
+	// the graph at the (constructor, argument-position) pairs where the
+	// parameter appears in the pattern (Section 5.3's refinement of symbs).
+	DomainsRefined DomainMode = iota
+	// DomainsAllSymbols uses every symbol of the universe for every
+	// parameter, the symbs bound of the complexity analysis.
+	DomainsAllSymbols
+)
+
+// CompletionMode selects how the universal algorithms treat states with no
+// matching transition.
+type CompletionMode int
+
+const (
+	// Incomplete handles incomplete automata directly with the badstate
+	// rules (iii)/(iv) — the paper's improvement over prior work.
+	Incomplete CompletionMode = iota
+	// CompleteTrap adds a trap state reached by a negated alternation of
+	// each state's outgoing labels — a compact completion.
+	CompleteTrap
+	// CompleteExplicit adds one explicit trap transition per (state,
+	// uncovered edge label) pair, the classical construction required by
+	// Liu & Yu (2002); parameter-free patterns only. Its space grows with
+	// states × edgelabels, which is what the paper's incomplete-automaton
+	// algorithm saves.
+	CompleteExplicit
+)
+
+func (c CompletionMode) String() string {
+	switch c {
+	case Incomplete:
+		return "incomplete"
+	case CompleteTrap:
+		return "trap"
+	case CompleteExplicit:
+		return "explicit"
+	}
+	return fmt.Sprintf("CompletionMode(%d)", int(c))
+}
+
+// Options configures a solver run.
+type Options struct {
+	Algo    Algo
+	Table   subst.TableKind
+	Domains DomainMode
+	// Completion selects the universal algorithms' automaton completion
+	// (the prior-work baseline comparison); existential queries ignore it.
+	Completion CompletionMode
+	// SCCOrder processes vertices one strongly connected component at a
+	// time in topological order, releasing per-component reach-set storage
+	// when a component is finished (Section 5.3). Existential only.
+	SCCOrder bool
+	// Compact drops edges no transition label can match before solving
+	// (Section 5.3). Existential only; universal queries quantify over all
+	// paths, so compaction would change their meaning.
+	Compact bool
+	// Witnesses records, for each existential answer, one path from the
+	// start vertex witnessing it (the error trace). Costs parent pointers
+	// for the whole reach set. Worklist algorithms only; ignored by
+	// enumeration and by universal queries (whose answers quantify over
+	// all paths).
+	Witnesses bool
+}
+
+// Stats instruments a run with the quantities reported in the paper's
+// Tables 1-3 and Figure 3.
+type Stats struct {
+	// WorklistInserts counts elements inserted into the worklist — the
+	// "worklist" columns of Tables 1 and 2.
+	WorklistInserts int
+	// ReachSize is the size of the reach set R when the run finishes.
+	ReachSize int
+	// MatchCalls counts invocations of the match operation (cache misses
+	// only, under memoization/precomputation).
+	MatchCalls int
+	// MergeCalls counts merge operations.
+	MergeCalls int
+	// Substs is the number of distinct substitutions interned, the
+	// "substs" quantity of Figure 2 (excluding badsubst).
+	Substs int
+	// EnumSubsts is the number of full substitutions enumerated by the
+	// enumeration and hybrid algorithms — the "substs" column of Tables
+	// 1-2.
+	EnumSubsts int
+	// ResultPairs is the size of the query result.
+	ResultPairs int
+	// Bytes approximates the memory used by the run's data structures, for
+	// the Table 3 comparison.
+	Bytes int64
+	// DeterminismOK reports whether the universal determinism condition
+	// held (always true for existential runs).
+	DeterminismOK bool
+	// PeakTriples is the maximum number of live reach-set triples; with
+	// SCCOrder it can be far below ReachSize.
+	PeakTriples int
+}
+
+// WitnessStep is one edge of a witnessing path.
+type WitnessStep struct {
+	From  int32
+	Label *label.CTerm
+	To    int32
+}
+
+// Pair is one query answer: a vertex together with a substitution. With
+// Options.Witnesses, Witness holds one start-to-vertex path matching the
+// pattern under (an extension of) the substitution.
+type Pair struct {
+	Vertex  int32
+	Subst   subst.Subst
+	Witness []WitnessStep
+}
+
+// Result is a query result: answer pairs plus run statistics. Pairs are
+// sorted by vertex, then substitution, for deterministic output.
+type Result struct {
+	Pairs []Pair
+	Stats Stats
+}
+
+// Format renders the result with names resolved against the query.
+func (r *Result) Format(g *graph.Graph, q *Query) string {
+	s := ""
+	for _, p := range r.Pairs {
+		s += fmt.Sprintf("%s %s\n", g.VertexName(p.Vertex), p.Subst.Format(g.U, q.PS))
+	}
+	return s
+}
+
+// FormatWitness renders a witnessing path as "v1 -def(a)-> v2 -…-> vn".
+func FormatWitness(g *graph.Graph, w []WitnessStep) string {
+	if len(w) == 0 {
+		return ""
+	}
+	s := g.VertexName(w[0].From)
+	for _, st := range w {
+		s += fmt.Sprintf(" -%s-> %s", st.Label.Format(g.U, nil), g.VertexName(st.To))
+	}
+	return s
+}
+
+// Query is a pattern compiled for querying: the ε-free NFA (existential
+// algorithms), its opaque-label determinization (universal algorithms), the
+// parameter space, and derived metadata.
+type Query struct {
+	Expr pattern.Expr
+	U    *label.Universe
+	PS   *label.ParamSpace
+	NFA  *automata.NFA
+	// DFA is the subset-construction determinization of NFA, built on first
+	// use by the universal solvers.
+	dfa *automata.NFA
+}
+
+// Compile compiles a pattern against a universe (normally the graph's). The
+// pattern is simplified first (language-preserving normalization), keeping
+// the automaton small.
+func Compile(e pattern.Expr, u *label.Universe) (*Query, error) {
+	e = pattern.Simplify(e)
+	ps := &label.ParamSpace{}
+	nfa, err := automata.FromPattern(e, u, ps)
+	if err != nil {
+		return nil, err
+	}
+	return &Query{Expr: e, U: u, PS: ps, NFA: nfa}, nil
+}
+
+// MustCompile is Compile that panics on error.
+func MustCompile(e pattern.Expr, u *label.Universe) *Query {
+	q, err := Compile(e, u)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// Pars returns the number of parameters in the pattern.
+func (q *Query) Pars() int { return q.PS.Len() }
+
+// DFA returns the opaque-label determinization, building it on first use.
+func (q *Query) DFA() *automata.NFA {
+	if q.dfa == nil {
+		q.dfa = automata.Determinize(q.NFA)
+	}
+	return q.dfa
+}
+
+// ErrNondeterministic is returned by the universal basic/memo/precomp
+// algorithms when the determinism condition of Section 4 fails at runtime;
+// callers should fall back to AlgoHybrid or AlgoEnum.
+var ErrNondeterministic = fmt.Errorf("core: universal determinism check failed; use the hybrid or enumeration algorithm")
+
+// ComputeDomains derives the candidate symbol sets for each parameter
+// against a graph, per the options' DomainMode.
+func ComputeDomains(q *Query, g *graph.Graph, mode DomainMode) subst.Domains {
+	pars := q.Pars()
+	if mode == DomainsAllSymbols || pars == 0 {
+		return subst.Uniform(pars, g.U.AllSymbols())
+	}
+	// Collect the (constructor, argument index) positions at which each
+	// parameter occurs, preferring positive occurrences.
+	type pos struct {
+		ctor int32
+		arg  int
+	}
+	positive := make([]map[pos]bool, pars)
+	anywhere := make([]map[pos]bool, pars)
+	for i := range positive {
+		positive[i] = map[pos]bool{}
+		anywhere[i] = map[pos]bool{}
+	}
+	for _, tl := range q.NFA.Labels {
+		tl.PositivePositions(func(p, ctor int32, arg int) {
+			positive[p][pos{ctor, arg}] = true
+		})
+		tl.AllPositions(func(p, ctor int32, arg int) {
+			anywhere[p][pos{ctor, arg}] = true
+		})
+	}
+	// Collect the symbols occurring at each position across the graph's
+	// distinct labels.
+	atPos := map[pos]map[int32]bool{}
+	var scan func(c *label.CTerm)
+	scan = func(c *label.CTerm) {
+		if c.Kind != label.KApp {
+			return
+		}
+		for i, a := range c.Args {
+			switch a.Kind {
+			case label.KSym:
+				key := pos{c.Ctor, i}
+				if atPos[key] == nil {
+					atPos[key] = map[int32]bool{}
+				}
+				atPos[key][a.Sym] = true
+			case label.KApp:
+				scan(a)
+			}
+		}
+	}
+	for _, el := range g.Labels() {
+		scan(el)
+	}
+	doms := make(subst.Domains, pars)
+	for p := 0; p < pars; p++ {
+		use := positive[p]
+		if len(use) == 0 {
+			use = anywhere[p]
+		}
+		if len(use) == 0 {
+			doms[p] = g.U.AllSymbols()
+			continue
+		}
+		set := map[int32]bool{}
+		for k := range use {
+			for s := range atPos[k] {
+				set[s] = true
+			}
+		}
+		dom := make([]int32, 0, len(set))
+		for s := range set {
+			dom = append(dom, s)
+		}
+		sort.Slice(dom, func(i, j int) bool { return dom[i] < dom[j] })
+		doms[p] = dom
+	}
+	return doms
+}
+
+// sortPairs orders result pairs canonically.
+func sortPairs(pairs []Pair) {
+	sort.Slice(pairs, func(i, j int) bool {
+		a, b := pairs[i], pairs[j]
+		if a.Vertex != b.Vertex {
+			return a.Vertex < b.Vertex
+		}
+		for k := range a.Subst {
+			if a.Subst[k] != b.Subst[k] {
+				return a.Subst[k] < b.Subst[k]
+			}
+		}
+		return false
+	})
+}

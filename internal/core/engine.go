@@ -1,0 +1,174 @@
+package core
+
+import (
+	"rpq/internal/automata"
+	"rpq/internal/graph"
+	"rpq/internal/label"
+	"rpq/internal/subst"
+)
+
+// engine bundles the state shared by the worklist solvers: the graph, the
+// automaton, substitution interning, parameter domains, statistics, and the
+// (optional) memoized match layer.
+type engine struct {
+	g     *graph.Graph
+	q     *Query
+	auto  *automata.NFA
+	opts  Options
+	doms  subst.Domains
+	table subst.Table
+	stats *Stats
+
+	// memo is the substitution map M_s of Section 3: match results cached
+	// by (edge label id, transition label id). Entry nil = not yet
+	// computed; entries are shared *label.Match values.
+	memo      [][]*label.Match
+	memoBytes int64
+
+	// buf1 is the merge scratch buffer reused across the hot loop.
+	buf1 subst.Subst
+}
+
+func newEngine(g *graph.Graph, q *Query, auto *automata.NFA, opts Options, stats *Stats) *engine {
+	e := &engine{
+		g:     g,
+		q:     q,
+		auto:  auto,
+		opts:  opts,
+		doms:  ComputeDomains(q, g, opts.Domains),
+		table: subst.NewTable(opts.Table, q.Pars(), g.U.NumSymbols()),
+		stats: stats,
+		buf1:  subst.New(q.Pars()),
+	}
+	if opts.Algo == AlgoMemo || opts.Algo == AlgoPrecomp {
+		e.memo = make([][]*label.Match, g.NumLabels())
+		e.memoBytes = int64(g.NumLabels()) * 24
+	}
+	return e
+}
+
+// match computes (or recalls) the agree/disagree match of edge label el
+// (with dense id elID) against transition label tl (with dense id tlID in
+// the automaton's label space). Returns nil when the labels cannot match
+// under any substitution.
+func (e *engine) match(tl *label.CTerm, tlID int32, el *label.CTerm, elID int32) *label.Match {
+	if e.memo != nil {
+		row := e.memo[elID]
+		if row == nil {
+			row = make([]*label.Match, len(e.auto.Labels))
+			e.memo[elID] = row
+			e.memoBytes += int64(len(row)) * 8
+		}
+		if m := row[tlID]; m != nil {
+			if !m.OK {
+				return nil
+			}
+			return m
+		}
+		e.stats.MatchCalls++
+		m := label.MatchAD(tl, el)
+		row[tlID] = &m
+		e.memoBytes += 48
+		if !m.OK {
+			return nil
+		}
+		return &m
+	}
+	e.stats.MatchCalls++
+	m := label.MatchAD(tl, el)
+	if !m.OK {
+		return nil
+	}
+	return &m
+}
+
+// forEachMatch enumerates the substitutions θ2 under which edge label el
+// matches transition label tl extending θ (the inner body of pseudo-code
+// (2) with the Section 3 negation handling folded in). emit's argument is a
+// reused buffer; it must be interned or cloned to be retained. emit returns
+// false to abort (used by the universal determinism check); forEachMatch
+// reports whether it ran to completion.
+func (e *engine) forEachMatch(tl *label.CTerm, tlID int32, el *label.CTerm, elID int32, th subst.Subst, emit func(subst.Subst) bool) bool {
+	if !tl.ADCompatible() {
+		// Generic fallback (Section 3): enumerate extensions of θ covering
+		// the label's parameters and test the full match relation.
+		return subst.ForEachExtension(th, tl.Params(), e.doms, func(th2 subst.Subst) bool {
+			e.stats.MatchCalls++
+			if label.MatchGround(tl, el, th2) {
+				return emit(th2)
+			}
+			return true
+		})
+	}
+	m := e.match(tl, tlID, el, elID)
+	if m == nil {
+		return true
+	}
+	return e.applyMatch(m, th, emit)
+}
+
+// applyMatch folds a cached agree/disagree match result into θ, emitting
+// each resulting substitution: merge with agree, then — if a negation is
+// present — enumerate extensions covering the disagree parameters and keep
+// those contradicting every disagree set (merge(θ2, disagree) = badsubst in
+// the paper's formulation).
+func (e *engine) applyMatch(m *label.Match, th subst.Subst, emit func(subst.Subst) bool) bool {
+	e.stats.MergeCalls++
+	if !subst.MergeBindings(e.buf1, th, m.Agree) {
+		return true
+	}
+	if len(m.Disagrees) == 0 {
+		return emit(e.buf1)
+	}
+	return subst.ForEachExtension(e.buf1, m.DisagreeParams(), e.doms, func(th2 subst.Subst) bool {
+		for _, d := range m.Disagrees {
+			e.stats.MergeCalls++
+			if !subst.Contradicts(th2, d) {
+				return true
+			}
+		}
+		return emit(th2)
+	})
+}
+
+// forEachGeneric is the generic (non-AD) matching path, exposed for the
+// precomputation solvers, which store generic entries unresolved.
+func (e *engine) forEachGeneric(tl, el *label.CTerm, th subst.Subst, emit func(subst.Subst) bool) bool {
+	return subst.ForEachExtension(th, tl.Params(), e.doms, func(th2 subst.Subst) bool {
+		e.stats.MatchCalls++
+		if label.MatchGround(tl, el, th2) {
+			return emit(th2)
+		}
+		return true
+	})
+}
+
+// possiblyMatches reports whether any substitution can make el match tl;
+// used by the M_ts/M_ds precomputation, which records matches independent of
+// the substitutions flowing through them.
+func (e *engine) possiblyMatches(tl *label.CTerm, tlID int32, el *label.CTerm, elID int32) *label.Match {
+	if !tl.ADCompatible() {
+		// Conservative for the generic fragment: try to find one witness.
+		found := false
+		empty := subst.New(e.q.Pars())
+		subst.ForEachExtension(empty, tl.Params(), e.doms, func(th subst.Subst) bool {
+			e.stats.MatchCalls++
+			if label.MatchGround(tl, el, th) {
+				found = true
+				return false
+			}
+			return true
+		})
+		if !found {
+			return nil
+		}
+		// Marker match: callers re-run forEachMatch for generic labels.
+		return &label.Match{OK: true}
+	}
+	return e.match(tl, tlID, el, elID)
+}
+
+// internEmpty interns the empty substitution and returns its key.
+func (e *engine) internEmpty() int32 {
+	return e.table.Key(subst.New(e.q.Pars()))
+}

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"rpq/internal/graph"
+)
+
+// Estimate reports the quantities of the paper's complexity analysis
+// (Figure 2) for a query against a graph, together with the worst-case
+// running-time formulas of Sections 3 and 4 evaluated on them. Section 5.3
+// describes this as the framework's practical payoff: "our complexity
+// analysis result corresponds to a formula that gives the worst-case
+// asymptotic running time and space usage for evaluating the query", with
+// per-parameter domain sizes refining the symbs^pars bound.
+type Estimate struct {
+	// Figure 2 quantities.
+	Verts       int // vertices in G
+	States      int // states in P (the NFA)
+	DFAStates   int // states after opaque determinization (universal)
+	Symbs       int // symbols parameters can be instantiated to
+	Pars        int // parameters in P
+	LabelSize   int // maximum label size
+	EdgeLabels  int // distinct edge labels in G
+	TransLabels int // distinct transition labels in P
+	LabelPars   int // maximum parameters in one transition label
+	GraphEdges  int // |G|
+	PatternSize int // |P| (transitions)
+
+	// SubstsBound is the symbs^pars bound on substitutions; with refined
+	// domains it is the product of the per-parameter domain sizes
+	// (Section 5.3). Saturates at math.MaxInt64.
+	SubstsBound float64
+	// DomainSizes lists the refined per-parameter domain sizes.
+	DomainSizes []int
+
+	// Worst-case time bounds (up to constant factors), evaluated:
+	//   basic:  |G| × |P| × substs × (labelsize + pars)
+	//   memo:   |G| × |P| × labelsize + |G| × |P| × substs × pars
+	//   enum:   |G| × |P| × substs (per-substitution ground passes)
+	BasicTimeBound float64
+	MemoTimeBound  float64
+	EnumTimeBound  float64
+}
+
+// EstimateQuery computes the report. The domains mode picks between the
+// symbs^pars bound (AllSymbols) and the refined per-domain product.
+func EstimateQuery(q *Query, g *graph.Graph, mode DomainMode) Estimate {
+	nfa := q.NFA
+	e := Estimate{
+		Verts:       g.NumVertices(),
+		States:      nfa.NumStates,
+		Symbs:       g.U.NumSymbols(),
+		Pars:        q.Pars(),
+		LabelSize:   nfa.MaxLabelSize(),
+		EdgeLabels:  g.NumLabels(),
+		TransLabels: len(nfa.Labels),
+		GraphEdges:  g.NumEdges(),
+		PatternSize: nfa.NumTrans(),
+	}
+	for _, el := range g.Labels() {
+		if s := el.Size(); s > e.LabelSize {
+			e.LabelSize = s
+		}
+	}
+	for _, tl := range nfa.Labels {
+		if lp := len(tl.Params()); lp > e.LabelPars {
+			e.LabelPars = lp
+		}
+	}
+	e.DFAStates = q.DFA().NumStates
+	doms := ComputeDomains(q, g, mode)
+	e.SubstsBound = 1
+	for _, d := range doms {
+		e.DomainSizes = append(e.DomainSizes, len(d))
+		e.SubstsBound *= float64(len(d))
+	}
+	if math.IsInf(e.SubstsBound, 0) {
+		e.SubstsBound = math.MaxInt64
+	}
+	ge, pe := float64(e.GraphEdges), float64(e.PatternSize)
+	e.BasicTimeBound = ge * pe * (e.SubstsBound + 1) * float64(e.LabelSize+e.Pars)
+	e.MemoTimeBound = ge*pe*float64(e.LabelSize) + ge*pe*(e.SubstsBound+1)*float64(e.Pars)
+	e.EnumTimeBound = ge * pe * (e.SubstsBound + 1)
+	return e
+}
+
+// String renders the report.
+func (e Estimate) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "graph: %d vertices, %d edges, %d distinct labels, %d symbols\n",
+		e.Verts, e.GraphEdges, e.EdgeLabels, e.Symbs)
+	fmt.Fprintf(&b, "pattern: %d states, %d transitions, %d distinct labels, labelsize %d\n",
+		e.States, e.PatternSize, e.TransLabels, e.LabelSize)
+	fmt.Fprintf(&b, "parameters: %d (max %d per label), domain sizes %v, substs ≤ %.3g\n",
+		e.Pars, e.LabelPars, e.DomainSizes, e.SubstsBound)
+	fmt.Fprintf(&b, "time bounds: basic %.3g, memoized %.3g, enumeration %.3g\n",
+		e.BasicTimeBound, e.MemoTimeBound, e.EnumTimeBound)
+	return b.String()
+}
+
+// Advise inspects a query and reports formulation warnings drawn from the
+// paper's Section 5.1 experience summary ("queries that bind parameters
+// positively before negations are much faster than queries that don't",
+// etc.). Each string is one finding; an empty slice means no advice.
+func Advise(q *Query) []string {
+	var out []string
+	nfa := q.NFA
+
+	// Parameters that can be reached under a negation before any positive
+	// binding: approximate by checking, per state reachable from the start
+	// through labels that do not bind p positively, whether a label with p
+	// under negation occurs. A cheap conservative version: does any label
+	// on a transition out of the start's forward closure carry p negated
+	// while no label on any path before it binds p positively? We
+	// approximate with a whole-pattern check: p occurs under a negation in
+	// some label, and the first occurrence (in automaton BFS order from
+	// the start) is negated.
+	type occ struct {
+		positive bool
+		found    bool
+	}
+	first := make([]occ, q.Pars())
+	// BFS over states, scanning transition labels in order.
+	seen := make([]bool, nfa.NumStates)
+	queue := []int32{nfa.Start}
+	seen[nfa.Start] = true
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		// Transitions out of one state are alternatives: if a parameter
+		// occurs negated on any of them it can be reached unbound, even if
+		// a sibling transition binds it positively.
+		pos := map[int32]bool{}
+		neg := map[int32]bool{}
+		for _, tr := range nfa.Trans[s] {
+			tl := tr.Label
+			posHere := map[int32]bool{}
+			tl.PositivePositions(func(p, ctor int32, arg int) { posHere[p] = true })
+			tl.AllPositions(func(p, ctor int32, arg int) {
+				if !posHere[p] {
+					neg[p] = true
+				}
+			})
+			for p := range posHere {
+				pos[p] = true
+			}
+			if !seen[tr.To] {
+				seen[tr.To] = true
+				queue = append(queue, tr.To)
+			}
+		}
+		for p := range neg {
+			if !first[p].found {
+				first[p] = occ{positive: false, found: true}
+			}
+		}
+		for p := range pos {
+			if !first[p].found {
+				first[p] = occ{positive: true, found: true}
+			}
+		}
+	}
+	for p := 0; p < q.Pars(); p++ {
+		if first[p].found && !first[p].positive {
+			out = append(out, fmt.Sprintf(
+				"parameter %s can be reached under a negation before any positive binding; "+
+					"the solver will enumerate its domain there — consider the backward "+
+					"formulation that binds it first (Section 5.1)", q.PS.Name(int32(p))))
+		}
+	}
+	for _, tl := range nfa.Labels {
+		if !tl.ADCompatible() {
+			out = append(out, fmt.Sprintf(
+				"label %s has multiple or nested parameter-carrying negations; it falls "+
+					"outside the agree/disagree fragment and uses the generic "+
+					"extension-enumerating matcher (Section 3)", tl.Format(q.U, q.PS)))
+		}
+		if tl.NumNegWithParams() > 0 && len(tl.Params()) > 2 {
+			out = append(out, fmt.Sprintf(
+				"label %s combines %d parameters with negation; the 2^labelpars factor of "+
+					"Section 3 applies", tl.Format(q.U, q.PS), len(tl.Params())))
+		}
+	}
+	return out
+}

@@ -1,0 +1,320 @@
+package core
+
+import (
+	"fmt"
+
+	"rpq/internal/graph"
+	"rpq/internal/label"
+	"rpq/internal/subst"
+)
+
+// Exist solves the existential query of Section 3: compute all pairs ⟨v, θ⟩
+// such that some path from v0 to v matches some sentence accepted by the
+// pattern under θ. Substitutions in the result are minimal; every extension
+// of a result substitution also witnesses the pair.
+//
+// One deliberate refinement over the paper's pseudo-code: the worklist is
+// seeded with ⟨v0, s0, {}⟩ rather than unrolling rule (i), which both
+// simplifies the loop and includes the empty path (so ⟨v0, {}⟩ is an answer
+// when the pattern accepts ε).
+func Exist(g *graph.Graph, v0 int32, q *Query, opts Options) (*Result, error) {
+	if int(v0) >= g.NumVertices() || v0 < 0 {
+		return nil, fmt.Errorf("core: start vertex %d out of range", v0)
+	}
+	switch opts.Algo {
+	case AlgoBasic, AlgoMemo, AlgoPrecomp:
+		return existWorklist(g, v0, q, opts)
+	case AlgoEnum:
+		return existEnum(g, v0, q, opts)
+	case AlgoHybrid:
+		return nil, fmt.Errorf("core: the hybrid algorithm applies to universal queries only")
+	}
+	return nil, fmt.Errorf("core: unknown algorithm %v", opts.Algo)
+}
+
+// mtsEntry is one element of the target-and-substitution map M_ts: from the
+// keyed ⟨v, s⟩ pair, a successful match leads to ⟨v1, s1⟩. AD-compatible
+// labels carry their cached match; generic labels are stored unresolved and
+// re-matched per substitution.
+type mtsEntry struct {
+	v1, s1 int32
+	m      *label.Match // nil for generic labels
+	tl     *label.CTerm
+	el     *label.CTerm
+}
+
+func existWorklist(g *graph.Graph, v0 int32, q *Query, opts Options) (*Result, error) {
+	if opts.Compact {
+		g = g.CompactFor(q.NFA.Labels)
+	}
+	var stats Stats
+	stats.DeterminismOK = true
+	nfa := q.NFA
+	states := nfa.NumStates
+	e := newEngine(g, q, nfa, opts, &stats)
+
+	seen := newTripleSet(opts.Table, g.NumVertices(), states)
+
+	// SCC-ordered mode (Section 5.3): one worklist bucket per strongly
+	// connected component, processed in topological order, with the reach
+	// set storage of finished components released. Since every edge goes
+	// from a component to a same-or-later one in topological numbering,
+	// a released component can never be re-entered.
+	var comp []int32
+	var comps [][]int32
+	buckets := make([][]triple, 1)
+	bucketOf := func(v int32) int { return 0 }
+	if opts.SCCOrder {
+		comp, comps = g.SCCTopoOrder()
+		buckets = make([][]triple, len(comps))
+		bucketOf = func(v int32) int { return int(comp[v]) }
+	}
+	// Witness reconstruction: the parent pointer of each discovered triple
+	// (the triple and edge that first produced it).
+	type parentStep struct {
+		prev triple
+		lbl  *label.CTerm
+		from int32
+	}
+	var parents map[triple]parentStep
+	if opts.Witnesses {
+		parents = map[triple]parentStep{}
+	}
+	live := 0
+	perVertex := make([]int32, g.NumVertices())
+	push := func(v, s int32, th subst.Subst, prev triple, lbl *label.CTerm, from int32) {
+		key := e.table.Key(th)
+		t := triple{v: v, s: s, th: key}
+		if seen.Add(t) {
+			buckets[bucketOf(v)] = append(buckets[bucketOf(v)], t)
+			stats.WorklistInserts++
+			live++
+			perVertex[v]++
+			if live > stats.PeakTriples {
+				stats.PeakTriples = live
+			}
+			if parents != nil && lbl != nil {
+				parents[t] = parentStep{prev: prev, lbl: lbl, from: from}
+			}
+		}
+	}
+	push(v0, nfa.Start, subst.New(q.Pars()), triple{}, nil, 0)
+
+	// Precompute M_ts (pseudo-code (3)): reachable ⟨v, s⟩ pairs with their
+	// match results, ignoring substitution feasibility.
+	var mts [][]mtsEntry
+	var mtsBytes int64
+	if opts.Algo == AlgoPrecomp {
+		mts = make([][]mtsEntry, g.NumVertices()*states)
+		mtsBytes = int64(len(mts)) * 24
+		seenPair := make([]bool, g.NumVertices()*states)
+		pw := []int32{v0*int32(states) + nfa.Start}
+		seenPair[pw[0]] = true
+		for len(pw) > 0 {
+			pair := pw[len(pw)-1]
+			pw = pw[:len(pw)-1]
+			v, s := pair/int32(states), pair%int32(states)
+			for _, ge := range g.Out(v) {
+				for _, tr := range nfa.Trans[s] {
+					tlID := nfa.LabelID[tr.Label.Key()]
+					m := e.possiblyMatches(tr.Label, tlID, ge.Label, ge.LabelID)
+					if m == nil {
+						continue
+					}
+					entry := mtsEntry{v1: ge.To, s1: tr.To, tl: tr.Label, el: ge.Label}
+					if tr.Label.ADCompatible() {
+						entry.m = m
+					}
+					mts[pair] = append(mts[pair], entry)
+					mtsBytes += 48
+					np := ge.To*int32(states) + tr.To
+					if !seenPair[np] {
+						seenPair[np] = true
+						pw = append(pw, np)
+					}
+				}
+			}
+		}
+	}
+
+	// Result set keyed (v, θ-key); origins remembers each pair's triple for
+	// witness reconstruction.
+	resSeen := map[int64]bool{}
+	var pairs []Pair
+	var origins []triple
+	record := func(t triple) {
+		k := int64(t.v)<<32 | int64(uint32(t.th))
+		if !resSeen[k] {
+			resSeen[k] = true
+			pairs = append(pairs, Pair{Vertex: t.v, Subst: e.table.Get(t.th).Clone()})
+			origins = append(origins, t)
+		}
+	}
+
+	// processTriple is the body of the main worklist loop, pseudo-code
+	// (2)/(4): record final-state answers and expand successors.
+	processTriple := func(t triple) {
+		if nfa.Final[t.s] {
+			record(t)
+		}
+		th := e.table.Get(t.th)
+		if opts.Algo == AlgoPrecomp {
+			for i := range mts[int(t.v)*states+int(t.s)] {
+				entry := &mts[int(t.v)*states+int(t.s)][i]
+				emit := func(th2 subst.Subst) bool {
+					push(entry.v1, entry.s1, th2, t, entry.el, t.v)
+					return true
+				}
+				if entry.m != nil {
+					e.applyMatch(entry.m, th, emit)
+				} else {
+					e.forEachGeneric(entry.tl, entry.el, th, emit)
+				}
+			}
+			return
+		}
+		for _, ge := range g.Out(t.v) {
+			for _, tr := range nfa.Trans[t.s] {
+				tlID := nfa.LabelID[tr.Label.Key()]
+				to := tr.To
+				e.forEachMatch(tr.Label, tlID, ge.Label, ge.LabelID, th, func(th2 subst.Subst) bool {
+					push(ge.To, to, th2, t, ge.Label, t.v)
+					return true
+				})
+			}
+		}
+	}
+
+	var maxBytes int64
+	for bi := range buckets {
+		for len(buckets[bi]) > 0 {
+			t := buckets[bi][len(buckets[bi])-1]
+			buckets[bi] = buckets[bi][:len(buckets[bi])-1]
+			processTriple(t)
+		}
+		if opts.SCCOrder {
+			// The component is finished: release its reach-set storage.
+			if b := seen.Bytes(); b > maxBytes {
+				maxBytes = b
+			}
+			for _, v := range comps[bi] {
+				seen.Release(v)
+				live -= int(perVertex[v])
+				perVertex[v] = 0
+			}
+		}
+	}
+	if b := seen.Bytes(); b > maxBytes {
+		maxBytes = b
+	}
+
+	if parents != nil {
+		// Reconstruct one witnessing path per answer by following parent
+		// pointers to the seed triple. Each step matched under a subset of
+		// the final substitution, and matching is closed under extension,
+		// so the whole path matches under the answer's substitution.
+		for i := range pairs {
+			var rev []WitnessStep
+			cur := origins[i]
+			for {
+				ps, ok := parents[cur]
+				if !ok {
+					break
+				}
+				rev = append(rev, WitnessStep{From: ps.from, Label: ps.lbl, To: cur.v})
+				cur = ps.prev
+			}
+			w := make([]WitnessStep, len(rev))
+			for j := range rev {
+				w[j] = rev[len(rev)-1-j]
+			}
+			pairs[i].Witness = w
+		}
+	}
+
+	stats.ReachSize = seen.Len()
+	stats.Substs = e.table.Len()
+	stats.ResultPairs = len(pairs)
+	stats.Bytes = maxBytes + e.table.Bytes() + e.memoBytes + mtsBytes
+	sortPairs(pairs)
+	return &Result{Pairs: pairs, Stats: stats}, nil
+}
+
+// existEnum is the enumeration algorithm: for every full substitution over
+// the parameter domains, instantiate the pattern and run a parameter-free
+// reachability product. Slower (work scales with |G| × substs) but with far
+// smaller memory, per Section 4 ("Nondeterminism") and Table 3.
+func existEnum(g *graph.Graph, v0 int32, q *Query, opts Options) (*Result, error) {
+	if opts.Compact {
+		g = g.CompactFor(q.NFA.Labels)
+	}
+	var stats Stats
+	stats.DeterminismOK = true
+	nfa := q.NFA
+	states := nfa.NumStates
+	doms := ComputeDomains(q, g, opts.Domains)
+	stats.EnumSubsts = doms.Count()
+
+	seen := make([]bool, g.NumVertices()*states)
+	inst := make([]*label.CTerm, len(nfa.Labels))
+	var pairs []Pair
+	var maxBytes int64
+
+	subst.ForEachFull(q.Pars(), doms, func(th subst.Subst) bool {
+		// Instantiate each distinct transition label under θ.
+		for i, tl := range nfa.Labels {
+			if tl.HasParams() {
+				inst[i], _ = tl.Instantiate(th)
+			} else {
+				inst[i] = tl
+			}
+		}
+		for i := range seen {
+			seen[i] = false
+		}
+		resHere := map[int32]bool{}
+		wl := []int32{v0*int32(states) + nfa.Start}
+		seen[wl[0]] = true
+		stats.WorklistInserts++
+		live := 1
+		for len(wl) > 0 {
+			pair := wl[len(wl)-1]
+			wl = wl[:len(wl)-1]
+			v, s := pair/int32(states), pair%int32(states)
+			if nfa.Final[s] {
+				resHere[v] = true
+			}
+			for _, ge := range g.Out(v) {
+				for _, tr := range nfa.Trans[s] {
+					stats.MatchCalls++
+					if !label.MatchGround(inst[nfa.LabelID[tr.Label.Key()]], ge.Label, nil) {
+						continue
+					}
+					np := ge.To*int32(states) + tr.To
+					if !seen[np] {
+						seen[np] = true
+						wl = append(wl, np)
+						stats.WorklistInserts++
+						live++
+					}
+				}
+			}
+		}
+		if live > stats.PeakTriples {
+			stats.PeakTriples = live
+		}
+		for v := range resHere {
+			pairs = append(pairs, Pair{Vertex: v, Subst: th.Clone()})
+		}
+		if b := int64(len(seen)) + int64(len(resHere))*16; b > maxBytes {
+			maxBytes = b
+		}
+		return true
+	})
+
+	stats.ReachSize = stats.WorklistInserts
+	stats.ResultPairs = len(pairs)
+	stats.Bytes = maxBytes + int64(len(pairs))*int64(q.Pars()*4+8)
+	sortPairs(pairs)
+	return &Result{Pairs: pairs, Stats: stats}, nil
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"rpq/internal/graph"
+	"rpq/internal/label"
+	"rpq/internal/pattern"
+	"rpq/internal/subst"
+)
+
+func TestMirrorBasics(t *testing.T) {
+	cases := [][2]string{
+		{"def(x) use(x)", "use(x) def(x)"},
+		{"a() (b() c())* d()", "d() ((c() b()))* a()"},
+		{"eps", "eps"},
+		{"def(x)*", "(def(x))*"},
+		{"a() | b() c()", "a() | c() b()"},
+	}
+	for _, c := range cases {
+		m := pattern.Mirror(pattern.MustParse(c[0]))
+		want := pattern.MustParse(c[1])
+		if !pattern.Equal(m, want) {
+			t.Errorf("Mirror(%s) = %s, want %s", c[0], pattern.String(m), pattern.String(want))
+		}
+		// Involution.
+		if !pattern.Equal(pattern.Mirror(m), pattern.MustParse(c[0])) {
+			t.Errorf("Mirror is not an involution on %s", c[0])
+		}
+	}
+}
+
+// TestMirrorCorrespondence checks the forward/backward correspondence of
+// Section 5.1's conversion: (v, θ) ∈ Exist(G, v0, P) iff
+// (v0, θ) ∈ Exist(reverse(G), v, Mirror(P)).
+func TestMirrorCorrespondence(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	labels := []string{"def(a)", "def(b)", "use(a)", "use(b)", "f()"}
+	pats := []string{
+		"(!def(x))* use(x)",
+		"_* def(x) _* use(y)",
+		"def(x)* use(x)",
+		"(def(x)|use(x))+",
+	}
+	for trial := 0; trial < 30; trial++ {
+		g := graph.New()
+		n := 3 + rng.Intn(5)
+		for i := 0; i < n; i++ {
+			g.Vertex(fmt.Sprintf("v%d", i))
+		}
+		g.SetStart(0)
+		for i := 0; i < 2*n; i++ {
+			lbl := label.MustParse(labels[rng.Intn(len(labels))], label.GroundMode)
+			_ = g.AddEdge(int32(rng.Intn(n)), lbl, int32(rng.Intn(n)))
+		}
+		r := g.Reverse()
+
+		ps := pats[rng.Intn(len(pats))]
+		e := pattern.MustParse(ps)
+		q := MustCompile(e, g.U)
+		fwd, err := Exist(g, g.Start(), q, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		doms := ComputeDomains(q, g, DomainsRefined)
+		fwdSet := expand(fwd, doms, q.Pars())
+
+		qm := MustCompile(pattern.Mirror(e), r.U)
+		// Parameters intern in order of appearance, which mirroring
+		// permutes; remap the mirrored query's indices onto the forward
+		// query's.
+		remap := make([]int32, qm.Pars())
+		for i := range remap {
+			idx, ok := q.PS.Lookup(qm.PS.Name(int32(i)))
+			if !ok {
+				t.Fatalf("parameter %s lost by mirroring", qm.PS.Name(int32(i)))
+			}
+			remap[i] = idx
+		}
+		// Collect, over every possible end vertex v, the pairs (v, θ) whose
+		// mirrored backward query from v reaches v0.
+		bwdSet := map[string]bool{}
+		for v := 0; v < g.NumVertices(); v++ {
+			res, err := Exist(r, int32(v), qm, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, p := range res.Pairs {
+				if p.Vertex != g.Start() {
+					continue
+				}
+				mapped := subst.New(q.Pars())
+				for i, val := range p.Subst {
+					mapped[remap[i]] = val
+				}
+				subst.ForEachExtension(mapped, subst.AllParams(q.Pars()), doms, func(th subst.Subst) bool {
+					bwdSet[fmt.Sprintf("%d%s", v, th.String())] = true
+					return true
+				})
+			}
+		}
+		if len(fwdSet) != len(bwdSet) {
+			t.Fatalf("trial %d %q: forward %d answers, mirrored backward %d\ngraph:\n%s",
+				trial, ps, len(fwdSet), len(bwdSet), g.String())
+		}
+		for k := range fwdSet {
+			if !bwdSet[k] {
+				t.Fatalf("trial %d %q: mirrored backward missing %s", trial, ps, k)
+			}
+		}
+	}
+}

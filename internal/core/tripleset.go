@@ -1,0 +1,123 @@
+package core
+
+import "rpq/internal/subst"
+
+// triple is a worklist/reach-set element ⟨v, s, θ⟩ with the substitution
+// interned to a key. In universal runs s may be the badstate (== numStates)
+// and th may be badSubstKey.
+type triple struct {
+	v  int32
+	s  int32
+	th int32
+}
+
+// badSubstKey marks badsubst in universal reach triples.
+const badSubstKey int32 = -1
+
+// tripleSet is the set R ∪ W of triples already discovered; Add reports
+// whether the triple was new. The two implementations mirror the paper's
+// Table 3 data-structure comparison: hashing vs. nested arrays, both "based"
+// on the (v, s) pair (the first keys locate a base; remaining keys index
+// into it).
+type tripleSet interface {
+	Add(t triple) bool
+	Len() int
+	Bytes() int64
+	// Release drops the storage of all triples at vertex v (used by
+	// SCC-ordered processing to free finished components). It reduces
+	// Bytes but not Len.
+	Release(v int32)
+}
+
+// newTripleSet builds a set for v in [0, verts) and s in [0, states); pass
+// states+1 for universal runs so the badstate fits.
+func newTripleSet(kind subst.TableKind, verts, states int) tripleSet {
+	switch kind {
+	case subst.Hash:
+		return &hashTripleSet{base: make([]map[int32]struct{}, verts*states), states: states}
+	case subst.Nested:
+		return &nestedTripleSet{base: make([][]bool, verts*states), states: states}
+	}
+	panic("core: unknown table kind")
+}
+
+// hashTripleSet keys a hash set of substitution keys off the dense (v, s)
+// base — the "based hash representation" the paper found best overall.
+type hashTripleSet struct {
+	base   []map[int32]struct{}
+	states int
+	n      int
+	bytes  int64
+}
+
+func (h *hashTripleSet) Add(t triple) bool {
+	idx := int(t.v)*h.states + int(t.s)
+	m := h.base[idx]
+	if m == nil {
+		m = make(map[int32]struct{})
+		h.base[idx] = m
+		h.bytes += 48
+	}
+	if _, ok := m[t.th]; ok {
+		return false
+	}
+	m[t.th] = struct{}{}
+	h.n++
+	h.bytes += 16
+	return true
+}
+
+func (h *hashTripleSet) Len() int     { return h.n }
+func (h *hashTripleSet) Bytes() int64 { return int64(len(h.base))*8 + h.bytes }
+
+func (h *hashTripleSet) Release(v int32) {
+	for s := 0; s < h.states; s++ {
+		idx := int(v)*h.states + s
+		if m := h.base[idx]; m != nil {
+			h.bytes -= 48 + 16*int64(len(m))
+			h.base[idx] = nil
+		}
+	}
+}
+
+// nestedTripleSet uses nested arrays: base (v, s) → boolean array indexed by
+// substitution key. Fast when dense, but sparse bases each hold an array as
+// long as the substitution-key range — the space blow-up Table 3 measures.
+type nestedTripleSet struct {
+	base   [][]bool
+	states int
+	n      int
+	bytes  int64
+}
+
+func (t *nestedTripleSet) Add(tr triple) bool {
+	idx := int(tr.v)*t.states + int(tr.s)
+	row := t.base[idx]
+	k := int(tr.th) + 1 // shift so badSubstKey (-1) maps to slot 0
+	if k >= len(row) {
+		grown := make([]bool, max(k+1, 2*len(row)+8))
+		copy(grown, row)
+		t.bytes += int64(len(grown) - len(row))
+		row = grown
+		t.base[idx] = row
+	}
+	if row[k] {
+		return false
+	}
+	row[k] = true
+	t.n++
+	return true
+}
+
+func (t *nestedTripleSet) Len() int     { return t.n }
+func (t *nestedTripleSet) Bytes() int64 { return int64(len(t.base))*24 + t.bytes }
+
+func (t *nestedTripleSet) Release(v int32) {
+	for s := 0; s < t.states; s++ {
+		idx := int(v)*t.states + s
+		if row := t.base[idx]; row != nil {
+			t.bytes -= int64(len(row))
+			t.base[idx] = nil
+		}
+	}
+}

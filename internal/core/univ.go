@@ -1,0 +1,241 @@
+package core
+
+import (
+	"fmt"
+
+	"rpq/internal/automata"
+	"rpq/internal/graph"
+	"rpq/internal/label"
+	"rpq/internal/subst"
+)
+
+// Univ solves the universal query of Section 4: compute all pairs ⟨v, θ⟩
+// such that there is a path from v0 to v and every path from v0 to v matches
+// some sentence accepted by the pattern under θ.
+//
+// The basic/memo/precomputation algorithms require the determinism condition
+// and return ErrNondeterministic when the runtime check fails; AlgoEnum and
+// AlgoHybrid always apply. The direct algorithms return one (minimal merged)
+// substitution per vertex; the enumeration-based ones return full
+// substitutions over the parameter domains.
+func Univ(g *graph.Graph, v0 int32, q *Query, opts Options) (*Result, error) {
+	if int(v0) >= g.NumVertices() || v0 < 0 {
+		return nil, fmt.Errorf("core: start vertex %d out of range", v0)
+	}
+	if opts.Compact {
+		return nil, fmt.Errorf("core: compaction is unsound for universal queries")
+	}
+	switch opts.Algo {
+	case AlgoBasic, AlgoMemo, AlgoPrecomp:
+		return univWorklist(g, v0, q, opts)
+	case AlgoEnum:
+		return univEnum(g, v0, q, opts)
+	case AlgoHybrid:
+		return univHybrid(g, v0, q, opts)
+	}
+	return nil, fmt.Errorf("core: unknown algorithm %v", opts.Algo)
+}
+
+// dsEntry is one element of the determinism-and-substitution map M_ds,
+// keyed by (edge label id, state): a match from that state's transitions.
+type dsEntry struct {
+	s1 int32
+	m  *label.Match // nil for generic labels
+	tl *label.CTerm
+}
+
+// univWorklist is pseudo-code (6) with the memoization/precomputation
+// variants folded in. The automaton is the opaque-label determinization of
+// the pattern; the badstate is represented as state index dfa.NumStates and
+// badsubst as substitution key badSubstKey.
+func univWorklist(g *graph.Graph, v0 int32, q *Query, opts Options) (*Result, error) {
+	var stats Stats
+	stats.DeterminismOK = true
+	dfa := q.DFA()
+	switch opts.Completion {
+	case CompleteTrap:
+		dfa = automata.Complete(dfa)
+	case CompleteExplicit:
+		for _, tl := range dfa.Labels {
+			if tl.HasParams() {
+				return nil, fmt.Errorf("core: explicit completion requires a parameter-free pattern")
+			}
+		}
+		dfa = automata.CompleteExplicit(dfa, g.Labels())
+	}
+	states := dfa.NumStates
+	badstate := int32(states)
+	e := newEngine(g, q, dfa, opts, &stats)
+
+	seen := newTripleSet(opts.Table, g.NumVertices(), states+1)
+	var work []triple
+	push := func(v, s int32, key int32) {
+		t := triple{v: v, s: s, th: key}
+		if seen.Add(t) {
+			work = append(work, t)
+			stats.WorklistInserts++
+			if live := seen.Len(); live > stats.PeakTriples {
+				stats.PeakTriples = live
+			}
+		}
+	}
+	push(v0, dfa.Start, e.internEmpty())
+
+	// M_ds, computed lazily per (edge label, state) pair: the matching
+	// transitions of s against that label. Storing it off the label rather
+	// than the edge is equivalent (match depends only on the label) and
+	// smaller.
+	var mds [][][]dsEntry // [labelID][state] -> entries
+	var mdsBytes int64
+	if opts.Algo == AlgoPrecomp {
+		mds = make([][][]dsEntry, g.NumLabels())
+		mdsBytes = int64(g.NumLabels()) * 24
+	}
+	lookupDS := func(el *label.CTerm, elID int32, s int32) []dsEntry {
+		row := mds[elID]
+		if row == nil {
+			row = make([][]dsEntry, states)
+			mds[elID] = row
+			mdsBytes += int64(states) * 24
+		}
+		if row[s] == nil {
+			entries := []dsEntry{}
+			for _, tr := range dfa.Trans[s] {
+				tlID := dfa.LabelID[tr.Label.Key()]
+				m := e.possiblyMatches(tr.Label, tlID, el, elID)
+				if m == nil {
+					continue
+				}
+				de := dsEntry{s1: tr.To, tl: tr.Label}
+				if tr.Label.ADCompatible() {
+					de.m = m
+				}
+				entries = append(entries, de)
+				mdsBytes += 32
+			}
+			row[s] = entries
+		}
+		return row[s]
+	}
+
+	// T: 0 undefined, 1 all-final so far, 2 some non-final.
+	T := make([]int8, g.NumVertices())
+	U := make([]subst.Subst, g.NumVertices())
+	badU := make([]bool, g.NumVertices())
+
+	var detErr error
+	for len(work) > 0 && detErr == nil {
+		t := work[len(work)-1]
+		work = work[:len(work)-1]
+
+		// Successor generation with the determinism check.
+		if t.s == badstate {
+			// Rule (iv) with no transitions: badstate propagates.
+			for _, ge := range g.Out(t.v) {
+				push(ge.To, badstate, badSubstKey)
+			}
+		} else {
+			th := e.table.Get(t.th)
+			for _, ge := range g.Out(t.v) {
+				matched := false
+				var curTarget, mpState, mpKey int32
+				emit := func(th2 subst.Subst) bool {
+					key := e.table.Key(th2)
+					if !matched {
+						matched = true
+						mpState, mpKey = curTarget, key
+						push(ge.To, mpState, key)
+						return true
+					}
+					if curTarget != mpState || key != mpKey {
+						detErr = ErrNondeterministic
+						return false
+					}
+					return true
+				}
+				ok := true
+				if opts.Algo == AlgoPrecomp {
+					for _, de := range lookupDS(ge.Label, ge.LabelID, t.s) {
+						curTarget = de.s1
+						if de.m != nil {
+							ok = e.applyMatch(de.m, th, emit)
+						} else {
+							ok = e.forEachGeneric(de.tl, ge.Label, th, emit)
+						}
+						if !ok {
+							break
+						}
+					}
+				} else {
+					for _, tr := range dfa.Trans[t.s] {
+						tlID := dfa.LabelID[tr.Label.Key()]
+						curTarget = tr.To
+						ok = e.forEachMatch(tr.Label, tlID, ge.Label, ge.LabelID, th, emit)
+						if !ok {
+							break
+						}
+					}
+				}
+				if !ok {
+					break
+				}
+				if !matched {
+					// Rules (iii)/(iv): no transition matches this edge.
+					push(ge.To, badstate, badSubstKey)
+				}
+			}
+		}
+		if detErr != nil {
+			break
+		}
+
+		// Result bookkeeping: the T and U updates of pseudo-code (6).
+		v := t.v
+		sFinal := t.s != badstate && dfa.Final[t.s]
+		if T[v] == 0 || T[v] == 1 {
+			if sFinal {
+				T[v] = 1
+			} else {
+				T[v] = 2
+			}
+		}
+		if T[v] == 1 {
+			th := e.table.Get(t.th)
+			if badU[v] {
+				// stays bad
+			} else if U[v] == nil {
+				U[v] = th.Clone()
+			} else {
+				e.stats.MergeCalls++
+				merged, ok := subst.Merge(U[v], th)
+				if !ok {
+					badU[v] = true
+					U[v] = nil
+				} else {
+					U[v] = merged
+				}
+			}
+		} else {
+			badU[v] = true
+			U[v] = nil
+		}
+	}
+	if detErr != nil {
+		stats.DeterminismOK = false
+		return nil, detErr
+	}
+
+	var pairs []Pair
+	for v := 0; v < g.NumVertices(); v++ {
+		if T[v] == 1 && !badU[v] && U[v] != nil {
+			pairs = append(pairs, Pair{Vertex: int32(v), Subst: U[v]})
+		}
+	}
+	stats.ReachSize = seen.Len()
+	stats.Substs = e.table.Len()
+	stats.ResultPairs = len(pairs)
+	stats.Bytes = seen.Bytes() + e.table.Bytes() + e.memoBytes + mdsBytes +
+		int64(g.NumVertices())*(1+24+1)
+	sortPairs(pairs)
+	return &Result{Pairs: pairs, Stats: stats}, nil
+}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"rpq/internal/automata"
+	"rpq/internal/graph"
+	"rpq/internal/subst"
+)
+
+// groundUniv answers the universal query for one full substitution th: the
+// instantiated pattern is exactly determinized over the graph's edge-label
+// alphabet, so determinism holds by construction and a single product
+// reachability pass suffices. Returns the vertices v (reachable from v0)
+// such that every path from v0 to v is accepted.
+func groundUniv(g *graph.Graph, v0 int32, q *Query, th subst.Subst, stats *Stats) []int32 {
+	d := automata.DeterminizeGround(q.NFA, g.Labels(), th)
+	states := int32(d.NumStates)
+	bad := states
+	stride := int(states) + 1
+
+	// allFinal: 0 unseen, 1 every visited automaton state final, 2 broken.
+	allFinal := make([]int8, g.NumVertices())
+	seen := make([]bool, g.NumVertices()*stride)
+	wl := []int32{v0*int32(stride) + d.Start}
+	seen[wl[0]] = true
+	stats.WorklistInserts++
+	for len(wl) > 0 {
+		pair := wl[len(wl)-1]
+		wl = wl[:len(wl)-1]
+		v, qs := pair/int32(stride), pair%int32(stride)
+		fin := qs != bad && d.Final[qs]
+		switch {
+		case allFinal[v] == 0:
+			if fin {
+				allFinal[v] = 1
+			} else {
+				allFinal[v] = 2
+			}
+		case allFinal[v] == 1 && !fin:
+			allFinal[v] = 2
+		}
+		for _, ge := range g.Out(v) {
+			next := bad
+			if qs != bad {
+				if t := d.Step(qs, ge.LabelID); t >= 0 {
+					next = t
+				}
+			}
+			np := ge.To*int32(stride) + next
+			if !seen[np] {
+				seen[np] = true
+				wl = append(wl, np)
+				stats.WorklistInserts++
+			}
+		}
+	}
+	if b := int64(len(seen)) + int64(d.NumStates*d.NumLetters)*4; b > stats.Bytes {
+		stats.Bytes = b
+	}
+	var out []int32
+	for v := 0; v < g.NumVertices(); v++ {
+		if allFinal[v] == 1 {
+			out = append(out, int32(v))
+		}
+	}
+	return out
+}
+
+// univEnum is the enumeration algorithm of Section 4: a parameter-free
+// universal query per full substitution over the parameter domains. Time
+// O(|G| × maxTrans × substs); space as small as a single ground run.
+func univEnum(g *graph.Graph, v0 int32, q *Query, opts Options) (*Result, error) {
+	var stats Stats
+	stats.DeterminismOK = true
+	doms := ComputeDomains(q, g, opts.Domains)
+	stats.EnumSubsts = doms.Count()
+	var pairs []Pair
+	subst.ForEachFull(q.Pars(), doms, func(th subst.Subst) bool {
+		for _, v := range groundUniv(g, v0, q, th, &stats) {
+			pairs = append(pairs, Pair{Vertex: v, Subst: th.Clone()})
+		}
+		return true
+	})
+	stats.ResultPairs = len(pairs)
+	stats.ReachSize = stats.WorklistInserts
+	sortPairs(pairs)
+	return &Result{Pairs: pairs, Stats: stats}, nil
+}
+
+// univHybrid refines enumeration (Section 4): an existential query first
+// computes the substitutions involved in matching on some path; only full
+// extensions of those are enumerated for the ground universal passes. The
+// idea is also used by de Moor et al.
+func univHybrid(g *graph.Graph, v0 int32, q *Query, opts Options) (*Result, error) {
+	exOpts := opts
+	exOpts.Algo = AlgoMemo
+	ex, err := Exist(g, v0, q, exOpts)
+	if err != nil {
+		return nil, err
+	}
+	var stats Stats
+	stats.DeterminismOK = true
+	stats.WorklistInserts = ex.Stats.WorklistInserts
+	stats.MatchCalls = ex.Stats.MatchCalls
+	stats.MergeCalls = ex.Stats.MergeCalls
+	stats.Bytes = ex.Stats.Bytes
+
+	doms := ComputeDomains(q, g, opts.Domains)
+	// Deduplicate candidate full substitutions across all existential
+	// result substitutions.
+	cand := subst.NewTable(subst.Hash, q.Pars(), g.U.NumSymbols())
+	var order []int32
+	seenPartial := map[string]bool{}
+	for _, p := range ex.Pairs {
+		pk := p.Subst.String()
+		if seenPartial[pk] {
+			continue
+		}
+		seenPartial[pk] = true
+		subst.ForEachExtension(p.Subst, subst.AllParams(q.Pars()), doms, func(th subst.Subst) bool {
+			if _, ok := cand.Lookup(th); !ok {
+				order = append(order, cand.Key(th))
+			}
+			return true
+		})
+	}
+	stats.EnumSubsts = len(order)
+	var pairs []Pair
+	for _, key := range order {
+		th := cand.Get(key)
+		for _, v := range groundUniv(g, v0, q, th, &stats) {
+			pairs = append(pairs, Pair{Vertex: v, Subst: th.Clone()})
+		}
+	}
+	stats.ResultPairs = len(pairs)
+	stats.ReachSize = stats.WorklistInserts
+	sortPairs(pairs)
+	return &Result{Pairs: pairs, Stats: stats}, nil
+}

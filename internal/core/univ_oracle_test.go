@@ -1,0 +1,103 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"rpq/internal/graph"
+	"rpq/internal/label"
+	"rpq/internal/pattern"
+	"rpq/internal/subst"
+)
+
+// groundDetPattern builds a random ground pattern whose labels never
+// overlap (distinct constructors, no wildcards/negations/parameters), so the
+// universal determinism condition always holds and the direct algorithms
+// apply.
+func groundDetPattern(rng *rand.Rand, depth int) pattern.Expr {
+	labels := []string{"a()", "b()", "c()", "d()"}
+	if depth <= 0 {
+		return pattern.Lit(labels[rng.Intn(len(labels))])
+	}
+	switch rng.Intn(5) {
+	case 0:
+		return pattern.Seq(groundDetPattern(rng, depth-1), groundDetPattern(rng, depth-1))
+	case 1:
+		// Alternation arms must start with distinct labels for the opaque
+		// determinization to stay deterministic; sidestep by wrapping arms
+		// in distinct leading labels.
+		return pattern.Or(
+			pattern.Seq(pattern.Lit("a()"), groundDetPattern(rng, depth-1)),
+			pattern.Seq(pattern.Lit("b()"), groundDetPattern(rng, depth-1)),
+		)
+	case 2:
+		return pattern.Rep(groundDetPattern(rng, depth-1))
+	case 3:
+		return pattern.Maybe(groundDetPattern(rng, depth-1))
+	default:
+		return groundDetPattern(rng, depth-1)
+	}
+}
+
+// TestUnivDirectOracle validates the direct universal algorithms (basic,
+// memo, precomputation, with each completion mode) against the brute-force
+// path oracle on random DAGs, using ground deterministic patterns.
+func TestUnivDirectOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(111))
+	labels := []string{"a()", "b()", "c()", "d()"}
+	ran := 0
+	for trial := 0; trial < 150 && ran < 60; trial++ {
+		g := graph.New()
+		n := 3 + rng.Intn(5)
+		for i := 0; i < n; i++ {
+			g.Vertex(fmt.Sprintf("v%d", i))
+		}
+		g.SetStart(0)
+		m := n + rng.Intn(2*n)
+		for i := 0; i < m; i++ {
+			from := rng.Intn(n - 1)
+			to := from + 1 + rng.Intn(n-from-1)
+			lbl := label.MustParse(labels[rng.Intn(len(labels))], label.GroundMode)
+			_ = g.AddEdge(int32(from), lbl, int32(to))
+		}
+		e := groundDetPattern(rng, 3)
+		q := MustCompile(e, g.U)
+		_, oracle := oracleSets(g, g.Start(), q, subst.Domains{})
+		for _, opts := range []Options{
+			{Algo: AlgoBasic},
+			{Algo: AlgoMemo},
+			{Algo: AlgoPrecomp},
+			{Algo: AlgoBasic, Completion: CompleteTrap},
+			{Algo: AlgoBasic, Completion: CompleteExplicit},
+			{Algo: AlgoMemo, Completion: CompleteTrap},
+		} {
+			res, err := Univ(g, g.Start(), q, opts)
+			if err == ErrNondeterministic {
+				// Rare: the wrapped-alternation trick can still produce
+				// overlapping prefixes via stars; skip the direct check.
+				continue
+			}
+			if err != nil {
+				t.Fatalf("trial %d %s: %v", trial, pattern.String(e), err)
+			}
+			ran++
+			got := map[string]bool{}
+			for _, p := range res.Pairs {
+				got[fmt.Sprintf("%d%s", p.Vertex, p.Subst.String())] = true
+			}
+			if len(got) != len(oracle) {
+				t.Fatalf("trial %d %s %+v: oracle %d, solver %d\ngraph:\n%s\noracle %v got %v",
+					trial, pattern.String(e), opts, len(oracle), len(got), g.String(), oracle, got)
+			}
+			for k := range oracle {
+				if !got[k] {
+					t.Fatalf("trial %d %s %+v: missing %s", trial, pattern.String(e), opts, k)
+				}
+			}
+		}
+	}
+	if ran < 30 {
+		t.Fatalf("too few deterministic trials ran (%d); generator too restrictive", ran)
+	}
+}

@@ -1,0 +1,37 @@
+package gen
+
+import "testing"
+
+func BenchmarkProgram(b *testing.B) {
+	spec := Table1Specs()[4] // cut, 2125 edges
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g := Program(spec)
+		if g.NumEdges() == 0 {
+			b.Fatal("empty graph")
+		}
+	}
+}
+
+func BenchmarkRandomLTS(b *testing.B) {
+	spec := Table2Specs()[1] // cwi-1-2
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l := RandomLTS(spec)
+		if len(l.Trans) == 0 {
+			b.Fatal("empty LTS")
+		}
+	}
+}
+
+func BenchmarkForExistentialTransform(b *testing.B) {
+	l := RandomLTS(Table2Specs()[1])
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := l.ForExistential()
+		if g.NumEdges() == 0 {
+			b.Fatal("empty graph")
+		}
+	}
+}

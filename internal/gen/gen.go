@@ -1,0 +1,454 @@
+// Package gen generates synthetic workloads shaped like the paper's
+// evaluation inputs (Liu et al., PLDI 2004, Section 6): structured
+// control-flow program graphs with def/use labels standing in for the
+// CodeSurfer-derived graphs of Table 1, and random labeled transition
+// systems standing in for the VLTS suite of Table 2. Each preset matches
+// the corresponding row's graph size; generation is deterministic per seed.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+
+	"rpq/internal/graph"
+	"rpq/internal/label"
+	"rpq/internal/lts"
+)
+
+// ProgSpec describes a synthetic program graph.
+type ProgSpec struct {
+	// Name identifies the preset (e.g. "cksum").
+	Name string
+	// LOC is display metadata mirroring the paper's first column.
+	LOC int
+	// Seed makes generation deterministic.
+	Seed int64
+	// Edges is the target number of graph edges.
+	Edges int
+	// Vars is the variable pool size; the paper's "substs" column for the
+	// enumeration algorithm equals the domain of the use parameter, i.e.
+	// roughly this number.
+	Vars int
+	// UninitFrac is the fraction of variables that are never defined, so
+	// their uses show up in the uninitialized-use analyses.
+	UninitFrac float64
+	// UseSites labels uses as use(x, l) with distinct site numbers, as the
+	// backward queries of Section 5.1 need.
+	UseSites bool
+	// EntryLoop adds the entry() self-loop at the start vertex.
+	EntryLoop bool
+}
+
+// Program generates a structured random control-flow graph: a tree of
+// sequences, branches, and loops whose operations are def/use edges over the
+// variable pool, mirroring an intraprocedural C control-flow graph.
+func Program(spec ProgSpec) *graph.Graph {
+	rng := rand.New(rand.NewSource(spec.Seed))
+	g := graph.New()
+	b := &progBuilder{spec: spec, rng: rng, g: g}
+
+	nUninit := int(float64(spec.Vars) * spec.UninitFrac)
+	if nUninit >= spec.Vars {
+		nUninit = spec.Vars - 1
+	}
+	if nUninit < 0 {
+		nUninit = 0
+	}
+	b.firstUninit = spec.Vars - nUninit
+	b.defined = make([]bool, spec.Vars)
+	b.definedAny = make([]bool, spec.Vars)
+
+	entry := b.fresh()
+	g.SetStart(entry)
+	if spec.EntryLoop {
+		b.edge(entry, label.App("entry"), entry)
+	}
+	b.budget = spec.Edges
+	if spec.EntryLoop {
+		b.budget--
+	}
+	b.total = b.budget
+	cur := entry
+	// Define a prologue of the initial window, as real programs initialize
+	// locals near the top.
+	for v := 0; v < 8 && v < b.firstUninit && b.budget > 2; v++ {
+		b.defined[v] = true
+		b.definedAny[v] = true
+		cur = b.op(cur, b.defLabel(int32(v)))
+	}
+	end := b.seq(cur)
+	// Terminate with an exit edge.
+	b.edge(end, label.App("exit"), b.fresh())
+	return g
+}
+
+type progBuilder struct {
+	spec        ProgSpec
+	rng         *rand.Rand
+	g           *graph.Graph
+	budget      int
+	total       int
+	emitted     int
+	nextV       int
+	nextUse     int
+	firstUninit int    // variables >= this index are never defined
+	defined     []bool // defined at a dominating (depth-0) position
+	definedAny  []bool // defined anywhere, possibly only on some paths
+	depth       int    // branch/loop nesting depth
+}
+
+// window returns the sliding active-variable window: real programs exhibit
+// locality — a variable's uses cluster near its definitions — and without it
+// the backward uninit query's propagation distances (and hence worklist
+// sizes) blow up quadratically instead of matching the paper's near-linear
+// growth.
+func (b *progBuilder) window() (base, width int32) {
+	w := int32(10)
+	if int32(b.firstUninit) < w {
+		return 0, int32(b.firstUninit)
+	}
+	span := int32(b.firstUninit) - w
+	pos := int32(0)
+	if b.total > 0 {
+		pos = int32(int64(b.emitted) * int64(span) / int64(b.total))
+	}
+	if pos > span {
+		pos = span
+	}
+	return pos, w
+}
+
+// pickDef chooses a variable to define, from the active window, preferring
+// variables not yet defined (programs initialize a variable before reading
+// it).
+func (b *progBuilder) pickDef() int32 {
+	base, w := b.window()
+	for try := 0; try < 3; try++ {
+		v := base + int32(b.rng.Intn(int(w)))
+		if !b.definedAny[v] {
+			b.markDef(v)
+			return v
+		}
+	}
+	v := base + int32(b.rng.Intn(int(w)))
+	b.markDef(v)
+	return v
+}
+
+// markDef records a definition; only depth-0 definitions dominate all later
+// code and make the variable safe to read unconditionally.
+func (b *progBuilder) markDef(v int32) {
+	b.definedAny[v] = true
+	if b.depth == 0 {
+		b.defined[v] = true
+	}
+}
+
+func (b *progBuilder) fresh() int32 {
+	b.nextV++
+	return b.g.Vertex("n" + strconv.Itoa(b.nextV))
+}
+
+func (b *progBuilder) edge(from int32, t *label.Term, to int32) {
+	if err := b.g.AddEdge(from, t, to); err != nil {
+		panic(err)
+	}
+}
+
+func (b *progBuilder) op(cur int32, t *label.Term) int32 {
+	nxt := b.fresh()
+	b.edge(cur, t, nxt)
+	b.budget--
+	b.emitted++
+	return nxt
+}
+
+func (b *progBuilder) varName(i int32) string { return "v" + strconv.Itoa(int(i)) }
+
+func (b *progBuilder) defLabel(v int32) *label.Term {
+	return label.App("def", label.Sym(b.varName(v)))
+}
+
+func (b *progBuilder) useLabel(v int32) *label.Term {
+	if b.spec.UseSites {
+		b.nextUse++
+		return label.App("use", label.Sym(b.varName(v)), label.Sym(strconv.Itoa(b.nextUse)))
+	}
+	return label.App("use", label.Sym(b.varName(v)))
+}
+
+// pickUse chooses a variable to read: mostly window variables, sometimes
+// one of the never-defined tail (whose uses the uninit analyses report).
+func (b *progBuilder) pickUse() int32 {
+	// Uses of never-defined variables cluster early in the program, as
+	// real use-before-def bugs do (the later definition is what makes the
+	// variable otherwise live); this also keeps the backward query's
+	// propagation to the entry short, as in the paper's measurements.
+	if b.firstUninit < b.spec.Vars && b.emitted*4 < b.total && b.rng.Float64() < 0.2 {
+		return int32(b.firstUninit + b.rng.Intn(b.spec.Vars-b.firstUninit))
+	}
+	base, w := b.window()
+	// Occasionally read a variable defined only on some paths — the
+	// realistic maybe-uninitialized case the analyses exist to find.
+	if b.rng.Float64() < 0.025 {
+		for try := 0; try < 8; try++ {
+			v := base + int32(b.rng.Intn(int(w)))
+			if b.definedAny[v] && !b.defined[v] {
+				return v
+			}
+		}
+	}
+	// Otherwise read only variables whose definition dominates this point.
+	for try := 0; try < 16; try++ {
+		v := base + int32(b.rng.Intn(int(w)))
+		if b.defined[v] {
+			return v
+		}
+	}
+	return 0
+}
+
+// seq emits a statement sequence from cur until the budget runs low,
+// returning the end vertex.
+func (b *progBuilder) seq(cur int32) int32 {
+	for b.budget > 0 {
+		// At nesting depth 0 the position dominates everything after it:
+		// define newly windowed variables here, so that (as in real
+		// programs) most variables are defined on every path before use,
+		// and maybe-uninitialized uses stay the exception.
+		if b.depth == 0 {
+			if base, w := b.window(); w > 0 {
+				v := base + int32(b.rng.Intn(int(w)))
+				if !b.defined[v] {
+					b.markDef(v)
+					cur = b.op(cur, b.defLabel(v))
+					continue
+				}
+			}
+		}
+		switch r := b.rng.Float64(); {
+		case r < 0.55 || b.budget < 8:
+			// Plain operation: 60% uses, 40% defs, like typical code.
+			if b.rng.Float64() < 0.4 {
+				cur = b.op(cur, b.defLabel(b.pickDef()))
+			} else {
+				cur = b.op(cur, b.useLabel(b.pickUse()))
+			}
+		case r < 0.85:
+			cur = b.branch(cur)
+		default:
+			cur = b.loop(cur)
+		}
+	}
+	return cur
+}
+
+// branch emits an if: condition reads, two arms, a join.
+func (b *progBuilder) branch(cur int32) int32 {
+	c := b.op(cur, b.useLabel(b.pickUse()))
+	// Arms are basic-block sized, as in real control-flow graphs; huge
+	// arms would nest the whole program inside one conditional.
+	arm := 3 + b.rng.Intn(24)
+	if arm > b.budget/3 {
+		arm = b.budget / 3
+	}
+	thenEnd := b.limited(c, arm)
+	elseEnd := b.limited(c, arm/2)
+	j := b.fresh()
+	b.edge(thenEnd, label.App("nop"), j)
+	b.edge(elseEnd, label.App("nop"), j)
+	b.budget -= 2
+	return j
+}
+
+// loop emits a while: header join, condition read, body, back edge.
+func (b *progBuilder) loop(cur int32) int32 {
+	h := b.op(cur, label.App("nop"))
+	c := b.op(h, b.useLabel(b.pickUse()))
+	size := 4 + b.rng.Intn(30)
+	if size > b.budget/3 {
+		size = b.budget / 3
+	}
+	body := b.limited(c, size)
+	b.edge(body, label.App("nop"), h)
+	b.budget--
+	exit := b.fresh()
+	b.edge(c, label.App("nop"), exit)
+	b.budget--
+	return exit
+}
+
+// limited runs seq with a temporary smaller budget.
+func (b *progBuilder) limited(cur int32, amount int) int32 {
+	if amount < 1 {
+		amount = 1
+	}
+	outer := b.budget
+	if amount > outer {
+		amount = outer
+	}
+	b.budget = amount
+	b.depth++
+	end := b.seq(cur)
+	b.depth--
+	b.budget = outer - (amount - b.budget)
+	return end
+}
+
+// LTSSpec describes a synthetic labeled transition system.
+type LTSSpec struct {
+	Name string
+	Seed int64
+	// States and Trans match the corresponding VLTS rows.
+	States, Trans int
+	// Actions is the size of the visible action alphabet.
+	Actions int
+	// Deadlocks is the number of reachable states with no outgoing
+	// transitions.
+	Deadlocks int
+	// InvisibleFrac is the fraction of transitions carrying the invisible
+	// action i.
+	InvisibleFrac float64
+}
+
+// RandomLTS generates a connected random LTS: a random spanning tree from
+// the initial state guarantees reachability, then extra transitions are
+// sprinkled uniformly; designated deadlock states receive no outgoing
+// transitions.
+func RandomLTS(spec LTSSpec) *lts.LTS {
+	rng := rand.New(rand.NewSource(spec.Seed))
+	n := spec.States
+	l := &lts.LTS{Initial: 0, NumStates: n}
+	if spec.Actions < 1 {
+		spec.Actions = 1
+	}
+	action := func() string {
+		if rng.Float64() < spec.InvisibleFrac {
+			return lts.Invisible
+		}
+		return "a" + strconv.Itoa(rng.Intn(spec.Actions))
+	}
+	dead := map[int32]bool{}
+	for len(dead) < spec.Deadlocks && len(dead) < n-1 {
+		dead[int32(1+rng.Intn(n-1))] = true
+	}
+	outDeg := make([]int, n)
+	add := func(from, to int32) {
+		l.Trans = append(l.Trans, lts.Transition{From: from, Action: action(), To: to})
+		outDeg[from]++
+	}
+	// Spanning tree: state i (>0) reached from an earlier non-dead state,
+	// guaranteeing reachability. The tree is biased toward chains so that
+	// few states are left without outgoing transitions, keeping the total
+	// transition count at the spec even for sparse systems.
+	for i := 1; i < n; i++ {
+		from := int32(i - 1)
+		if rng.Float64() > 0.75 || dead[from] {
+			from = int32(rng.Intn(i))
+			for dead[from] {
+				from = int32(rng.Intn(i))
+			}
+		}
+		add(from, int32(i))
+	}
+	// Exactly the designated states deadlock: give every other state at
+	// least one outgoing transition.
+	for v := 0; v < n; v++ {
+		if !dead[int32(v)] && outDeg[v] == 0 {
+			add(int32(v), int32(rng.Intn(n)))
+		}
+	}
+	for len(l.Trans) < spec.Trans {
+		from := int32(rng.Intn(n))
+		if dead[from] {
+			continue
+		}
+		add(from, int32(rng.Intn(n)))
+	}
+	return l
+}
+
+// Table1Specs returns presets matching the nine programs of the paper's
+// Table 1 (name, LOC, and graph edge count per row); variable-pool sizes
+// follow the row's "substs" column, which for the forward uninitialized-use
+// query is the domain of the parameter x.
+func Table1Specs() []ProgSpec {
+	rows := []struct {
+		name  string
+		loc   int
+		edges int
+		vars  int
+	}{
+		{"cksum", 236, 521, 40},
+		{"sum", 198, 714, 57},
+		{"expand", 317, 971, 75},
+		{"uniq", 406, 1696, 134},
+		{"cut", 603, 2124, 146},
+		{"C-parser", 1847, 4260, 207},
+		{"iburg", 649, 5672, 377},
+		{"struct", 1699, 6022, 333},
+		{"ratfor", 1261, 7617, 361},
+	}
+	specs := make([]ProgSpec, len(rows))
+	for i, r := range rows {
+		specs[i] = ProgSpec{
+			Name:       r.name,
+			LOC:        r.loc,
+			Seed:       int64(1000 + i),
+			Edges:      r.edges,
+			Vars:       r.vars,
+			UninitFrac: 0.12,
+			UseSites:   true,
+			EntryLoop:  true,
+		}
+	}
+	return specs
+}
+
+// Table2Specs returns presets matching the eight transition systems of the
+// paper's Table 2 (states and transitions per row).
+func Table2Specs() []LTSSpec {
+	rows := []struct {
+		name   string
+		states int
+		edges  int
+	}{
+		{"vasy-0-1", 289, 1224},
+		{"cwi-1-2", 1952, 2387},
+		{"vasy-1-4", 1183, 4464},
+		{"vasy-5-9", 5486, 9392},
+		{"cwi-3-14", 3996, 14552},
+		{"vasy-8-24", 8879, 24411},
+		{"vasy-8-38", 8921, 38424},
+		{"vasy-10-56", 10849, 56156},
+	}
+	specs := make([]LTSSpec, len(rows))
+	for i, r := range rows {
+		specs[i] = LTSSpec{
+			Name:          r.name,
+			Seed:          int64(2000 + i),
+			States:        r.states,
+			Trans:         r.edges,
+			Actions:       8,
+			Deadlocks:     i % 3, // a few rows have deadlocks
+			InvisibleFrac: 0.2,
+		}
+	}
+	return specs
+}
+
+// FindSpec returns the preset with the given name from either table.
+func FindSpec(name string) (ProgSpec, LTSSpec, bool, error) {
+	for _, s := range Table1Specs() {
+		if s.Name == name {
+			return s, LTSSpec{}, true, nil
+		}
+	}
+	for _, s := range Table2Specs() {
+		if s.Name == name {
+			return ProgSpec{}, s, false, nil
+		}
+	}
+	return ProgSpec{}, LTSSpec{}, false, fmt.Errorf("gen: unknown preset %q", name)
+}

@@ -1,0 +1,67 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"rpq/internal/label"
+)
+
+func benchGraph(n, m int, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := New()
+	labels := make([]*label.Term, 12)
+	for i := range labels {
+		labels[i] = label.MustParse(fmt.Sprintf("op%d(a%d)", i%4, i), label.GroundMode)
+	}
+	for i := 0; i < n; i++ {
+		g.Vertex(fmt.Sprintf("v%d", i))
+	}
+	g.SetStart(0)
+	for i := 0; i < m; i++ {
+		if err := g.AddEdge(int32(rng.Intn(n)), labels[rng.Intn(len(labels))], int32(rng.Intn(n))); err != nil {
+			panic(err)
+		}
+	}
+	return g
+}
+
+func BenchmarkSCC(b *testing.B) {
+	g := benchGraph(5000, 20000, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.SCC()
+	}
+}
+
+func BenchmarkReverse(b *testing.B) {
+	g := benchGraph(5000, 20000, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Reverse()
+	}
+}
+
+func BenchmarkReachable(b *testing.B) {
+	g := benchGraph(5000, 20000, 3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Reachable(g.Start())
+	}
+}
+
+func BenchmarkReadWrite(b *testing.B) {
+	g := benchGraph(1000, 4000, 4)
+	text := g.String()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReadString(text); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package graph
+
+import "rpq/internal/label"
+
+// CompactFor returns a copy of the graph containing only the edges whose
+// labels some transition label of the query could possibly match — the
+// sparsity compaction of Section 5.3. Vertex ids are preserved.
+//
+// Soundness: an edge no transition label can match (under any substitution)
+// can never be traversed by a matching path, so removing it does not change
+// the result of an EXISTENTIAL query. It does change universal queries
+// (which quantify over all paths), so the solver only applies compaction to
+// existential ones.
+//
+// The relevance test is conservative: AD-compatible labels use the
+// agree/disagree matcher's satisfiability; labels outside that fragment make
+// every edge relevant.
+func (g *Graph) CompactFor(translabels []*label.CTerm) *Graph {
+	relevant := func(el *label.CTerm) bool {
+		for _, tl := range translabels {
+			if !tl.ADCompatible() {
+				return true
+			}
+			if label.MatchAD(tl, el).OK {
+				return true
+			}
+		}
+		return false
+	}
+	keep := make([]bool, g.NumLabels())
+	for id, el := range g.labels {
+		keep[id] = relevant(el)
+	}
+	out := NewIn(g.U)
+	for v := 0; v < g.NumVertices(); v++ {
+		out.Vertex(g.VertexName(int32(v)))
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		for _, e := range g.adj[v] {
+			if keep[e.LabelID] {
+				out.AddEdgeC(int32(v), e.Label, e.To)
+			}
+		}
+	}
+	out.start = g.start
+	return out
+}

@@ -1,0 +1,46 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteDOT(t *testing.T) {
+	g := MustReadString(`
+start v1
+edge v1 def(a) v2
+edge v2 use(a) v1
+`)
+	var b strings.Builder
+	v2, _ := g.LookupVertex("v2")
+	if err := g.WriteDOT(&b, "my graph!", map[int32]bool{v2: true}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"digraph my_graph_ {",
+		`n0 [label="v1", shape=doublecircle]`,
+		"style=filled",
+		`n0 -> n1 [label="def('a')"]`,
+		`n1 -> n0 [label="use('a')"]`,
+		"}",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+	// Empty name defaults.
+	var b2 strings.Builder
+	if err := g.WriteDOT(&b2, "", nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(b2.String(), "digraph G {") {
+		t.Errorf("default name: %q", b2.String()[:20])
+	}
+}
+
+func TestDotID(t *testing.T) {
+	if dotID("a-b c") != "a_b_c" || dotID("") != "G" || dotID("ok_1") != "ok_1" {
+		t.Errorf("dotID broken: %q %q %q", dotID("a-b c"), dotID(""), dotID("ok_1"))
+	}
+}

@@ -1,0 +1,208 @@
+// Package graph implements the edge-labeled directed graphs that parametric
+// regular path queries run on (Liu et al., PLDI 2004, Section 2.4): a set of
+// labeled edges ⟨v1, el, v2⟩ with a distinguished start vertex, plus the
+// supporting operations the paper uses — reversal for backward queries,
+// strongly connected components for SCC-ordered processing (Section 5.3),
+// and query-relevant compaction (Section 5.3).
+package graph
+
+import (
+	"fmt"
+
+	"rpq/internal/label"
+)
+
+// Edge is one outgoing edge: the edge label (ground term), its dense label
+// id within the graph, and the target vertex.
+type Edge struct {
+	Label   *label.CTerm
+	LabelID int32
+	To      int32
+}
+
+// Graph is an edge-labeled directed graph with interned vertex names and
+// edge labels. The zero value is not usable; construct with New.
+type Graph struct {
+	// U is the universe of constructor and symbol names shared with the
+	// patterns compiled against this graph.
+	U *label.Universe
+
+	verts    label.Interner
+	adj      [][]Edge
+	labels   []*label.CTerm
+	labelIDs map[string]int32
+	numEdges int
+	start    int32
+}
+
+// New returns an empty graph over a fresh universe.
+func New() *Graph { return NewIn(label.NewUniverse()) }
+
+// NewIn returns an empty graph over an existing universe.
+func NewIn(u *label.Universe) *Graph {
+	return &Graph{U: u, labelIDs: map[string]int32{}, start: -1}
+}
+
+// Vertex interns a vertex name and returns its id.
+func (g *Graph) Vertex(name string) int32 {
+	v := g.verts.Intern(name)
+	for int(v) >= len(g.adj) {
+		g.adj = append(g.adj, nil)
+	}
+	return v
+}
+
+// LookupVertex returns the id of name if present.
+func (g *Graph) LookupVertex(name string) (int32, bool) { return g.verts.Lookup(name) }
+
+// VertexName returns the name of vertex v.
+func (g *Graph) VertexName(v int32) string { return g.verts.Name(v) }
+
+// NumVertices reports the number of vertices ("verts" in Figure 2).
+func (g *Graph) NumVertices() int { return len(g.adj) }
+
+// NumEdges reports the number of edges, |G| in the complexity formulas.
+func (g *Graph) NumEdges() int { return g.numEdges }
+
+// NumLabels reports the number of distinct edge labels ("edgelabels").
+func (g *Graph) NumLabels() int { return len(g.labels) }
+
+// Labels returns the distinct edge labels in label-id order. The slice is
+// owned by the graph.
+func (g *Graph) Labels() []*label.CTerm { return g.labels }
+
+// Label returns the edge label with the given id.
+func (g *Graph) Label(id int32) *label.CTerm { return g.labels[id] }
+
+// SetStart sets the distinguished start vertex v0.
+func (g *Graph) SetStart(v int32) { g.start = v }
+
+// Start returns the start vertex, or -1 if unset.
+func (g *Graph) Start() int32 { return g.start }
+
+// InternLabel interns a compiled ground label, returning its dense id.
+func (g *Graph) InternLabel(c *label.CTerm) int32 {
+	if id, ok := g.labelIDs[c.Key()]; ok {
+		return id
+	}
+	id := int32(len(g.labels))
+	g.labelIDs[c.Key()] = id
+	g.labels = append(g.labels, c)
+	return id
+}
+
+// AddEdgeC adds an edge with an already compiled ground label.
+func (g *Graph) AddEdgeC(from int32, c *label.CTerm, to int32) {
+	if !c.IsGround() {
+		panic(fmt.Sprintf("graph: edge label %s is not ground", c))
+	}
+	id := g.InternLabel(c)
+	g.adj[from] = append(g.adj[from], Edge{Label: c, LabelID: id, To: to})
+	g.numEdges++
+}
+
+// AddEdge compiles the ground term lbl against the graph's universe and adds
+// the edge.
+func (g *Graph) AddEdge(from int32, lbl *label.Term, to int32) error {
+	c, err := label.CompileGround(lbl, g.U)
+	if err != nil {
+		return err
+	}
+	g.AddEdgeC(from, c, to)
+	return nil
+}
+
+// AddEdgeStr parses lbl as a ground label and adds an edge between named
+// vertices, interning them as needed.
+func (g *Graph) AddEdgeStr(from, lbl, to string) error {
+	t, err := label.Parse(lbl, label.GroundMode)
+	if err != nil {
+		return err
+	}
+	return g.AddEdge(g.Vertex(from), t, g.Vertex(to))
+}
+
+// MustAddEdgeStr is AddEdgeStr that panics on error.
+func (g *Graph) MustAddEdgeStr(from, lbl, to string) {
+	if err := g.AddEdgeStr(from, lbl, to); err != nil {
+		panic(err)
+	}
+}
+
+// Out returns the outgoing edges of v. The slice is owned by the graph.
+func (g *Graph) Out(v int32) []Edge { return g.adj[v] }
+
+// AddVertexLabel attaches a label to a vertex as a self-loop edge — the
+// encoding Section 5.4 of the paper points at for queries that consult
+// vertices directly ("queries can use also vertices and vertex labels"),
+// and the one its own LTS transformation uses (state(v) self-loops,
+// Section 2.3). Self-loop labels can be read by a query any number of
+// times without advancing along the path; for universal queries prefer the
+// splitting transformation (see package lts), since a self-loop also
+// creates paths that skip the label.
+func (g *Graph) AddVertexLabel(v int32, lbl *label.Term) error {
+	c, err := label.CompileGround(lbl, g.U)
+	if err != nil {
+		return err
+	}
+	g.AddEdgeC(v, c, v)
+	return nil
+}
+
+// AddVertexLabelStr parses lbl as a ground label and attaches it to the
+// named vertex.
+func (g *Graph) AddVertexLabelStr(vertex, lbl string) error {
+	t, err := label.Parse(lbl, label.GroundMode)
+	if err != nil {
+		return err
+	}
+	return g.AddVertexLabel(g.Vertex(vertex), t)
+}
+
+// Reverse returns the graph with every edge reversed, sharing the universe,
+// vertex numbering, and label interning. The paper evaluates backward
+// queries by reversing all edges before the query (Section 2.2).
+func (g *Graph) Reverse() *Graph {
+	r := NewIn(g.U)
+	// Copy vertex interning so ids coincide.
+	for v := 0; v < g.NumVertices(); v++ {
+		r.Vertex(g.VertexName(int32(v)))
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		for _, e := range g.adj[v] {
+			r.AddEdgeC(e.To, e.Label, int32(v))
+		}
+	}
+	r.start = g.start
+	return r
+}
+
+// Reachable returns the set of vertices reachable from v0 (including v0).
+func (g *Graph) Reachable(v0 int32) []bool {
+	seen := make([]bool, g.NumVertices())
+	seen[v0] = true
+	stack := []int32{v0}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range g.adj[v] {
+			if !seen[e.To] {
+				seen[e.To] = true
+				stack = append(stack, e.To)
+			}
+		}
+	}
+	return seen
+}
+
+// MaxOutDegree returns the largest out-degree, a determinant of
+// precomputation's benefit (Section 6).
+func (g *Graph) MaxOutDegree() int {
+	m := 0
+	for _, es := range g.adj {
+		if len(es) > m {
+			m = len(es)
+		}
+	}
+	return m
+}

@@ -1,0 +1,106 @@
+package graph
+
+// SCC computes the strongly connected components with Tarjan's algorithm
+// (iterative, to cope with deep graphs). It returns comp, mapping each
+// vertex to its component id, and comps, the components listed in reverse
+// topological order of the condensation — i.e. if there is an edge from a
+// vertex of comps[i] to a vertex of comps[j] with i ≠ j, then j < i.
+//
+// Section 5.3 of the paper suggests visiting vertices in a topological order
+// of the SCCs and de-allocating per-SCC data when a component is finished;
+// the solver's SCC-ordered mode uses this decomposition.
+func (g *Graph) SCC() (comp []int32, comps [][]int32) {
+	n := g.NumVertices()
+	comp = make([]int32, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	index := make([]int32, n)
+	low := make([]int32, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack []int32
+	var next int32
+
+	type frame struct {
+		v  int32
+		ei int
+	}
+	for root := 0; root < n; root++ {
+		if index[root] >= 0 {
+			continue
+		}
+		call := []frame{{v: int32(root)}}
+		index[root] = next
+		low[root] = next
+		next++
+		stack = append(stack, int32(root))
+		onStack[root] = true
+		for len(call) > 0 {
+			f := &call[len(call)-1]
+			v := f.v
+			edges := g.adj[v]
+			advanced := false
+			for f.ei < len(edges) {
+				w := edges[f.ei].To
+				f.ei++
+				if index[w] < 0 {
+					index[w] = next
+					low[w] = next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					call = append(call, frame{v: w})
+					advanced = true
+					break
+				}
+				if onStack[w] && index[w] < low[v] {
+					low[v] = index[w]
+				}
+			}
+			if advanced {
+				continue
+			}
+			// v is finished.
+			if low[v] == index[v] {
+				var members []int32
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = int32(len(comps))
+					members = append(members, w)
+					if w == v {
+						break
+					}
+				}
+				comps = append(comps, members)
+			}
+			call = call[:len(call)-1]
+			if len(call) > 0 {
+				p := call[len(call)-1].v
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+			}
+		}
+	}
+	return comp, comps
+}
+
+// SCCTopoOrder returns the components in topological order (sources first):
+// the reverse of the order Tarjan emits.
+func (g *Graph) SCCTopoOrder() (comp []int32, comps [][]int32) {
+	comp, rev := g.SCC()
+	comps = make([][]int32, len(rev))
+	for i, c := range rev {
+		comps[len(rev)-1-i] = c
+	}
+	// Renumber comp to match the reversed order.
+	for v := range comp {
+		comp[v] = int32(len(rev)-1) - comp[v]
+	}
+	return comp, comps
+}

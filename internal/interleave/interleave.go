@@ -1,0 +1,212 @@
+// Package interleave builds labeled transition systems as interleaving
+// products of small communicating processes with exclusive shared resources
+// — the kind of "formal descriptions of real-life concurrent systems" the
+// VLTS inputs of the paper's Table 2 were generated from. The resulting LTS
+// feeds the Section 2.3 deadlock and livelock queries; dining philosophers
+// is the classic instance (see examples/philosophers).
+package interleave
+
+import (
+	"fmt"
+	"sort"
+
+	"rpq/internal/lts"
+)
+
+// Action is one step of a process: it may atomically acquire and/or release
+// exclusive resources. An acquire is enabled only while the resource is
+// free; a release only while this process holds it. Name becomes the LTS
+// action label; use lts.Invisible ("i") for internal steps.
+type Action struct {
+	Name string
+	Acq  string // resource to acquire, or ""
+	Rel  string // resource to release, or ""
+}
+
+// Trans is a local transition of one process.
+type Trans struct {
+	From int
+	Act  Action
+	To   int
+}
+
+// Process is a small automaton; local state 0 is initial.
+type Process struct {
+	Name      string
+	NumStates int
+	Trans     []Trans
+}
+
+// Validate checks state indices.
+func (p *Process) Validate() error {
+	if p.NumStates <= 0 {
+		return fmt.Errorf("interleave: process %s has no states", p.Name)
+	}
+	for _, t := range p.Trans {
+		if t.From < 0 || t.From >= p.NumStates || t.To < 0 || t.To >= p.NumStates {
+			return fmt.Errorf("interleave: process %s transition %d→%d out of range", p.Name, t.From, t.To)
+		}
+	}
+	return nil
+}
+
+// Product explores the asynchronous interleaving of the processes under
+// exclusive resource semantics and returns the reachable global transition
+// system. Exploration is breadth-first and deterministic; it fails if more
+// than maxStates global states are reached (0 means 1<<20).
+func Product(procs []*Process, resources []string, maxStates int) (*lts.LTS, error) {
+	if maxStates <= 0 {
+		maxStates = 1 << 20
+	}
+	for _, p := range procs {
+		if err := p.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	resIdx := map[string]int{}
+	for i, r := range resources {
+		if _, dup := resIdx[r]; dup {
+			return nil, fmt.Errorf("interleave: duplicate resource %q", r)
+		}
+		resIdx[r] = i
+	}
+	for _, p := range procs {
+		for _, t := range p.Trans {
+			if t.Act.Acq != "" {
+				if _, ok := resIdx[t.Act.Acq]; !ok {
+					return nil, fmt.Errorf("interleave: process %s acquires unknown resource %q", p.Name, t.Act.Acq)
+				}
+			}
+			if t.Act.Rel != "" {
+				if _, ok := resIdx[t.Act.Rel]; !ok {
+					return nil, fmt.Errorf("interleave: process %s releases unknown resource %q", p.Name, t.Act.Rel)
+				}
+			}
+		}
+	}
+
+	// Global state: local state per process + owner per resource (-1 free).
+	type gstate struct {
+		locals []int8
+		owners []int8
+	}
+	encode := func(s gstate) string {
+		b := make([]byte, 0, len(s.locals)+len(s.owners))
+		for _, l := range s.locals {
+			b = append(b, byte(l))
+		}
+		for _, o := range s.owners {
+			b = append(b, byte(o+1))
+		}
+		return string(b)
+	}
+	clone := func(s gstate) gstate {
+		out := gstate{locals: make([]int8, len(s.locals)), owners: make([]int8, len(s.owners))}
+		copy(out.locals, s.locals)
+		copy(out.owners, s.owners)
+		return out
+	}
+
+	init := gstate{locals: make([]int8, len(procs)), owners: make([]int8, len(resources))}
+	for i := range init.owners {
+		init.owners[i] = -1
+	}
+	ids := map[string]int32{encode(init): 0}
+	states := []gstate{init}
+	out := &lts.LTS{Initial: 0, NumStates: 1}
+
+	for cur := 0; cur < len(states); cur++ {
+		s := states[cur]
+		for pi, p := range procs {
+			// Deterministic exploration order: transitions sorted by
+			// (From, Name, To) within each process.
+			trans := append([]Trans(nil), p.Trans...)
+			sort.Slice(trans, func(i, j int) bool {
+				a, b := trans[i], trans[j]
+				if a.From != b.From {
+					return a.From < b.From
+				}
+				if a.Act.Name != b.Act.Name {
+					return a.Act.Name < b.Act.Name
+				}
+				return a.To < b.To
+			})
+			for _, t := range trans {
+				if int(s.locals[pi]) != t.From {
+					continue
+				}
+				if t.Act.Acq != "" && s.owners[resIdx[t.Act.Acq]] != -1 {
+					continue // resource held
+				}
+				if t.Act.Rel != "" && s.owners[resIdx[t.Act.Rel]] != int8(pi) {
+					continue // not the holder
+				}
+				ns := clone(s)
+				ns.locals[pi] = int8(t.To)
+				if t.Act.Acq != "" {
+					ns.owners[resIdx[t.Act.Acq]] = int8(pi)
+				}
+				if t.Act.Rel != "" {
+					ns.owners[resIdx[t.Act.Rel]] = -1
+				}
+				key := encode(ns)
+				id, ok := ids[key]
+				if !ok {
+					if len(states) >= maxStates {
+						return nil, fmt.Errorf("interleave: state space exceeds %d states", maxStates)
+					}
+					id = int32(len(states))
+					ids[key] = id
+					states = append(states, ns)
+				}
+				name := t.Act.Name
+				if name == "" {
+					name = lts.Invisible
+				}
+				actionName := name
+				if name != lts.Invisible {
+					actionName = p.Name + "_" + name
+				}
+				out.Trans = append(out.Trans, lts.Transition{From: int32(cur), Action: actionName, To: id})
+			}
+		}
+	}
+	out.NumStates = len(states)
+	return out, nil
+}
+
+// Philosopher builds process i of the dining philosophers: think, take the
+// first fork, take the second, eat, put both back. With leftFirst the
+// philosopher grabs the left fork first — all-left systems deadlock; making
+// one philosopher right-first breaks the cycle.
+func Philosopher(i, n int, leftFirst bool) *Process {
+	left := fmt.Sprintf("fork%d", i)
+	right := fmt.Sprintf("fork%d", (i+1)%n)
+	first, second := left, right
+	if !leftFirst {
+		first, second = right, left
+	}
+	return &Process{
+		Name:      fmt.Sprintf("phil%d", i),
+		NumStates: 5,
+		Trans: []Trans{
+			{From: 0, Act: Action{Name: "take1", Acq: first}, To: 1},
+			{From: 1, Act: Action{Name: "take2", Acq: second}, To: 2},
+			{From: 2, Act: Action{Name: "eat"}, To: 3},
+			{From: 3, Act: Action{Name: "put1", Rel: second}, To: 4},
+			{From: 4, Act: Action{Name: "put2", Rel: first}, To: 0},
+		},
+	}
+}
+
+// Philosophers builds the n-party dining table; rightFirstAt (if in range)
+// flips one philosopher's fork order to break the deadlock cycle.
+func Philosophers(n int, rightFirstAt int) ([]*Process, []string) {
+	procs := make([]*Process, n)
+	var forks []string
+	for i := 0; i < n; i++ {
+		procs[i] = Philosopher(i, n, i != rightFirstAt)
+		forks = append(forks, fmt.Sprintf("fork%d", i))
+	}
+	return procs, forks
+}

@@ -1,0 +1,139 @@
+package interleave
+
+import (
+	"testing"
+
+	"rpq/internal/core"
+	"rpq/internal/pattern"
+)
+
+func TestProductSmall(t *testing.T) {
+	// Two independent two-state processes: 4 global states.
+	a := &Process{Name: "a", NumStates: 2, Trans: []Trans{
+		{From: 0, Act: Action{Name: "go"}, To: 1},
+		{From: 1, Act: Action{Name: "back"}, To: 0},
+	}}
+	b := &Process{Name: "b", NumStates: 2, Trans: []Trans{
+		{From: 0, Act: Action{Name: "go"}, To: 1},
+	}}
+	l, err := Product([]*Process{a, b}, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.NumStates != 4 {
+		t.Fatalf("states = %d, want 4", l.NumStates)
+	}
+	// Deterministic.
+	l2, _ := Product([]*Process{a, b}, nil, 0)
+	if l.String() != l2.String() {
+		t.Fatal("product not deterministic")
+	}
+}
+
+func TestResourceExclusion(t *testing.T) {
+	// Two processes competing for one resource: the global state where both
+	// hold it must not exist.
+	mk := func(name string) *Process {
+		return &Process{Name: name, NumStates: 2, Trans: []Trans{
+			{From: 0, Act: Action{Name: "get", Acq: "r"}, To: 1},
+			{From: 1, Act: Action{Name: "drop", Rel: "r"}, To: 0},
+		}}
+	}
+	l, err := Product([]*Process{mk("p"), mk("q")}, []string{"r"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// States: (0,0,free), (1,0,p), (0,1,q) — both-held is unreachable.
+	if l.NumStates != 3 {
+		t.Fatalf("states = %d, want 3 (mutual exclusion)", l.NumStates)
+	}
+	if len(l.DeadlockStates()) != 0 {
+		t.Fatalf("deadlock in a release-capable system")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := &Process{Name: "x", NumStates: 1, Trans: []Trans{{From: 0, Act: Action{Name: "a"}, To: 5}}}
+	if _, err := Product([]*Process{bad}, nil, 0); err == nil {
+		t.Error("out-of-range transition accepted")
+	}
+	p := &Process{Name: "x", NumStates: 1, Trans: []Trans{{From: 0, Act: Action{Name: "a", Acq: "nope"}, To: 0}}}
+	if _, err := Product([]*Process{p}, nil, 0); err == nil {
+		t.Error("unknown resource accepted")
+	}
+	if _, err := Product([]*Process{{Name: "e", NumStates: 0}}, nil, 0); err == nil {
+		t.Error("empty process accepted")
+	}
+	if _, err := Product(nil, []string{"r", "r"}, 0); err == nil {
+		t.Error("duplicate resource accepted")
+	}
+	// State-space cap.
+	big := &Process{Name: "b", NumStates: 3, Trans: []Trans{
+		{From: 0, Act: Action{Name: "a"}, To: 1},
+		{From: 1, Act: Action{Name: "b"}, To: 2},
+		{From: 2, Act: Action{Name: "c"}, To: 0},
+	}}
+	if _, err := Product([]*Process{big, big, big, big}, nil, 2); err == nil {
+		t.Error("state cap not enforced")
+	}
+}
+
+func TestDiningPhilosophersDeadlock(t *testing.T) {
+	// All-left-first: the classic deadlock (everyone holds one fork).
+	procs, forks := Philosophers(4, -1)
+	l, err := Product(procs, forks, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := l.DeadlockStates()
+	if len(dead) != 1 {
+		t.Fatalf("deadlock states = %d, want exactly 1 (all holding left)", len(dead))
+	}
+	// The paper's query agrees: the deadlocked state is reachable but has
+	// no outgoing action.
+	g := l.ForExistential()
+	q := core.MustCompile(pattern.MustParse("_* state(s) act(_)"), g.U)
+	res, err := core.Exist(g, g.Start(), q, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sIdx, _ := q.PS.Lookup("s")
+	alive := map[int32]bool{}
+	for _, p := range res.Pairs {
+		alive[p.Subst[sIdx]] = true
+	}
+	deadName := "s" // state symbol of the dead state
+	deadSym, ok := g.U.Syms.Lookup(deadName + itoa(int(dead[0])))
+	if !ok {
+		t.Fatalf("dead state symbol missing")
+	}
+	if alive[deadSym] {
+		t.Fatalf("query reports the deadlocked state as having actions")
+	}
+	// Query result covers every other reachable state.
+	if len(alive) != l.NumStates-1 {
+		t.Fatalf("alive states = %d, want %d", len(alive), l.NumStates-1)
+	}
+
+	// One right-first philosopher breaks the cycle.
+	procs, forks = Philosophers(4, 0)
+	l2, err := Product(procs, forks, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l2.DeadlockStates()) != 0 {
+		t.Fatalf("asymmetric table still deadlocks")
+	}
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b []byte
+	for i > 0 {
+		b = append([]byte{byte('0' + i%10)}, b...)
+		i /= 10
+	}
+	return string(b)
+}

@@ -1,0 +1,244 @@
+package label
+
+import "sort"
+
+// Binding maps one parameter index to one symbol key.
+type Binding struct {
+	Param int32
+	Sym   int32
+}
+
+// Bindings is a small substitution fragment: a set of parameter-to-symbol
+// bindings, kept sorted by parameter with no duplicate parameters.
+type Bindings []Binding
+
+// Get returns the symbol bound to p, or NoSym.
+func (bs Bindings) Get(p int32) int32 {
+	for _, b := range bs {
+		if b.Param == p {
+			return b.Sym
+		}
+	}
+	return NoSym
+}
+
+// bind adds p↦s, reporting false on a conflicting existing binding.
+// Consistent duplicates are collapsed.
+func (bs *Bindings) bind(p, s int32) bool {
+	for _, b := range *bs {
+		if b.Param == p {
+			return b.Sym == s
+		}
+	}
+	*bs = append(*bs, Binding{Param: p, Sym: s})
+	return true
+}
+
+// normalize sorts the bindings by parameter index.
+func (bs Bindings) normalize() {
+	sort.Slice(bs, func(i, j int) bool { return bs[i].Param < bs[j].Param })
+}
+
+// Clone returns a copy of the bindings.
+func (bs Bindings) Clone() Bindings {
+	out := make(Bindings, len(bs))
+	copy(out, bs)
+	return out
+}
+
+// Match is the result of matching one edge label against one transition
+// label with the agree/disagree mechanism of Section 3: the label matches
+// under a full substitution θ iff θ is consistent with Agree and θ
+// contradicts at least one binding in Disagree. An empty Disagree imposes no
+// negative constraint. Match results depend only on the (edge label,
+// transition label) pair, which is what makes them memoizable (the
+// substitution map M_s).
+type Match struct {
+	// OK reports whether any substitution can make the labels match. When
+	// false the other fields are meaningless.
+	OK bool
+	// Agree holds the positive bindings required for the match.
+	Agree Bindings
+	// Disagrees holds, for each way the (single) negated subterm can match
+	// the edge label, the bindings under which it does; θ must contradict
+	// at least one binding in EACH element. A negated alternation
+	// ¬(A|B|…) can contribute several elements (one per alternative that
+	// unifies). Empty means the negation (if any) is satisfied
+	// unconditionally.
+	Disagrees []Bindings
+}
+
+// DisagreeParams returns the sorted set of parameters occurring in any
+// disagree set.
+func (m *Match) DisagreeParams() []int32 {
+	seen := map[int32]bool{}
+	var out []int32
+	for _, d := range m.Disagrees {
+		for _, b := range d {
+			if !seen[b.Param] {
+				seen[b.Param] = true
+				out = append(out, b.Param)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// MatchAD matches ground edge label el against transition label tl and
+// returns the agree/disagree decomposition. Precondition: tl.ADCompatible()
+// — at most one parameter-carrying negation and no nested negations. el must
+// be ground.
+func MatchAD(tl, el *CTerm) Match {
+	var m Match
+	if !matchADRec(tl, el, &m) {
+		return Match{}
+	}
+	m.OK = true
+	m.Agree.normalize()
+	for _, d := range m.Disagrees {
+		d.normalize()
+	}
+	return m
+}
+
+func matchADRec(tl, el *CTerm, m *Match) bool {
+	switch tl.Kind {
+	case KWildcard:
+		return true
+	case KSym:
+		return el.Kind == KSym && el.Sym == tl.Sym
+	case KParam:
+		if el.Kind != KSym {
+			// Parameters instantiate to symbols only (Section 2.1).
+			return false
+		}
+		return m.Agree.bind(tl.Param, el.Sym)
+	case KApp:
+		if el.Kind != KApp || el.Ctor != tl.Ctor || len(el.Args) != len(tl.Args) {
+			return false
+		}
+		for i := range tl.Args {
+			if !matchADRec(tl.Args[i], el.Args[i], m) {
+				return false
+			}
+		}
+		return true
+	case KNeg:
+		inner := tl.Args[0]
+		alts := []*CTerm{inner}
+		if inner.Kind == KOr {
+			alts = inner.Args
+		}
+		for _, alt := range alts {
+			var d Bindings
+			if unifyPos(alt, el, &d) {
+				if len(d) == 0 {
+					// This alternative matches under every substitution, so
+					// the negation never holds.
+					return false
+				}
+				// The alternative matches exactly when θ agrees with all
+				// of d; record it so the caller can require disagreement.
+				m.Disagrees = append(m.Disagrees, d)
+			}
+			// Alternatives that can never match el impose no constraint.
+		}
+		return true
+	case KOr:
+		// Positive alternations are split into automaton alternation during
+		// pattern compilation and never reach the matcher.
+		panic("label: MatchAD on a positive label alternation; split it first")
+	}
+	panic("unreachable")
+}
+
+// unifyPos unifies a negation-free transition term with a ground edge term,
+// accumulating parameter bindings. Used for negation bodies, where an
+// internal conflict means the body can never match.
+func unifyPos(tl, el *CTerm, bs *Bindings) bool {
+	switch tl.Kind {
+	case KWildcard:
+		return true
+	case KSym:
+		return el.Kind == KSym && el.Sym == tl.Sym
+	case KParam:
+		if el.Kind != KSym {
+			return false
+		}
+		return bs.bind(tl.Param, el.Sym)
+	case KApp:
+		if el.Kind != KApp || el.Ctor != tl.Ctor || len(el.Args) != len(tl.Args) {
+			return false
+		}
+		for i := range tl.Args {
+			if !unifyPos(tl.Args[i], el.Args[i], bs) {
+				return false
+			}
+		}
+		return true
+	case KNeg, KOr:
+		// Nested negation or alternation inside a negation body; not
+		// AD-compatible.
+		panic("label: nested negation or alternation in MatchAD body")
+	}
+	panic("unreachable")
+}
+
+// MatchGround evaluates the full matching relation of Section 2.1 for edge
+// label el against θ(tl), where θ is given as a dense substitution vector
+// (indexed by parameter; NoSym = unbound).
+//
+// Precondition: every parameter of tl is bound in subst, so that θ(tl)
+// contains no parameters. If an unbound parameter is encountered the label
+// does not match (θ(tl) would not be ground).
+func MatchGround(tl, el *CTerm, subst []int32) bool {
+	switch tl.Kind {
+	case KWildcard:
+		return true
+	case KSym:
+		return el.Kind == KSym && el.Sym == tl.Sym
+	case KParam:
+		if int(tl.Param) >= len(subst) || subst[tl.Param] == NoSym {
+			return false
+		}
+		return el.Kind == KSym && el.Sym == subst[tl.Param]
+	case KApp:
+		if el.Kind != KApp || el.Ctor != tl.Ctor || len(el.Args) != len(tl.Args) {
+			return false
+		}
+		for i := range tl.Args {
+			if !MatchGround(tl.Args[i], el.Args[i], subst) {
+				return false
+			}
+		}
+		return true
+	case KNeg:
+		// θ(tl) must be ground for the match to be defined; all parameters
+		// of the body must be bound.
+		for _, p := range tl.Args[0].Params() {
+			if int(p) >= len(subst) || subst[p] == NoSym {
+				return false
+			}
+		}
+		return !MatchGround(tl.Args[0], el, subst)
+	case KOr:
+		for _, a := range tl.Args {
+			if MatchGround(a, el, subst) {
+				return true
+			}
+		}
+		return false
+	}
+	panic("unreachable")
+}
+
+// CoveredBy reports whether every parameter of tl is bound in subst.
+func CoveredBy(tl *CTerm, subst []int32) bool {
+	for _, p := range tl.Params() {
+		if int(p) >= len(subst) || subst[p] == NoSym {
+			return false
+		}
+	}
+	return true
+}

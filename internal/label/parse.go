@@ -1,0 +1,253 @@
+package label
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// ParseMode controls how bare identifiers in argument position are read.
+type ParseMode int
+
+const (
+	// GroundMode is used for edge labels in graph files: bare identifiers in
+	// argument position are symbols, and parameters are not allowed.
+	GroundMode ParseMode = iota
+	// PatternMode is used for transition labels inside patterns: bare
+	// identifiers in argument position are parameters, and symbols must be
+	// quoted ('a') or numeric (0, 42).
+	PatternMode
+)
+
+// Parse reads a single term from s in the given mode. The whole input must
+// be consumed.
+//
+// Grammar:
+//
+//	term  := '!' term | '_' | IDENT | IDENT '(' args? ')'
+//	args  := arg (',' arg)*
+//	arg   := '!' arg | '_' | IDENT | IDENT '(' args? ')' | QUOTED | NUMBER
+//
+// A bare IDENT at the top level is a zero-argument constructor in both
+// modes. In argument position a bare IDENT is a symbol (GroundMode) or a
+// parameter (PatternMode).
+func Parse(s string, mode ParseMode) (*Term, error) {
+	p := &termParser{src: s, mode: mode}
+	t, err := p.parseTerm(true)
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("label: trailing input %q at offset %d", p.src[p.pos:], p.pos)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	if mode == GroundMode && !t.IsGround() {
+		return nil, fmt.Errorf("label: %q is not a ground edge label", s)
+	}
+	return t, nil
+}
+
+// ParsePrefix parses a single term from the front of s and returns it along
+// with the number of bytes consumed. Unlike Parse it does not require the
+// whole input to be consumed; it is used by the pattern parser, where a
+// label is followed by regular-expression operators.
+func ParsePrefix(s string, mode ParseMode) (*Term, int, error) {
+	p := &termParser{src: s, mode: mode}
+	t, err := p.parseTerm(true)
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := t.Validate(); err != nil {
+		return nil, 0, err
+	}
+	if mode == GroundMode && !t.IsGround() {
+		return nil, 0, fmt.Errorf("label: %q is not a ground edge label", s[:p.pos])
+	}
+	return t, p.pos, nil
+}
+
+// MustParse is Parse that panics on error; intended for compile-time-constant
+// labels in tests and the query catalog.
+func MustParse(s string, mode ParseMode) *Term {
+	t, err := Parse(s, mode)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+type termParser struct {
+	src  string
+	pos  int
+	mode ParseMode
+}
+
+func (p *termParser) skipSpace() {
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			p.pos++
+			continue
+		}
+		break
+	}
+}
+
+func (p *termParser) peek() byte {
+	if p.pos < len(p.src) {
+		return p.src[p.pos]
+	}
+	return 0
+}
+
+func (p *termParser) errf(format string, args ...any) error {
+	return fmt.Errorf("label: %s (at offset %d in %q)", fmt.Sprintf(format, args...), p.pos, p.src)
+}
+
+// parseTerm parses a term. top distinguishes top-level position (where bare
+// identifiers are constructors) from argument position.
+func (p *termParser) parseTerm(top bool) (*Term, error) {
+	p.skipSpace()
+	switch c := p.peek(); {
+	case c == '!':
+		p.pos++
+		// Allow parenthesized negation bodies: !(f(x)).
+		p.skipSpace()
+		if p.peek() == '(' {
+			// Parenthesized negation body, possibly an alternation:
+			// !(def(x)) or !(def(x)|use(x)).
+			p.pos++
+			var alts []*Term
+			for {
+				inner, err := p.parseTerm(top)
+				if err != nil {
+					return nil, err
+				}
+				alts = append(alts, inner)
+				p.skipSpace()
+				switch p.peek() {
+				case '|':
+					p.pos++
+				case ')':
+					p.pos++
+					if len(alts) == 1 {
+						return Neg(alts[0]), nil
+					}
+					return Neg(Or(alts...)), nil
+				default:
+					return nil, p.errf("expected '|' or ')' closing negation")
+				}
+			}
+		}
+		inner, err := p.parseTerm(top)
+		if err != nil {
+			return nil, err
+		}
+		return Neg(inner), nil
+	case c == '_':
+		p.pos++
+		if p.pos < len(p.src) && isIdentByte(p.src[p.pos]) {
+			// An identifier starting with '_' is an identifier, not a wildcard.
+			p.pos--
+			return p.parseIdentTerm(top)
+		}
+		return Wildcard(), nil
+	case c == '\'' || c == '"':
+		return p.parseQuoted(c)
+	case c >= '0' && c <= '9':
+		start := p.pos
+		for p.pos < len(p.src) && p.src[p.pos] >= '0' && p.src[p.pos] <= '9' {
+			p.pos++
+		}
+		return Sym(p.src[start:p.pos]), nil
+	case isIdentStart(rune(c)):
+		return p.parseIdentTerm(top)
+	case c == 0:
+		return nil, p.errf("unexpected end of input")
+	default:
+		return nil, p.errf("unexpected character %q", c)
+	}
+}
+
+func (p *termParser) parseQuoted(quote byte) (*Term, error) {
+	p.pos++ // opening quote
+	start := p.pos
+	for p.pos < len(p.src) && p.src[p.pos] != quote {
+		p.pos++
+	}
+	if p.pos >= len(p.src) {
+		return nil, p.errf("unterminated quoted symbol")
+	}
+	name := p.src[start:p.pos]
+	p.pos++ // closing quote
+	return Sym(name), nil
+}
+
+func (p *termParser) parseIdentTerm(top bool) (*Term, error) {
+	ident := p.readIdent()
+	p.skipSpace()
+	if p.peek() == '(' {
+		p.pos++
+		var args []*Term
+		p.skipSpace()
+		if p.peek() == ')' {
+			p.pos++
+			return App(ident), nil
+		}
+		for {
+			a, err := p.parseTerm(false)
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, a)
+			p.skipSpace()
+			switch p.peek() {
+			case ',':
+				p.pos++
+			case ')':
+				p.pos++
+				return App(ident, args...), nil
+			default:
+				return nil, p.errf("expected ',' or ')' in argument list")
+			}
+		}
+	}
+	if top {
+		return App(ident), nil
+	}
+	if p.mode == PatternMode {
+		return Param(ident), nil
+	}
+	return Sym(ident), nil
+}
+
+func (p *termParser) readIdent() string {
+	start := p.pos
+	for p.pos < len(p.src) && isIdentByte(p.src[p.pos]) {
+		p.pos++
+	}
+	return p.src[start:p.pos]
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentByte(c byte) bool {
+	return c == '_' || c == '.' || c == '-' ||
+		('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z') || ('0' <= c && c <= '9')
+}
+
+// ParseArgsHint reports whether s looks like it begins a term; used by the
+// graph file reader for friendlier errors.
+func ParseArgsHint(s string) bool {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return false
+	}
+	r := rune(s[0])
+	return r == '!' || r == '_' || isIdentStart(r)
+}

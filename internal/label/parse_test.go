@@ -1,0 +1,136 @@
+package label
+
+import "testing"
+
+func TestParsePatternMode(t *testing.T) {
+	cases := []struct {
+		in   string
+		want *Term
+	}{
+		{"def(x)", App("def", Param("x"))},
+		{"def(x, c)", App("def", Param("x"), Param("c"))},
+		{"def('a')", App("def", Sym("a"))},
+		{"def(\"a\")", App("def", Sym("a"))},
+		{"def(x, 5)", App("def", Param("x"), Sym("5"))},
+		{"!def(x)", Neg(App("def", Param("x")))},
+		{"_", Wildcard()},
+		{"exit()", App("exit")},
+		{"exit", App("exit")},
+		{"use(x, _)", App("use", Param("x"), Wildcard())},
+		{"seteuid(!0)", App("seteuid", Neg(Sym("0")))},
+		{"f(!c)", App("f", Neg(Param("c")))},
+		{"state(s)", App("state", Param("s"))},
+		{"f(g(x), 'a')", App("f", App("g", Param("x")), Sym("a"))},
+		{"!(def(x))", Neg(App("def", Param("x")))},
+		{" def ( x ) ", App("def", Param("x"))},
+		{"f(_x)", App("f", Param("_x"))},
+	}
+	for _, c := range cases {
+		got, err := Parse(c.in, PatternMode)
+		if err != nil {
+			t.Errorf("Parse(%q) error: %v", c.in, err)
+			continue
+		}
+		if !got.Equal(c.want) {
+			t.Errorf("Parse(%q) = %s, want %s", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseGroundMode(t *testing.T) {
+	cases := []struct {
+		in   string
+		want *Term
+	}{
+		{"def(a)", App("def", Sym("a"))},
+		{"def(a, 5)", App("def", Sym("a"), Sym("5"))},
+		{"exit()", App("exit")},
+		{"act(i)", App("act", Sym("i"))},
+		{"f(g(a))", App("f", App("g", Sym("a")))},
+		{"use(x, 17)", App("use", Sym("x"), Sym("17"))},
+	}
+	for _, c := range cases {
+		got, err := Parse(c.in, GroundMode)
+		if err != nil {
+			t.Errorf("Parse(%q) error: %v", c.in, err)
+			continue
+		}
+		if !got.Equal(c.want) {
+			t.Errorf("Parse(%q) = %s, want %s", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	patternBad := []string{
+		"",
+		"def(",
+		"def(x",
+		"def(x,)",
+		"def)x(",
+		"'a'",      // bare symbol at top level is not a label
+		"def(x) y", // trailing input
+		"f('unterminated)",
+		"!",
+		"!(f(x)",
+		"f(x;y)",
+	}
+	for _, in := range patternBad {
+		if _, err := Parse(in, PatternMode); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", in)
+		}
+	}
+	groundBad := []string{
+		"def(x)y",
+		"_",       // wildcard is not ground
+		"!def(a)", // negation is not ground
+		"f(_)",    // wildcard argument is not ground
+	}
+	for _, in := range groundBad {
+		if _, err := Parse(in, GroundMode); err == nil {
+			t.Errorf("Parse(%q) in ground mode succeeded, want error", in)
+		}
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	inputs := []string{
+		"def(x)",
+		"!def(x)",
+		"use(x,_)",
+		"f(!c,'a')",
+		"seteuid(!0)",
+		"_",
+		"exit()",
+		"f(g(x),h('b',y))",
+	}
+	for _, in := range inputs {
+		tm := MustParse(in, PatternMode)
+		back, err := Parse(tm.String(), PatternMode)
+		if err != nil {
+			t.Errorf("round trip parse of %q (printed %q) failed: %v", in, tm.String(), err)
+			continue
+		}
+		if !back.Equal(tm) {
+			t.Errorf("round trip of %q: got %s, want %s", in, back, tm)
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("MustParse on invalid input did not panic")
+		}
+	}()
+	MustParse("def(", PatternMode)
+}
+
+func TestParseArgsHint(t *testing.T) {
+	if !ParseArgsHint("def(a)") || !ParseArgsHint("  !x") || !ParseArgsHint("_") {
+		t.Errorf("ParseArgsHint false negatives")
+	}
+	if ParseArgsHint("") || ParseArgsHint("   ") || ParseArgsHint("(x)") {
+		t.Errorf("ParseArgsHint false positives")
+	}
+}

@@ -1,0 +1,133 @@
+package label
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTermBuildersAndString(t *testing.T) {
+	cases := []struct {
+		term *Term
+		want string
+	}{
+		{App("def", Param("x")), "def(x)"},
+		{App("def", Sym("a")), "def('a')"},
+		{App("def", Sym("a"), Sym("5")), "def('a',5)"},
+		{Neg(App("def", Param("x"))), "!def(x)"},
+		{Wildcard(), "_"},
+		{App("exit"), "exit()"},
+		{App("f", Neg(Param("c"))), "f(!c)"},
+		{App("f", App("g", Sym("a"))), "f(g('a'))"},
+		{App("seteuid", Neg(Sym("0"))), "seteuid(!0)"},
+		{Neg(Neg(App("f"))), "!(!f())"},
+	}
+	for _, c := range cases {
+		if got := c.term.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestTermEqual(t *testing.T) {
+	a := App("def", Param("x"), Sym("5"))
+	b := App("def", Param("x"), Sym("5"))
+	if !a.Equal(b) {
+		t.Errorf("structurally equal terms reported unequal")
+	}
+	if a.Equal(App("def", Param("y"), Sym("5"))) {
+		t.Errorf("terms with different parameters reported equal")
+	}
+	if a.Equal(App("use", Param("x"), Sym("5"))) {
+		t.Errorf("terms with different constructors reported equal")
+	}
+	if a.Equal(App("def", Param("x"))) {
+		t.Errorf("terms with different arity reported equal")
+	}
+	if a.Equal(nil) {
+		t.Errorf("term equal to nil")
+	}
+	var n *Term
+	if !n.Equal(nil) {
+		t.Errorf("nil not equal to nil")
+	}
+}
+
+func TestTermIsGround(t *testing.T) {
+	if !App("def", Sym("a")).IsGround() {
+		t.Errorf("def('a') should be ground")
+	}
+	if !App("f", App("g", Sym("a")), Sym("b")).IsGround() {
+		t.Errorf("nested ground application should be ground")
+	}
+	for _, tm := range []*Term{
+		App("def", Param("x")),
+		Wildcard(),
+		Neg(App("def", Sym("a"))),
+		App("f", Wildcard()),
+		App("f", Neg(Sym("a"))),
+	} {
+		if tm.IsGround() {
+			t.Errorf("%s should not be ground", tm)
+		}
+	}
+}
+
+func TestTermParams(t *testing.T) {
+	tm := App("f", Param("x"), Neg(App("g", Param("y"), Param("x"))), Sym("a"))
+	got := tm.Params()
+	if len(got) != 2 || got[0] != "x" || got[1] != "y" {
+		t.Errorf("Params() = %v, want [x y]", got)
+	}
+	if n := len(App("f", Sym("a")).Params()); n != 0 {
+		t.Errorf("ground term has %d params, want 0", n)
+	}
+}
+
+func TestTermSize(t *testing.T) {
+	if got := App("f", Param("x"), App("g", Sym("a"))).Size(); got != 4 {
+		t.Errorf("Size() = %d, want 4", got)
+	}
+	if got := Wildcard().Size(); got != 1 {
+		t.Errorf("Size(_) = %d, want 1", got)
+	}
+	if got := Neg(App("f", Sym("a"))).Size(); got != 3 {
+		t.Errorf("Size(!f('a')) = %d, want 3", got)
+	}
+}
+
+func TestTermValidate(t *testing.T) {
+	good := []*Term{
+		App("def", Param("x")),
+		Neg(App("def", Param("x"))),
+		Wildcard(),
+		App("f", Neg(Param("c"))),
+		Neg(Neg(App("f"))),
+	}
+	for _, tm := range good {
+		if err := tm.Validate(); err != nil {
+			t.Errorf("Validate(%s) = %v, want nil", tm, err)
+		}
+	}
+	bad := []*Term{
+		Sym("a"),   // bare symbol at top level
+		Param("x"), // bare parameter at top level
+		Neg(Sym("a")),
+		Neg(Param("x")),
+		{Kind: KApp, Name: ""},
+		{Kind: KNeg, Args: []*Term{App("f"), App("g")}},
+		{Kind: KApp, Name: "f", Args: []*Term{{Kind: KSym, Name: "a", Args: []*Term{App("g")}}}},
+	}
+	for _, tm := range bad {
+		if err := tm.Validate(); err == nil {
+			t.Errorf("Validate(%v) = nil, want error", tm)
+		}
+	}
+}
+
+func TestTermStringQuoting(t *testing.T) {
+	tm := App("f", Sym("weird symbol!"))
+	s := tm.String()
+	if !strings.Contains(s, "'weird symbol!'") {
+		t.Errorf("String() = %q, want quoted symbol", s)
+	}
+}

@@ -1,0 +1,126 @@
+package minic
+
+// Program is a parsed MiniC source file: global variable declarations and
+// function definitions. Execution starts at the function named "main".
+type Program struct {
+	Globals []string
+	Funcs   []*Func
+}
+
+// Func is a function definition.
+type Func struct {
+	Name   string
+	Params []string
+	Body   []Stmt
+	Line   int
+}
+
+// Stmt is a statement node.
+type Stmt interface{ isStmt() }
+
+// DeclStmt declares local variables (without initialization).
+type DeclStmt struct {
+	Names []string
+	Line  int
+}
+
+// AssignStmt is name = expr, or *name = expr when Deref is set.
+type AssignStmt struct {
+	Name  string
+	Deref bool
+	Expr  Expr
+	Line  int
+}
+
+// ExprStmt evaluates an expression for effect (typically a call).
+type ExprStmt struct {
+	Expr Expr
+	Line int
+}
+
+// IfStmt is if (cond) { then } else { else }.
+type IfStmt struct {
+	Cond Expr
+	Then []Stmt
+	Else []Stmt
+	Line int
+}
+
+// WhileStmt is while (cond) { body }.
+type WhileStmt struct {
+	Cond Expr
+	Body []Stmt
+	Line int
+}
+
+// ForStmt is for (init; cond; post) { body }; each part may be nil.
+type ForStmt struct {
+	Init Stmt
+	Cond Expr
+	Post Stmt
+	Body []Stmt
+	Line int
+}
+
+// ReturnStmt is return or return expr.
+type ReturnStmt struct {
+	Expr Expr // nil for bare return
+	Line int
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ Line int }
+
+// ContinueStmt restarts the innermost loop.
+type ContinueStmt struct{ Line int }
+
+// BlockStmt is a nested { ... } block.
+type BlockStmt struct {
+	Body []Stmt
+	Line int
+}
+
+func (*DeclStmt) isStmt()     {}
+func (*AssignStmt) isStmt()   {}
+func (*ExprStmt) isStmt()     {}
+func (*IfStmt) isStmt()       {}
+func (*WhileStmt) isStmt()    {}
+func (*ForStmt) isStmt()      {}
+func (*ReturnStmt) isStmt()   {}
+func (*BreakStmt) isStmt()    {}
+func (*ContinueStmt) isStmt() {}
+func (*BlockStmt) isStmt()    {}
+
+// Expr is an expression node.
+type Expr interface{ isExpr() }
+
+// VarExpr is a variable reference.
+type VarExpr struct{ Name string }
+
+// NumExpr is an integer literal.
+type NumExpr struct{ Value string }
+
+// BinExpr is left op right.
+type BinExpr struct {
+	Op          string
+	Left, Right Expr
+}
+
+// UnExpr is op operand; op is one of -, !, *, &.
+type UnExpr struct {
+	Op      string
+	Operand Expr
+}
+
+// CallExpr is name(args...).
+type CallExpr struct {
+	Name string
+	Args []Expr
+	Line int
+}
+
+func (*VarExpr) isExpr()  {}
+func (*NumExpr) isExpr()  {}
+func (*BinExpr) isExpr()  {}
+func (*UnExpr) isExpr()   {}
+func (*CallExpr) isExpr() {}

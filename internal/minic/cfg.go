@@ -1,0 +1,593 @@
+package minic
+
+import (
+	"fmt"
+	"strconv"
+
+	"rpq/internal/graph"
+	"rpq/internal/label"
+)
+
+// Config controls how the program graph is labeled.
+type Config struct {
+	// UseSites labels uses as use(x, l) with a distinct site number l,
+	// enabling the backward first/all-uses queries of Section 5.1.
+	UseSites bool
+	// ExpLabels emits exp(a, op, b) for binary expressions over two
+	// variables, enabling the available-expressions query.
+	ExpLabels bool
+	// ConstDefs emits def(x, k) instead of def(x) for constant
+	// assignments, enabling the constant-folding query.
+	ConstDefs bool
+	// Interproc splices user-defined function calls into one supergraph
+	// with call/ret edges and tracks parameter/return equalities by
+	// unifying variable symbols (Section 5.2).
+	Interproc bool
+	// EntryLoop adds a self-loop labeled entry() at the program entry, as
+	// Section 5.1 does for backward queries.
+	EntryLoop bool
+	// AssignEqualities additionally unifies the two sides of simple
+	// variable copies (x = y), the flow-insensitive equality module
+	// Section 5.2 sketches for its open-through-f, close-through-g
+	// example. Sound for resource-identity analyses; too coarse for
+	// def/use data flow, so it is a separate switch from Interproc.
+	AssignEqualities bool
+}
+
+// effectCalls are library calls emitted directly as labels (Section 2.2's
+// files, memory, interrupts, security, and locking examples).
+var effectCalls = map[string]bool{
+	"open": true, "close": true, "access": true,
+	"malloc": true, "free": true, "deref": true,
+	"acq": true, "rel": true,
+	"save": true, "restore": true, "change": true,
+	"seteuid": true, "exit": true,
+}
+
+// BuildGraph lowers a parsed program to its edge-labeled program graph.
+// The graph's start vertex is the entry of main.
+func BuildGraph(prog *Program, cfg Config) (*graph.Graph, error) {
+	var mainFn *Func
+	byName := map[string]*Func{}
+	for _, f := range prog.Funcs {
+		if byName[f.Name] != nil {
+			return nil, fmt.Errorf("minic: duplicate function %q", f.Name)
+		}
+		byName[f.Name] = f
+		if f.Name == "main" {
+			mainFn = f
+		}
+	}
+	if mainFn == nil {
+		return nil, fmt.Errorf("minic: no main function")
+	}
+	b := &builder{
+		cfg:     cfg,
+		funcs:   byName,
+		qualify: len(prog.Funcs) > 1,
+		g:       graph.New(),
+		uf:      map[string]string{},
+		vars:    map[string]bool{},
+		built:   map[string]*funcGraph{},
+	}
+	b.globalSet = map[string]bool{}
+	for _, gl := range prog.Globals {
+		b.vars[gl] = true
+		b.globalSet[gl] = true
+	}
+
+	fg, err := b.buildFunc(mainFn)
+	if err != nil {
+		return nil, err
+	}
+	b.g.SetStart(fg.entry)
+	if cfg.EntryLoop {
+		b.edges = append(b.edges, rawEdge{fg.entry, label.App("entry"), fg.entry})
+	}
+	// Materialize edges with equality-tracked renaming applied.
+	for _, e := range b.edges {
+		t := b.rename(e.lbl)
+		if err := b.g.AddEdge(e.from, t, e.to); err != nil {
+			return nil, err
+		}
+	}
+	return b.g, nil
+}
+
+// Build parses and lowers in one step.
+func Build(src string, cfg Config) (*graph.Graph, error) {
+	prog, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return BuildGraph(prog, cfg)
+}
+
+// MustBuild is Build that panics on error.
+func MustBuild(src string, cfg Config) *graph.Graph {
+	g, err := Build(src, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+type rawEdge struct {
+	from int32
+	lbl  *label.Term
+	to   int32
+}
+
+type funcGraph struct {
+	entry, exit int32 // exit is the vertex after the exit() edge
+}
+
+type builder struct {
+	cfg       Config
+	funcs     map[string]*Func
+	qualify   bool
+	g         *graph.Graph
+	edges     []rawEdge
+	uf        map[string]string // union-find parent for variable equalities
+	vars      map[string]bool   // all variable symbols (post-qualification)
+	globalSet map[string]bool
+	built     map[string]*funcGraph
+	building  map[string]bool
+	retVar    map[string]string // function name -> returned variable symbol
+	nextV     int
+	nextUse   int
+}
+
+// loopCtx tracks break/continue targets.
+type loopCtx struct {
+	brk, cont int32
+	ok        bool
+}
+
+func (b *builder) fresh(fn string) int32 {
+	b.nextV++
+	return b.g.Vertex(fmt.Sprintf("%s.n%d", fn, b.nextV))
+}
+
+func (b *builder) edge(from int32, l *label.Term, to int32) {
+	b.edges = append(b.edges, rawEdge{from, l, to})
+}
+
+// step appends an operation edge from cur to a fresh vertex and returns it.
+func (b *builder) step(fn string, cur int32, l *label.Term) int32 {
+	nxt := b.fresh(fn)
+	b.edge(cur, l, nxt)
+	return nxt
+}
+
+func nop() *label.Term { return label.App("nop") }
+
+// qual qualifies a local variable name with its function when the program
+// has several functions, keeping global names unqualified.
+func (b *builder) qual(fn *fnCtx, name string) string {
+	if !b.qualify || b.globalSet[name] || !fn.locals[name] {
+		return name
+	}
+	return fn.f.Name + "." + name
+}
+
+// find is the union-find lookup with path compression.
+func (b *builder) find(x string) string {
+	p, ok := b.uf[x]
+	if !ok || p == x {
+		return x
+	}
+	r := b.find(p)
+	b.uf[x] = r
+	return r
+}
+
+// unify records an equality between two variable symbols (parameter passing
+// or return-value assignment, Section 5.2).
+func (b *builder) unify(x, y string) {
+	rx, ry := b.find(x), b.find(y)
+	if rx != ry {
+		b.uf[rx] = ry
+	}
+}
+
+// rename applies the equality classes to variable symbols inside a label.
+func (b *builder) rename(t *label.Term) *label.Term {
+	switch t.Kind {
+	case label.KSym:
+		if b.vars[t.Name] {
+			if r := b.find(t.Name); r != t.Name {
+				return label.Sym(r)
+			}
+		}
+		return t
+	case label.KApp:
+		args := make([]*label.Term, len(t.Args))
+		changed := false
+		for i, a := range t.Args {
+			args[i] = b.rename(a)
+			changed = changed || args[i] != a
+		}
+		if !changed {
+			return t
+		}
+		return label.App(t.Name, args...)
+	default:
+		return t
+	}
+}
+
+type fnCtx struct {
+	f      *Func
+	locals map[string]bool
+	exit   int32 // target of return statements (before the exit() edge)
+}
+
+func (b *builder) buildFunc(f *Func) (*funcGraph, error) {
+	if fg, ok := b.built[f.Name]; ok {
+		return fg, nil
+	}
+	if b.building == nil {
+		b.building = map[string]bool{}
+	}
+	if b.building[f.Name] {
+		return nil, fmt.Errorf("minic: recursive call cycle through %q requires Interproc supergraph construction order; declare the callee first", f.Name)
+	}
+	b.building[f.Name] = true
+	defer delete(b.building, f.Name)
+
+	fn := &fnCtx{f: f, locals: map[string]bool{}}
+	for _, p := range f.Params {
+		fn.locals[p] = true
+	}
+	collectLocals(f.Body, fn.locals)
+	for l := range fn.locals {
+		b.vars[b.qualName(f, l)] = true
+	}
+
+	entry := b.g.Vertex(f.Name + ".entry")
+	retJoin := b.g.Vertex(f.Name + ".ret")
+	fn.exit = retJoin
+	cur := entry
+	var err error
+	cur, err = b.buildStmts(fn, cur, f.Body, loopCtx{})
+	if err != nil {
+		return nil, err
+	}
+	b.edge(cur, nop(), retJoin)
+	after := b.step(f.Name, retJoin, label.App("exit"))
+	fg := &funcGraph{entry: entry, exit: after}
+	b.built[f.Name] = fg
+	return fg, nil
+}
+
+func (b *builder) qualName(f *Func, name string) string {
+	if !b.qualify || b.globalSet[name] {
+		return name
+	}
+	return f.Name + "." + name
+}
+
+func collectLocals(stmts []Stmt, set map[string]bool) {
+	for _, s := range stmts {
+		switch x := s.(type) {
+		case *DeclStmt:
+			for _, n := range x.Names {
+				set[n] = true
+			}
+		case *IfStmt:
+			collectLocals(x.Then, set)
+			collectLocals(x.Else, set)
+		case *WhileStmt:
+			collectLocals(x.Body, set)
+		case *ForStmt:
+			if x.Init != nil {
+				collectLocals([]Stmt{x.Init}, set)
+			}
+			collectLocals(x.Body, set)
+		case *BlockStmt:
+			collectLocals(x.Body, set)
+		}
+	}
+}
+
+func (b *builder) buildStmts(fn *fnCtx, cur int32, stmts []Stmt, lc loopCtx) (int32, error) {
+	var err error
+	for _, s := range stmts {
+		cur, err = b.buildStmt(fn, cur, s, lc)
+		if err != nil {
+			return 0, err
+		}
+	}
+	return cur, nil
+}
+
+func (b *builder) buildStmt(fn *fnCtx, cur int32, s Stmt, lc loopCtx) (int32, error) {
+	name := fn.f.Name
+	switch x := s.(type) {
+	case *DeclStmt:
+		return cur, nil
+	case *AssignStmt:
+		cur, val, err := b.emitExpr(fn, cur, x.Expr)
+		if err != nil {
+			return 0, err
+		}
+		v := b.qual(fn, x.Name)
+		if x.Deref {
+			cur = b.step(name, cur, label.App("use", label.Sym(v)))
+			return b.step(name, cur, label.App("deref", label.Sym(v))), nil
+		}
+		if b.cfg.ConstDefs {
+			if n, ok := x.Expr.(*NumExpr); ok {
+				return b.step(name, cur, label.App("def", label.Sym(v), label.Sym(n.Value))), nil
+			}
+		}
+		// Return-value equality: x = g(...) unifies x with g's returned
+		// variable when interprocedural tracking is on.
+		if b.cfg.Interproc && val != "" {
+			b.unify(v, val)
+		}
+		// Copy equality (Section 5.2): x = y aliases the two names.
+		if b.cfg.AssignEqualities {
+			if src, ok := x.Expr.(*VarExpr); ok {
+				b.unify(v, b.qual(fn, src.Name))
+			}
+		}
+		return b.step(name, cur, label.App("def", label.Sym(v))), nil
+	case *ExprStmt:
+		cur, _, err := b.emitExpr(fn, cur, x.Expr)
+		return cur, err
+	case *IfStmt:
+		c, _, err := b.emitExpr(fn, cur, x.Cond)
+		if err != nil {
+			return 0, err
+		}
+		tEnd, err := b.buildStmts(fn, c, x.Then, lc)
+		if err != nil {
+			return 0, err
+		}
+		eEnd, err := b.buildStmts(fn, c, x.Else, lc)
+		if err != nil {
+			return 0, err
+		}
+		j := b.fresh(name)
+		b.edge(tEnd, nop(), j)
+		b.edge(eEnd, nop(), j)
+		return j, nil
+	case *WhileStmt:
+		h := b.step(name, cur, nop()) // loop header join point
+		c, _, err := b.emitExpr(fn, h, x.Cond)
+		if err != nil {
+			return 0, err
+		}
+		exitV := b.fresh(name)
+		body := loopCtx{brk: exitV, cont: h, ok: true}
+		bEnd, err := b.buildStmts(fn, c, x.Body, body)
+		if err != nil {
+			return 0, err
+		}
+		b.edge(bEnd, nop(), h)
+		b.edge(c, nop(), exitV)
+		return exitV, nil
+	case *ForStmt:
+		if x.Init != nil {
+			var err error
+			cur, err = b.buildStmt(fn, cur, x.Init, lc)
+			if err != nil {
+				return 0, err
+			}
+		}
+		h := b.step(name, cur, nop())
+		c := h
+		if x.Cond != nil {
+			var err error
+			c, _, err = b.emitExpr(fn, h, x.Cond)
+			if err != nil {
+				return 0, err
+			}
+		}
+		exitV := b.fresh(name)
+		postV := b.fresh(name) // continue target: run post, then loop
+		body := loopCtx{brk: exitV, cont: postV, ok: true}
+		bEnd, err := b.buildStmts(fn, c, x.Body, body)
+		if err != nil {
+			return 0, err
+		}
+		b.edge(bEnd, nop(), postV)
+		pEnd := postV
+		if x.Post != nil {
+			pEnd, err = b.buildStmt(fn, postV, x.Post, lc)
+			if err != nil {
+				return 0, err
+			}
+		}
+		b.edge(pEnd, nop(), h)
+		b.edge(c, nop(), exitV)
+		return exitV, nil
+	case *ReturnStmt:
+		if x.Expr != nil {
+			var err error
+			cur, _, err = b.emitExpr(fn, cur, x.Expr)
+			if err != nil {
+				return 0, err
+			}
+			if v, ok := x.Expr.(*VarExpr); ok {
+				if b.retVar == nil {
+					b.retVar = map[string]string{}
+				}
+				if b.retVar[fn.f.Name] == "" {
+					b.retVar[fn.f.Name] = b.qual(fn, v.Name)
+				}
+			}
+		}
+		b.edge(cur, nop(), fn.exit)
+		return b.fresh(name), nil // unreachable continuation
+	case *BreakStmt:
+		if !lc.ok {
+			return 0, fmt.Errorf("minic: line %d: break outside a loop", x.Line)
+		}
+		b.edge(cur, nop(), lc.brk)
+		return b.fresh(name), nil
+	case *ContinueStmt:
+		if !lc.ok {
+			return 0, fmt.Errorf("minic: line %d: continue outside a loop", x.Line)
+		}
+		b.edge(cur, nop(), lc.cont)
+		return b.fresh(name), nil
+	case *BlockStmt:
+		return b.buildStmts(fn, cur, x.Body, lc)
+	}
+	return 0, fmt.Errorf("minic: unknown statement %T", s)
+}
+
+// emitExpr emits the read/effect edges of an expression in evaluation order
+// and returns the final vertex plus, when the expression is a call to a
+// user-defined function, the callee's returned variable (for return-value
+// equality tracking).
+func (b *builder) emitExpr(fn *fnCtx, cur int32, e Expr) (int32, string, error) {
+	name := fn.f.Name
+	switch x := e.(type) {
+	case *NumExpr:
+		return cur, "", nil
+	case *VarExpr:
+		return b.emitUse(fn, cur, x.Name), "", nil
+	case *UnExpr:
+		if x.Op == "*" {
+			if v, ok := x.Operand.(*VarExpr); ok {
+				qv := b.qual(fn, v.Name)
+				cur = b.step(name, cur, label.App("use", label.Sym(qv)))
+				return b.step(name, cur, label.App("deref", label.Sym(qv))), "", nil
+			}
+		}
+		if x.Op == "&" {
+			// Taking an address reads nothing.
+			return cur, "", nil
+		}
+		cur, _, err := b.emitExpr(fn, cur, x.Operand)
+		return cur, "", err
+	case *BinExpr:
+		lv, lok := x.Left.(*VarExpr)
+		rv, rok := x.Right.(*VarExpr)
+		cur, _, err := b.emitExpr(fn, cur, x.Left)
+		if err != nil {
+			return 0, "", err
+		}
+		cur, _, err = b.emitExpr(fn, cur, x.Right)
+		if err != nil {
+			return 0, "", err
+		}
+		if b.cfg.ExpLabels && lok && rok {
+			cur = b.step(name, cur, label.App("exp",
+				label.Sym(b.qual(fn, lv.Name)), label.Sym(opName(x.Op)), label.Sym(b.qual(fn, rv.Name))))
+		}
+		return cur, "", nil
+	case *CallExpr:
+		return b.emitCall(fn, cur, x)
+	}
+	return 0, "", fmt.Errorf("minic: unknown expression %T", e)
+}
+
+func (b *builder) emitUse(fn *fnCtx, cur int32, name string) int32 {
+	v := b.qual(fn, name)
+	if b.cfg.UseSites {
+		b.nextUse++
+		return b.step(fn.f.Name, cur, label.App("use", label.Sym(v), label.Sym(strconv.Itoa(b.nextUse))))
+	}
+	return b.step(fn.f.Name, cur, label.App("use", label.Sym(v)))
+}
+
+func (b *builder) emitCall(fn *fnCtx, cur int32, x *CallExpr) (int32, string, error) {
+	name := fn.f.Name
+	// Recognized effect calls become labels with their simple-variable
+	// arguments as symbols.
+	if effectCalls[x.Name] {
+		var args []*label.Term
+		for _, a := range x.Args {
+			switch v := a.(type) {
+			case *VarExpr:
+				args = append(args, label.Sym(b.qual(fn, v.Name)))
+			case *NumExpr:
+				args = append(args, label.Sym(v.Value))
+			default:
+				var err error
+				cur, _, err = b.emitExpr(fn, cur, a)
+				if err != nil {
+					return 0, "", err
+				}
+				args = append(args, label.Sym("_complex"))
+			}
+		}
+		return b.step(name, cur, label.App(x.Name, args...)), "", nil
+	}
+	callee, known := b.funcs[x.Name]
+	if !known || !b.cfg.Interproc {
+		// Unknown or non-spliced call: read the arguments, emit call(g).
+		for _, a := range x.Args {
+			var err error
+			cur, _, err = b.emitExpr(fn, cur, a)
+			if err != nil {
+				return 0, "", err
+			}
+		}
+		return b.step(name, cur, label.App("call", label.Sym(x.Name))), "", nil
+	}
+	// Interprocedural splice: read arguments, define parameters (with
+	// equality tracking), enter the shared callee subgraph, return.
+	if len(x.Args) != len(callee.Params) {
+		return 0, "", fmt.Errorf("minic: line %d: call to %s with %d args, want %d",
+			x.Line, x.Name, len(x.Args), len(callee.Params))
+	}
+	for i, a := range x.Args {
+		var err error
+		cur, _, err = b.emitExpr(fn, cur, a)
+		if err != nil {
+			return 0, "", err
+		}
+		param := b.qualName(callee, callee.Params[i])
+		if v, ok := a.(*VarExpr); ok {
+			b.unify(b.qual(fn, v.Name), param)
+		}
+		cur = b.step(name, cur, label.App("def", label.Sym(param)))
+	}
+	fg, err := b.buildFunc(callee)
+	if err != nil {
+		return 0, "", err
+	}
+	b.edge(cur, label.App("call", label.Sym(x.Name)), fg.entry)
+	resume := b.fresh(name)
+	b.edge(fg.exit, label.App("ret", label.Sym(x.Name)), resume)
+	return resume, b.retVar[callee.Name], nil
+}
+
+// opName maps operator tokens to symbol names for exp labels.
+func opName(op string) string {
+	switch op {
+	case "+":
+		return "plus"
+	case "-":
+		return "minus"
+	case "*":
+		return "times"
+	case "/":
+		return "div"
+	case "%":
+		return "mod"
+	case "<":
+		return "lt"
+	case "<=":
+		return "le"
+	case ">":
+		return "gt"
+	case ">=":
+		return "ge"
+	case "==":
+		return "eq"
+	case "!=":
+		return "ne"
+	case "&&":
+		return "and"
+	case "||":
+		return "or"
+	}
+	return "op"
+}

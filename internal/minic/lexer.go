@@ -1,0 +1,120 @@
+// Package minic implements a small C-like language front-end — lexer,
+// parser, and control-flow-graph builder — producing the edge-labeled
+// program graphs of Liu et al. (PLDI 2004), Section 2: vertices are program
+// points and labeled edges are operations (def/use/exp/def-const and
+// recognized resource calls). It stands in for the paper's CodeSurfer-based
+// C front-end.
+package minic
+
+import (
+	"fmt"
+	"unicode"
+)
+
+// tokKind enumerates token kinds.
+type tokKind int
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tNumber
+	tPunct   // single/multi-char operators and punctuation
+	tKeyword // int, func, if, else, while, for, return, break, continue
+)
+
+var keywords = map[string]bool{
+	"int": true, "func": true, "if": true, "else": true, "while": true,
+	"for": true, "return": true, "break": true, "continue": true,
+}
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+}
+
+func (t token) String() string {
+	if t.kind == tEOF {
+		return "end of file"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// lex tokenizes src, reporting the first error with its line number.
+func lex(src string) ([]token, error) {
+	var toks []token
+	line := 1
+	i := 0
+	n := len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '/' && i+1 < n && src[i+1] == '/':
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < n && src[i+1] == '*':
+			i += 2
+			for i+1 < n && !(src[i] == '*' && src[i+1] == '/') {
+				if src[i] == '\n' {
+					line++
+				}
+				i++
+			}
+			if i+1 >= n {
+				return nil, fmt.Errorf("minic: line %d: unterminated block comment", line)
+			}
+			i += 2
+		case isDigit(c):
+			start := i
+			for i < n && isDigit(src[i]) {
+				i++
+			}
+			toks = append(toks, token{tNumber, src[start:i], line})
+		case isIdentStart(rune(c)):
+			start := i
+			for i < n && isIdentPart(rune(src[i])) {
+				i++
+			}
+			text := src[start:i]
+			kind := tIdent
+			if keywords[text] {
+				kind = tKeyword
+			}
+			toks = append(toks, token{kind, text, line})
+		default:
+			// Multi-char operators first.
+			two := ""
+			if i+1 < n {
+				two = src[i : i+2]
+			}
+			switch two {
+			case "==", "!=", "<=", ">=", "&&", "||":
+				toks = append(toks, token{tPunct, two, line})
+				i += 2
+				continue
+			}
+			switch c {
+			case '+', '-', '*', '/', '%', '<', '>', '=', '!', '&', '|',
+				'(', ')', '{', '}', ';', ',':
+				toks = append(toks, token{tPunct, string(c), line})
+				i++
+			default:
+				return nil, fmt.Errorf("minic: line %d: unexpected character %q", line, c)
+			}
+		}
+	}
+	toks = append(toks, token{tEOF, "", line})
+	return toks, nil
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isIdentStart(r rune) bool { return r == '_' || unicode.IsLetter(r) }
+
+func isIdentPart(r rune) bool { return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r) }

@@ -1,0 +1,438 @@
+package minic
+
+import "fmt"
+
+// Parse parses a MiniC source file.
+//
+// Grammar sketch:
+//
+//	program  := (globalDecl | funcDef)*
+//	globalDecl := 'int' ident (',' ident)* ';'
+//	funcDef  := 'func' ident '(' params? ')' block
+//	block    := '{' stmt* '}'
+//	stmt     := 'int' idents ';' | ident '=' expr ';' | '*' ident '=' expr ';'
+//	          | 'if' '(' expr ')' block ('else' (block|ifstmt))?
+//	          | 'while' '(' expr ')' block
+//	          | 'for' '(' simple? ';' expr? ';' simple? ')' block
+//	          | 'return' expr? ';' | 'break' ';' | 'continue' ';'
+//	          | expr ';' | block
+//	expr     := precedence-climbing over || && == != < <= > >= + - * / %
+//	unary    := ('-' | '!' | '*' | '&') unary | primary
+//	primary  := number | ident | ident '(' args? ')' | '(' expr ')'
+func Parse(src string) (*Program, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &mparser{toks: toks}
+	prog := &Program{}
+	for !p.at(tEOF, "") {
+		switch {
+		case p.at(tKeyword, "int"):
+			names, err := p.parseDeclNames()
+			if err != nil {
+				return nil, err
+			}
+			prog.Globals = append(prog.Globals, names...)
+		case p.at(tKeyword, "func"):
+			fn, err := p.parseFunc()
+			if err != nil {
+				return nil, err
+			}
+			prog.Funcs = append(prog.Funcs, fn)
+		default:
+			return nil, p.errf("expected 'int' declaration or 'func' definition, got %s", p.cur())
+		}
+	}
+	return prog, nil
+}
+
+// MustParse is Parse that panics on error.
+func MustParse(src string) *Program {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type mparser struct {
+	toks []token
+	pos  int
+}
+
+func (p *mparser) cur() token  { return p.toks[p.pos] }
+func (p *mparser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *mparser) at(kind tokKind, text string) bool {
+	t := p.cur()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+func (p *mparser) accept(kind tokKind, text string) bool {
+	if p.at(kind, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *mparser) expect(kind tokKind, text string) (token, error) {
+	if p.at(kind, text) {
+		return p.next(), nil
+	}
+	want := text
+	if want == "" {
+		want = fmt.Sprint(kind)
+	}
+	return token{}, p.errf("expected %q, got %s", want, p.cur())
+}
+
+func (p *mparser) errf(format string, args ...any) error {
+	return fmt.Errorf("minic: line %d: %s", p.cur().line, fmt.Sprintf(format, args...))
+}
+
+func (p *mparser) parseDeclNames() ([]string, error) {
+	if _, err := p.expect(tKeyword, "int"); err != nil {
+		return nil, err
+	}
+	var names []string
+	for {
+		id, err := p.expect(tIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		names = append(names, id.text)
+		if !p.accept(tPunct, ",") {
+			break
+		}
+	}
+	if _, err := p.expect(tPunct, ";"); err != nil {
+		return nil, err
+	}
+	return names, nil
+}
+
+func (p *mparser) parseFunc() (*Func, error) {
+	kw, _ := p.expect(tKeyword, "func")
+	name, err := p.expect(tIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tPunct, "("); err != nil {
+		return nil, err
+	}
+	var params []string
+	if !p.at(tPunct, ")") {
+		for {
+			id, err := p.expect(tIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			params = append(params, id.text)
+			if !p.accept(tPunct, ",") {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(tPunct, ")"); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	return &Func{Name: name.text, Params: params, Body: body, Line: kw.line}, nil
+}
+
+func (p *mparser) parseBlock() ([]Stmt, error) {
+	if _, err := p.expect(tPunct, "{"); err != nil {
+		return nil, err
+	}
+	var body []Stmt
+	for !p.at(tPunct, "}") {
+		if p.at(tEOF, "") {
+			return nil, p.errf("unexpected end of file in block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		body = append(body, s)
+	}
+	p.pos++ // consume '}'
+	return body, nil
+}
+
+func (p *mparser) parseStmt() (Stmt, error) {
+	t := p.cur()
+	switch {
+	case p.at(tKeyword, "int"):
+		names, err := p.parseDeclNames()
+		if err != nil {
+			return nil, err
+		}
+		return &DeclStmt{Names: names, Line: t.line}, nil
+	case p.at(tKeyword, "if"):
+		return p.parseIf()
+	case p.at(tKeyword, "while"):
+		p.pos++
+		cond, err := p.parseParenExpr()
+		if err != nil {
+			return nil, err
+		}
+		body, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Cond: cond, Body: body, Line: t.line}, nil
+	case p.at(tKeyword, "for"):
+		return p.parseFor()
+	case p.at(tKeyword, "return"):
+		p.pos++
+		var e Expr
+		if !p.at(tPunct, ";") {
+			var err error
+			e, err = p.parseExpr(0)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(tPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &ReturnStmt{Expr: e, Line: t.line}, nil
+	case p.at(tKeyword, "break"):
+		p.pos++
+		if _, err := p.expect(tPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &BreakStmt{Line: t.line}, nil
+	case p.at(tKeyword, "continue"):
+		p.pos++
+		if _, err := p.expect(tPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &ContinueStmt{Line: t.line}, nil
+	case p.at(tPunct, "{"):
+		body, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		return &BlockStmt{Body: body, Line: t.line}, nil
+	default:
+		s, err := p.parseSimpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tPunct, ";"); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+}
+
+// parseSimpleStmt parses an assignment or expression statement, without the
+// trailing semicolon (shared by for-headers).
+func (p *mparser) parseSimpleStmt() (Stmt, error) {
+	t := p.cur()
+	if p.at(tPunct, "*") {
+		// *ident = expr
+		p.pos++
+		id, err := p.expect(tIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tPunct, "="); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr(0)
+		if err != nil {
+			return nil, err
+		}
+		return &AssignStmt{Name: id.text, Deref: true, Expr: e, Line: t.line}, nil
+	}
+	if p.at(tIdent, "") && p.toks[p.pos+1].kind == tPunct && p.toks[p.pos+1].text == "=" {
+		id := p.next()
+		p.pos++ // '='
+		e, err := p.parseExpr(0)
+		if err != nil {
+			return nil, err
+		}
+		return &AssignStmt{Name: id.text, Expr: e, Line: t.line}, nil
+	}
+	e, err := p.parseExpr(0)
+	if err != nil {
+		return nil, err
+	}
+	return &ExprStmt{Expr: e, Line: t.line}, nil
+}
+
+func (p *mparser) parseIf() (Stmt, error) {
+	t := p.next() // 'if'
+	cond, err := p.parseParenExpr()
+	if err != nil {
+		return nil, err
+	}
+	then, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	var els []Stmt
+	if p.accept(tKeyword, "else") {
+		if p.at(tKeyword, "if") {
+			s, err := p.parseIf()
+			if err != nil {
+				return nil, err
+			}
+			els = []Stmt{s}
+		} else {
+			els, err = p.parseBlock()
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return &IfStmt{Cond: cond, Then: then, Else: els, Line: t.line}, nil
+}
+
+func (p *mparser) parseFor() (Stmt, error) {
+	t := p.next() // 'for'
+	if _, err := p.expect(tPunct, "("); err != nil {
+		return nil, err
+	}
+	var init, post Stmt
+	var cond Expr
+	var err error
+	if !p.at(tPunct, ";") {
+		init, err = p.parseSimpleStmt()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(tPunct, ";"); err != nil {
+		return nil, err
+	}
+	if !p.at(tPunct, ";") {
+		cond, err = p.parseExpr(0)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(tPunct, ";"); err != nil {
+		return nil, err
+	}
+	if !p.at(tPunct, ")") {
+		post, err = p.parseSimpleStmt()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(tPunct, ")"); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	return &ForStmt{Init: init, Cond: cond, Post: post, Body: body, Line: t.line}, nil
+}
+
+func (p *mparser) parseParenExpr() (Expr, error) {
+	if _, err := p.expect(tPunct, "("); err != nil {
+		return nil, err
+	}
+	e, err := p.parseExpr(0)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tPunct, ")"); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// binPrec gives binding powers for precedence climbing.
+var binPrec = map[string]int{
+	"||": 1, "&&": 2,
+	"==": 3, "!=": 3, "<": 4, "<=": 4, ">": 4, ">=": 4,
+	"+": 5, "-": 5,
+	"*": 6, "/": 6, "%": 6,
+}
+
+func (p *mparser) parseExpr(minPrec int) (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		prec, ok := binPrec[t.text]
+		if t.kind != tPunct || !ok || prec < minPrec {
+			return left, nil
+		}
+		p.pos++
+		right, err := p.parseExpr(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		left = &BinExpr{Op: t.text, Left: left, Right: right}
+	}
+}
+
+func (p *mparser) parseUnary() (Expr, error) {
+	t := p.cur()
+	if t.kind == tPunct && (t.text == "-" || t.text == "!" || t.text == "*" || t.text == "&") {
+		p.pos++
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnExpr{Op: t.text, Operand: e}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *mparser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tNumber:
+		p.pos++
+		return &NumExpr{Value: t.text}, nil
+	case t.kind == tIdent:
+		p.pos++
+		if p.at(tPunct, "(") {
+			p.pos++
+			var args []Expr
+			if !p.at(tPunct, ")") {
+				for {
+					a, err := p.parseExpr(0)
+					if err != nil {
+						return nil, err
+					}
+					args = append(args, a)
+					if !p.accept(tPunct, ",") {
+						break
+					}
+				}
+			}
+			if _, err := p.expect(tPunct, ")"); err != nil {
+				return nil, err
+			}
+			return &CallExpr{Name: t.text, Args: args, Line: t.line}, nil
+		}
+		return &VarExpr{Name: t.text}, nil
+	case t.kind == tPunct && t.text == "(":
+		p.pos++
+		e, err := p.parseExpr(0)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tPunct, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	default:
+		return nil, p.errf("expected an expression, got %s", t)
+	}
+}

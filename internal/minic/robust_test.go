@@ -1,0 +1,70 @@
+package minic
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func fuzzish(rng *rand.Rand) string {
+	frag := []string{
+		"func", "main", "int", "if", "else", "while", "for", "return",
+		"break", "continue", "(", ")", "{", "}", ";", ",", "=", "+", "*",
+		"a", "b", "5", " ", "\n", "open(f)", "//c\n", "/*", "*/", "&&", "!",
+		"func main() {", "}", "int a;", "a = 1;",
+	}
+	var b strings.Builder
+	for i := rng.Intn(16); i > 0; i-- {
+		b.WriteString(frag[rng.Intn(len(frag))])
+		b.WriteByte(' ')
+	}
+	return b.String()
+}
+
+func TestParseAndBuildNeverPanic(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for i := 0; i < 10000; i++ {
+		src := fuzzish(rng)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Parse/Build(%q) panicked: %v", src, r)
+				}
+			}()
+			prog, err := Parse(src)
+			if err != nil {
+				return
+			}
+			// Whatever parses must also lower without panicking, under
+			// every labeling configuration.
+			for _, cfg := range []Config{
+				{},
+				{UseSites: true, EntryLoop: true},
+				{ExpLabels: true, ConstDefs: true},
+				{Interproc: true},
+			} {
+				_, _ = BuildGraph(prog, cfg)
+			}
+		}()
+	}
+}
+
+func TestBuildGraphIsDeterministic(t *testing.T) {
+	src := `
+int g;
+func helper(x) { access(x); return x; }
+func main() {
+	int a, b;
+	a = 1;
+	for (b = 0; b < a; b = b + 1) {
+		if (b == 2) { continue; }
+		g = helper(a);
+	}
+}
+`
+	a := MustBuild(src, Config{Interproc: true, UseSites: true})
+	b := MustBuild(src, Config{Interproc: true, UseSites: true})
+	if a.String() != b.String() {
+		t.Fatal("BuildGraph is not deterministic")
+	}
+}

@@ -1,0 +1,261 @@
+package minipy
+
+import (
+	"fmt"
+	"strconv"
+
+	"rpq/internal/graph"
+	"rpq/internal/label"
+)
+
+// Config controls graph labeling, mirroring the MiniC front-end's options so
+// the same query automata run on both languages.
+type Config struct {
+	// UseSites labels uses as use(x, l) with distinct site numbers.
+	UseSites bool
+	// EntryLoop adds the entry() self-loop at the program entry.
+	EntryLoop bool
+}
+
+// effectCalls mirrors minic's set: recognized library calls become labels.
+var effectCalls = map[string]bool{
+	"open": true, "close": true, "access": true,
+	"malloc": true, "free": true, "deref": true,
+	"acq": true, "rel": true,
+	"save": true, "restore": true, "change": true,
+	"seteuid": true, "exit": true,
+}
+
+// Build parses and lowers MiniPy source to its program graph. If a function
+// named main is defined, its body is the program; otherwise the module's
+// top-level statements are.
+func Build(src string, cfg Config) (*graph.Graph, error) {
+	prog, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return BuildGraph(prog, cfg)
+}
+
+// MustBuild is Build that panics on error.
+func MustBuild(src string, cfg Config) *graph.Graph {
+	g, err := Build(src, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// BuildGraph lowers a parsed program.
+func BuildGraph(prog *Program, cfg Config) (*graph.Graph, error) {
+	body := prog.Body
+	for _, f := range prog.Funcs {
+		if f.Name == "main" {
+			body = f.Body
+		}
+	}
+	if body == nil {
+		return nil, fmt.Errorf("minipy: empty module and no main function")
+	}
+	b := &pyBuilder{cfg: cfg, g: graph.New()}
+	entry := b.fresh()
+	b.g.SetStart(entry)
+	if cfg.EntryLoop {
+		if err := b.g.AddEdge(entry, label.App("entry"), entry); err != nil {
+			return nil, err
+		}
+	}
+	end, err := b.stmts(entry, body, loopCtx{})
+	if err != nil {
+		return nil, err
+	}
+	retJoin := b.fresh()
+	b.edge(end, label.App("nop"), retJoin)
+	for _, v := range b.returns {
+		b.edge(v, label.App("nop"), retJoin)
+	}
+	b.edge(retJoin, label.App("exit"), b.fresh())
+	return b.g, nil
+}
+
+type loopCtx struct {
+	brk, cont int32
+	ok        bool
+}
+
+type pyBuilder struct {
+	cfg     Config
+	g       *graph.Graph
+	nextV   int
+	nextUse int
+	returns []int32
+}
+
+func (b *pyBuilder) fresh() int32 {
+	b.nextV++
+	return b.g.Vertex("p" + strconv.Itoa(b.nextV))
+}
+
+func (b *pyBuilder) edge(from int32, t *label.Term, to int32) {
+	if err := b.g.AddEdge(from, t, to); err != nil {
+		panic(err) // labels are constructed ground
+	}
+}
+
+func (b *pyBuilder) step(cur int32, t *label.Term) int32 {
+	nxt := b.fresh()
+	b.edge(cur, t, nxt)
+	return nxt
+}
+
+func (b *pyBuilder) use(cur int32, name string) int32 {
+	if b.cfg.UseSites {
+		b.nextUse++
+		return b.step(cur, label.App("use", label.Sym(name), label.Sym(strconv.Itoa(b.nextUse))))
+	}
+	return b.step(cur, label.App("use", label.Sym(name)))
+}
+
+func (b *pyBuilder) stmts(cur int32, body []Stmt, lc loopCtx) (int32, error) {
+	var err error
+	for _, s := range body {
+		cur, err = b.stmt(cur, s, lc)
+		if err != nil {
+			return 0, err
+		}
+	}
+	return cur, nil
+}
+
+func (b *pyBuilder) stmt(cur int32, s Stmt, lc loopCtx) (int32, error) {
+	switch x := s.(type) {
+	case *PassStmt:
+		return cur, nil
+	case *AssignStmt:
+		cur, err := b.expr(cur, x.Expr)
+		if err != nil {
+			return 0, err
+		}
+		return b.step(cur, label.App("def", label.Sym(x.Name))), nil
+	case *ExprStmt:
+		return b.expr(cur, x.Expr)
+	case *IfStmt:
+		c, err := b.expr(cur, x.Cond)
+		if err != nil {
+			return 0, err
+		}
+		thenEnd, err := b.stmts(c, x.Then, lc)
+		if err != nil {
+			return 0, err
+		}
+		elseEnd, err := b.stmts(c, x.Else, lc)
+		if err != nil {
+			return 0, err
+		}
+		j := b.fresh()
+		b.edge(thenEnd, label.App("nop"), j)
+		b.edge(elseEnd, label.App("nop"), j)
+		return j, nil
+	case *WhileStmt:
+		h := b.step(cur, label.App("nop"))
+		c, err := b.expr(h, x.Cond)
+		if err != nil {
+			return 0, err
+		}
+		exitV := b.fresh()
+		end, err := b.stmts(c, x.Body, loopCtx{brk: exitV, cont: h, ok: true})
+		if err != nil {
+			return 0, err
+		}
+		b.edge(end, label.App("nop"), h)
+		b.edge(c, label.App("nop"), exitV)
+		return exitV, nil
+	case *ForStmt:
+		// for v in e: body — reads e once, then defines v each iteration.
+		cur, err := b.expr(cur, x.Iter)
+		if err != nil {
+			return 0, err
+		}
+		h := b.step(cur, label.App("nop"))
+		d := b.step(h, label.App("def", label.Sym(x.Var)))
+		exitV := b.fresh()
+		end, err := b.stmts(d, x.Body, loopCtx{brk: exitV, cont: h, ok: true})
+		if err != nil {
+			return 0, err
+		}
+		b.edge(end, label.App("nop"), h)
+		b.edge(h, label.App("nop"), exitV)
+		return exitV, nil
+	case *ReturnStmt:
+		if x.Expr != nil {
+			var err error
+			cur, err = b.expr(cur, x.Expr)
+			if err != nil {
+				return 0, err
+			}
+		}
+		b.returns = append(b.returns, cur)
+		return b.fresh(), nil // dead continuation
+	case *BreakStmt:
+		if !lc.ok {
+			return 0, fmt.Errorf("minipy: line %d: break outside a loop", x.Line)
+		}
+		b.edge(cur, label.App("nop"), lc.brk)
+		return b.fresh(), nil
+	case *ContinueStmt:
+		if !lc.ok {
+			return 0, fmt.Errorf("minipy: line %d: continue outside a loop", x.Line)
+		}
+		b.edge(cur, label.App("nop"), lc.cont)
+		return b.fresh(), nil
+	}
+	return 0, fmt.Errorf("minipy: unknown statement %T", s)
+}
+
+func (b *pyBuilder) expr(cur int32, e Expr) (int32, error) {
+	switch x := e.(type) {
+	case *NumExpr, *StrExpr:
+		return cur, nil
+	case *VarExpr:
+		return b.use(cur, x.Name), nil
+	case *UnExpr:
+		return b.expr(cur, x.Operand)
+	case *BinExpr:
+		cur, err := b.expr(cur, x.Left)
+		if err != nil {
+			return 0, err
+		}
+		return b.expr(cur, x.Right)
+	case *CallExpr:
+		if effectCalls[x.Name] {
+			var args []*label.Term
+			for _, a := range x.Args {
+				switch v := a.(type) {
+				case *VarExpr:
+					args = append(args, label.Sym(v.Name))
+				case *NumExpr:
+					args = append(args, label.Sym(v.Value))
+				case *StrExpr:
+					args = append(args, label.Sym(v.Value))
+				default:
+					var err error
+					cur, err = b.expr(cur, a)
+					if err != nil {
+						return 0, err
+					}
+					args = append(args, label.Sym("_complex"))
+				}
+			}
+			return b.step(cur, label.App(x.Name, args...)), nil
+		}
+		for _, a := range x.Args {
+			var err error
+			cur, err = b.expr(cur, a)
+			if err != nil {
+				return 0, err
+			}
+		}
+		return b.step(cur, label.App("call", label.Sym(x.Name))), nil
+	}
+	return 0, fmt.Errorf("minipy: unknown expression %T", e)
+}

@@ -1,0 +1,175 @@
+// Package minipy implements a small Python-like front-end — an
+// indentation-aware lexer, parser, and control-flow-graph builder — that
+// produces the same style of def/use-labeled program graphs as package
+// minic. The paper's tool had exactly this pair of front-ends and ran "the
+// same automaton to perform uninitialized use analysis for C and Python"
+// (Section 6); the tests reproduce that property.
+package minipy
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokKind int
+
+const (
+	tEOF tokKind = iota
+	tNewline
+	tIndent
+	tDedent
+	tIdent
+	tNumber
+	tString
+	tPunct
+	tKeyword
+)
+
+var keywords = map[string]bool{
+	"def": true, "if": true, "elif": true, "else": true, "while": true,
+	"for": true, "in": true, "return": true, "break": true, "continue": true,
+	"pass": true, "and": true, "or": true, "not": true,
+}
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tEOF:
+		return "end of file"
+	case tNewline:
+		return "newline"
+	case tIndent:
+		return "indent"
+	case tDedent:
+		return "dedent"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// lex tokenizes src with Python-style significant indentation: INDENT and
+// DEDENT tokens are synthesized from leading whitespace, blank lines and
+// comment-only lines are skipped.
+func lex(src string) ([]token, error) {
+	var toks []token
+	indents := []int{0}
+	lines := strings.Split(src, "\n")
+	for ln, line := range lines {
+		lineNo := ln + 1
+		// Measure indentation; tabs count as 8 per Python's rule.
+		col := 0
+		i := 0
+		for i < len(line) {
+			switch line[i] {
+			case ' ':
+				col++
+			case '\t':
+				col += 8 - col%8
+			default:
+				goto body
+			}
+			i++
+		}
+	body:
+		rest := line[i:]
+		if rest == "" || strings.HasPrefix(rest, "#") {
+			continue
+		}
+		cur := indents[len(indents)-1]
+		switch {
+		case col > cur:
+			indents = append(indents, col)
+			toks = append(toks, token{tIndent, "", lineNo})
+		case col < cur:
+			for len(indents) > 1 && indents[len(indents)-1] > col {
+				indents = indents[:len(indents)-1]
+				toks = append(toks, token{tDedent, "", lineNo})
+			}
+			if indents[len(indents)-1] != col {
+				return nil, fmt.Errorf("minipy: line %d: inconsistent indentation", lineNo)
+			}
+		}
+		lineToks, err := lexLine(rest, lineNo)
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, lineToks...)
+		toks = append(toks, token{tNewline, "", lineNo})
+	}
+	for len(indents) > 1 {
+		indents = indents[:len(indents)-1]
+		toks = append(toks, token{tDedent, "", len(lines)})
+	}
+	toks = append(toks, token{tEOF, "", len(lines)})
+	return toks, nil
+}
+
+func lexLine(s string, lineNo int) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		switch {
+		case c == ' ' || c == '\t':
+			i++
+		case c == '#':
+			return toks, nil
+		case c >= '0' && c <= '9':
+			start := i
+			for i < len(s) && s[i] >= '0' && s[i] <= '9' {
+				i++
+			}
+			toks = append(toks, token{tNumber, s[start:i], lineNo})
+		case c == '\'' || c == '"':
+			quote := c
+			i++
+			start := i
+			for i < len(s) && s[i] != quote {
+				i++
+			}
+			if i >= len(s) {
+				return nil, fmt.Errorf("minipy: line %d: unterminated string", lineNo)
+			}
+			toks = append(toks, token{tString, s[start:i], lineNo})
+			i++
+		case isIdentStart(rune(c)):
+			start := i
+			for i < len(s) && isIdentPart(rune(s[i])) {
+				i++
+			}
+			text := s[start:i]
+			kind := tIdent
+			if keywords[text] {
+				kind = tKeyword
+			}
+			toks = append(toks, token{kind, text, lineNo})
+		default:
+			two := ""
+			if i+1 < len(s) {
+				two = s[i : i+2]
+			}
+			switch two {
+			case "==", "!=", "<=", ">=", "//":
+				toks = append(toks, token{tPunct, two, lineNo})
+				i += 2
+				continue
+			}
+			switch c {
+			case '+', '-', '*', '/', '%', '<', '>', '=', '(', ')', ',', ':':
+				toks = append(toks, token{tPunct, string(c), lineNo})
+				i++
+			default:
+				return nil, fmt.Errorf("minipy: line %d: unexpected character %q", lineNo, c)
+			}
+		}
+	}
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool { return r == '_' || unicode.IsLetter(r) }
+func isIdentPart(r rune) bool  { return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r) }

@@ -1,0 +1,270 @@
+package minipy
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"rpq/internal/core"
+	"rpq/internal/minic"
+	"rpq/internal/pattern"
+)
+
+const sample = `
+# uninitialized-use sample
+def main():
+    a = 5
+    b = a + c          # c used uninitialized
+    if a < b:
+        open(f)
+        access(f)
+        close(f)
+    else:
+        a = b
+    while a < 10:
+        a = a + 1
+    return
+`
+
+func TestLexIndentation(t *testing.T) {
+	toks, err := lex("a = 1\nif a:\n    b = 2\n    c = 3\nd = 4\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []string
+	for _, tk := range toks {
+		switch tk.kind {
+		case tIndent:
+			kinds = append(kinds, "IND")
+		case tDedent:
+			kinds = append(kinds, "DED")
+		case tNewline:
+			kinds = append(kinds, "NL")
+		}
+	}
+	want := "NL NL IND NL NL DED NL"
+	if got := strings.Join(kinds, " "); got != want {
+		t.Fatalf("structure tokens = %q, want %q", got, want)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	if _, err := lex("a = $\n"); err == nil {
+		t.Error("bad character accepted")
+	}
+	if _, err := lex("a = 'unterminated\n"); err == nil {
+		t.Error("unterminated string accepted")
+	}
+	if _, err := lex("if a:\n    b = 1\n  c = 2\n"); err == nil {
+		t.Error("inconsistent dedent accepted")
+	}
+}
+
+func TestParseBasics(t *testing.T) {
+	prog, err := Parse(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Funcs) != 1 || prog.Funcs[0].Name != "main" {
+		t.Fatalf("funcs = %v", prog.Funcs)
+	}
+	if len(prog.Funcs[0].Body) != 5 {
+		t.Fatalf("main has %d statements, want 5", len(prog.Funcs[0].Body))
+	}
+}
+
+func TestParseElifChain(t *testing.T) {
+	prog, err := Parse("def main():\n    if a:\n        pass\n    elif b:\n        pass\n    else:\n        c = 1\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ifs, ok := prog.Funcs[0].Body[0].(*IfStmt)
+	if !ok {
+		t.Fatalf("not an if: %T", prog.Funcs[0].Body[0])
+	}
+	inner, ok := ifs.Else[0].(*IfStmt)
+	if !ok || len(inner.Else) != 1 {
+		t.Fatalf("elif not folded into else chain: %#v", ifs.Else)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"def main(:\n    pass\n",
+		"if a\n    pass\n",
+		"def main():\npass\n", // missing indent
+		"a = = 1\n",
+		"return 1\nbreak\n", // break outside loop: caught at build
+		"def main():\n    def g():\n        pass\n",
+	}
+	for _, src := range bad {
+		_, err := Parse(src)
+		if err == nil {
+			if !strings.Contains(src, "break") {
+				t.Errorf("Parse(%q) succeeded, want error", src)
+			} else if _, err := Build(src, Config{}); err == nil {
+				t.Errorf("Build(%q) succeeded, want error", src)
+			}
+		}
+	}
+}
+
+func TestModuleLevelProgram(t *testing.T) {
+	g, err := Build("a = 1\nb = a\n", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() < 3 {
+		t.Fatalf("edges = %d", g.NumEdges())
+	}
+	if _, err := Build("", Config{}); err == nil {
+		t.Fatal("empty module accepted")
+	}
+}
+
+func TestUninitializedUseAnalysis(t *testing.T) {
+	g := MustBuild(sample, Config{})
+	q := core.MustCompile(pattern.MustParse("(!def(x))* use(x)"), g.U)
+	res, err := core.Exist(g, g.Start(), q, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vars := map[string]bool{}
+	for _, p := range res.Pairs {
+		vars[p.Subst.Format(g.U, q.PS)] = true
+	}
+	if !vars["{x↦c}"] {
+		t.Errorf("c should be uninitialized: %v", vars)
+	}
+	if vars["{x↦a}"] || vars["{x↦b}"] {
+		t.Errorf("a/b are defined before use: %v", vars)
+	}
+}
+
+// TestSameAutomatonForCAndPython reproduces the Section 6 claim: the same
+// query automaton performs uninitialized-use analysis for both front ends,
+// and on equivalent programs reports the same variables.
+func TestSameAutomatonForCAndPython(t *testing.T) {
+	cSrc := `
+func main() {
+	int a, b;
+	a = 1;
+	b = a + miss1;
+	if (a < b) {
+		a = miss2;
+	}
+	while (a < 3) {
+		a = a + 1;
+	}
+}
+`
+	pySrc := `
+def main():
+    a = 1
+    b = a + miss1
+    if a < b:
+        a = miss2
+    while a < 3:
+        a = a + 1
+`
+	const query = "(!def(x))* use(x)"
+	cg := minic.MustBuild(cSrc, minic.Config{})
+	pg := MustBuild(pySrc, Config{})
+
+	cq := core.MustCompile(pattern.MustParse(query), cg.U)
+	cres, err := core.Exist(cg, cg.Start(), cq, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pq := core.MustCompile(pattern.MustParse(query), pg.U)
+	pres, err := core.Exist(pg, pg.Start(), pq, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cVars := map[string]bool{}
+	for _, p := range cres.Pairs {
+		cVars[p.Subst.Format(cg.U, cq.PS)] = true
+	}
+	pVars := map[string]bool{}
+	for _, p := range pres.Pairs {
+		pVars[p.Subst.Format(pg.U, pq.PS)] = true
+	}
+	if fmt.Sprint(cVars) != fmt.Sprint(pVars) {
+		t.Fatalf("C and Python disagree:\n  C:      %v\n  Python: %v", cVars, pVars)
+	}
+	if !cVars["{x↦miss1}"] || !cVars["{x↦miss2}"] {
+		t.Fatalf("expected miss1 and miss2: %v", cVars)
+	}
+}
+
+func TestForLoopSemantics(t *testing.T) {
+	// The loop variable is defined by the for statement; the body may not
+	// execute (empty iterable), so uses after the loop are path-sensitive.
+	src := `
+def main():
+    xs = 1
+    for i in xs:
+        access(i)
+    use_it(i)
+`
+	g := MustBuild(src, Config{})
+	q := core.MustCompile(pattern.MustParse("(!def(x))* use(x)"), g.U)
+	res, err := core.Exist(g, g.Start(), q, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundI := false
+	for _, p := range res.Pairs {
+		if p.Subst.Format(g.U, q.PS) == "{x↦i}" {
+			foundI = true
+		}
+	}
+	if !foundI {
+		t.Errorf("i is maybe-uninitialized after a zero-iteration loop")
+	}
+}
+
+func TestEffectCallsAndStrings(t *testing.T) {
+	src := `
+def main():
+    open('log')
+    access('log')
+    close('log')
+`
+	g := MustBuild(src, Config{})
+	labels := map[string]bool{}
+	for _, l := range g.Labels() {
+		labels[l.Format(g.U, nil)] = true
+	}
+	if !labels["open('log')"] || !labels["access('log')"] || !labels["close('log')"] {
+		t.Fatalf("effect labels missing: %v", labels)
+	}
+}
+
+func TestRobustNoPanic(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	frag := []string{
+		"def", "main", "(", ")", ":", "\n", "    ", "if", "else", "elif",
+		"while", "for", "in", "a", "=", "1", "+", "pass", "return", "break",
+		"'s'", "#c", "\t",
+	}
+	for i := 0; i < 8000; i++ {
+		var sb strings.Builder
+		for k := rng.Intn(14); k > 0; k-- {
+			sb.WriteString(frag[rng.Intn(len(frag))])
+			sb.WriteByte(' ')
+		}
+		src := sb.String()
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Parse/Build(%q) panicked: %v", src, r)
+				}
+			}()
+			if prog, err := Parse(src); err == nil {
+				_, _ = BuildGraph(prog, Config{UseSites: true, EntryLoop: true})
+			}
+		}()
+	}
+}

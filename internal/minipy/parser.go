@@ -1,0 +1,446 @@
+package minipy
+
+import "fmt"
+
+// Program is a parsed MiniPy module: top-level statements plus function
+// definitions. Execution starts at the function named "main" if present,
+// otherwise at the module's top-level statements.
+type Program struct {
+	Body  []Stmt
+	Funcs []*Func
+}
+
+// Func is a def.
+type Func struct {
+	Name   string
+	Params []string
+	Body   []Stmt
+	Line   int
+}
+
+// Stmt is a statement node.
+type Stmt interface{ isStmt() }
+
+// AssignStmt is name = expr.
+type AssignStmt struct {
+	Name string
+	Expr Expr
+	Line int
+}
+
+// ExprStmt evaluates an expression for effect.
+type ExprStmt struct {
+	Expr Expr
+	Line int
+}
+
+// IfStmt is if/elif/else; Elifs are folded into nested Else chains by the
+// parser.
+type IfStmt struct {
+	Cond Expr
+	Then []Stmt
+	Else []Stmt
+	Line int
+}
+
+// WhileStmt is while cond: body.
+type WhileStmt struct {
+	Cond Expr
+	Body []Stmt
+	Line int
+}
+
+// ForStmt is for var in expr: body.
+type ForStmt struct {
+	Var  string
+	Iter Expr
+	Body []Stmt
+	Line int
+}
+
+// ReturnStmt is return [expr].
+type ReturnStmt struct {
+	Expr Expr
+	Line int
+}
+
+// BreakStmt, ContinueStmt, PassStmt are the simple statements.
+type BreakStmt struct{ Line int }
+type ContinueStmt struct{ Line int }
+type PassStmt struct{ Line int }
+
+func (*AssignStmt) isStmt()   {}
+func (*ExprStmt) isStmt()     {}
+func (*IfStmt) isStmt()       {}
+func (*WhileStmt) isStmt()    {}
+func (*ForStmt) isStmt()      {}
+func (*ReturnStmt) isStmt()   {}
+func (*BreakStmt) isStmt()    {}
+func (*ContinueStmt) isStmt() {}
+func (*PassStmt) isStmt()     {}
+
+// Expr is an expression node.
+type Expr interface{ isExpr() }
+
+type VarExpr struct{ Name string }
+type NumExpr struct{ Value string }
+type StrExpr struct{ Value string }
+type BinExpr struct {
+	Op          string
+	Left, Right Expr
+}
+type UnExpr struct {
+	Op      string
+	Operand Expr
+}
+type CallExpr struct {
+	Name string
+	Args []Expr
+	Line int
+}
+
+func (*VarExpr) isExpr()  {}
+func (*NumExpr) isExpr()  {}
+func (*StrExpr) isExpr()  {}
+func (*BinExpr) isExpr()  {}
+func (*UnExpr) isExpr()   {}
+func (*CallExpr) isExpr() {}
+
+// Parse parses a MiniPy module.
+func Parse(src string) (*Program, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &pparser{toks: toks}
+	prog := &Program{}
+	for !p.at(tEOF, "") {
+		if p.at(tKeyword, "def") {
+			fn, err := p.parseDef()
+			if err != nil {
+				return nil, err
+			}
+			prog.Funcs = append(prog.Funcs, fn)
+			continue
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		prog.Body = append(prog.Body, s)
+	}
+	return prog, nil
+}
+
+// MustParse is Parse that panics on error.
+func MustParse(src string) *Program {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type pparser struct {
+	toks []token
+	pos  int
+}
+
+func (p *pparser) cur() token  { return p.toks[p.pos] }
+func (p *pparser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *pparser) at(kind tokKind, text string) bool {
+	t := p.cur()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+func (p *pparser) accept(kind tokKind, text string) bool {
+	if p.at(kind, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *pparser) expect(kind tokKind, text string) (token, error) {
+	if p.at(kind, text) {
+		return p.next(), nil
+	}
+	want := text
+	if want == "" {
+		want = token{kind: kind}.String()
+	}
+	return token{}, p.errf("expected %s, got %s", want, p.cur())
+}
+
+func (p *pparser) errf(format string, args ...any) error {
+	return fmt.Errorf("minipy: line %d: %s", p.cur().line, fmt.Sprintf(format, args...))
+}
+
+func (p *pparser) parseDef() (*Func, error) {
+	kw, _ := p.expect(tKeyword, "def")
+	name, err := p.expect(tIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tPunct, "("); err != nil {
+		return nil, err
+	}
+	var params []string
+	if !p.at(tPunct, ")") {
+		for {
+			id, err := p.expect(tIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			params = append(params, id.text)
+			if !p.accept(tPunct, ",") {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(tPunct, ")"); err != nil {
+		return nil, err
+	}
+	body, err := p.parseSuite()
+	if err != nil {
+		return nil, err
+	}
+	return &Func{Name: name.text, Params: params, Body: body, Line: kw.line}, nil
+}
+
+// parseSuite parses ": NEWLINE INDENT stmt+ DEDENT".
+func (p *pparser) parseSuite() ([]Stmt, error) {
+	if _, err := p.expect(tPunct, ":"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tNewline, ""); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tIndent, ""); err != nil {
+		return nil, err
+	}
+	var body []Stmt
+	for !p.at(tDedent, "") && !p.at(tEOF, "") {
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		body = append(body, s)
+	}
+	if _, err := p.expect(tDedent, ""); err != nil {
+		return nil, err
+	}
+	return body, nil
+}
+
+func (p *pparser) parseStmt() (Stmt, error) {
+	t := p.cur()
+	switch {
+	case p.at(tKeyword, "if"):
+		return p.parseIf()
+	case p.at(tKeyword, "while"):
+		p.pos++
+		cond, err := p.parseExpr(0)
+		if err != nil {
+			return nil, err
+		}
+		body, err := p.parseSuite()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Cond: cond, Body: body, Line: t.line}, nil
+	case p.at(tKeyword, "for"):
+		p.pos++
+		v, err := p.expect(tIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tKeyword, "in"); err != nil {
+			return nil, err
+		}
+		iter, err := p.parseExpr(0)
+		if err != nil {
+			return nil, err
+		}
+		body, err := p.parseSuite()
+		if err != nil {
+			return nil, err
+		}
+		return &ForStmt{Var: v.text, Iter: iter, Body: body, Line: t.line}, nil
+	case p.at(tKeyword, "return"):
+		p.pos++
+		var e Expr
+		if !p.at(tNewline, "") {
+			var err error
+			e, err = p.parseExpr(0)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(tNewline, ""); err != nil {
+			return nil, err
+		}
+		return &ReturnStmt{Expr: e, Line: t.line}, nil
+	case p.at(tKeyword, "break"):
+		p.pos++
+		if _, err := p.expect(tNewline, ""); err != nil {
+			return nil, err
+		}
+		return &BreakStmt{Line: t.line}, nil
+	case p.at(tKeyword, "continue"):
+		p.pos++
+		if _, err := p.expect(tNewline, ""); err != nil {
+			return nil, err
+		}
+		return &ContinueStmt{Line: t.line}, nil
+	case p.at(tKeyword, "pass"):
+		p.pos++
+		if _, err := p.expect(tNewline, ""); err != nil {
+			return nil, err
+		}
+		return &PassStmt{Line: t.line}, nil
+	case p.at(tKeyword, "def"):
+		return nil, p.errf("nested function definitions are not supported")
+	default:
+		// Assignment or expression statement.
+		if p.at(tIdent, "") && p.toks[p.pos+1].kind == tPunct && p.toks[p.pos+1].text == "=" {
+			id := p.next()
+			p.pos++ // '='
+			e, err := p.parseExpr(0)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tNewline, ""); err != nil {
+				return nil, err
+			}
+			return &AssignStmt{Name: id.text, Expr: e, Line: t.line}, nil
+		}
+		e, err := p.parseExpr(0)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tNewline, ""); err != nil {
+			return nil, err
+		}
+		return &ExprStmt{Expr: e, Line: t.line}, nil
+	}
+}
+
+func (p *pparser) parseIf() (Stmt, error) {
+	t := p.next() // if or elif
+	cond, err := p.parseExpr(0)
+	if err != nil {
+		return nil, err
+	}
+	then, err := p.parseSuite()
+	if err != nil {
+		return nil, err
+	}
+	var els []Stmt
+	switch {
+	case p.at(tKeyword, "elif"):
+		s, err := p.parseIf()
+		if err != nil {
+			return nil, err
+		}
+		els = []Stmt{s}
+	case p.accept(tKeyword, "else"):
+		els, err = p.parseSuite()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &IfStmt{Cond: cond, Then: then, Else: els, Line: t.line}, nil
+}
+
+var binPrec = map[string]int{
+	"or": 1, "and": 2,
+	"==": 3, "!=": 3, "<": 4, "<=": 4, ">": 4, ">=": 4,
+	"+": 5, "-": 5,
+	"*": 6, "/": 6, "//": 6, "%": 6,
+}
+
+func (p *pparser) parseExpr(minPrec int) (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		op := t.text
+		if t.kind != tPunct && !(t.kind == tKeyword && (op == "and" || op == "or")) {
+			return left, nil
+		}
+		prec, ok := binPrec[op]
+		if !ok || prec < minPrec {
+			return left, nil
+		}
+		p.pos++
+		right, err := p.parseExpr(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		left = &BinExpr{Op: op, Left: left, Right: right}
+	}
+}
+
+func (p *pparser) parseUnary() (Expr, error) {
+	t := p.cur()
+	if (t.kind == tPunct && t.text == "-") || (t.kind == tKeyword && t.text == "not") {
+		p.pos++
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnExpr{Op: t.text, Operand: e}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *pparser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tNumber:
+		p.pos++
+		return &NumExpr{Value: t.text}, nil
+	case t.kind == tString:
+		p.pos++
+		return &StrExpr{Value: t.text}, nil
+	case t.kind == tIdent:
+		p.pos++
+		if p.at(tPunct, "(") {
+			p.pos++
+			var args []Expr
+			if !p.at(tPunct, ")") {
+				for {
+					a, err := p.parseExpr(0)
+					if err != nil {
+						return nil, err
+					}
+					args = append(args, a)
+					if !p.accept(tPunct, ",") {
+						break
+					}
+				}
+			}
+			if _, err := p.expect(tPunct, ")"); err != nil {
+				return nil, err
+			}
+			return &CallExpr{Name: t.text, Args: args, Line: t.line}, nil
+		}
+		return &VarExpr{Name: t.text}, nil
+	case t.kind == tPunct && t.text == "(":
+		p.pos++
+		e, err := p.parseExpr(0)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tPunct, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	default:
+		return nil, p.errf("expected an expression, got %s", t)
+	}
+}

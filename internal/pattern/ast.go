@@ -1,0 +1,298 @@
+// Package pattern implements parametric regular-expression patterns: the
+// query patterns of Liu et al., "Parametric Regular Path Queries" (PLDI
+// 2004), Section 2. A pattern is a regular expression whose alphabet
+// elements are transition labels (package label), which may contain
+// parameters, wildcards, and negations.
+package pattern
+
+import (
+	"sort"
+	"strings"
+
+	"rpq/internal/label"
+)
+
+// Expr is a node of a pattern's abstract syntax tree.
+type Expr interface {
+	isExpr()
+	// write renders the expression into b; prec is the precedence of the
+	// enclosing context (0 alternation, 1 concatenation, 2 repetition).
+	write(b *strings.Builder, prec int)
+}
+
+// Epsilon matches the empty path. Written "eps".
+type Epsilon struct{}
+
+// Lbl matches a single edge whose label matches the transition label Term.
+type Lbl struct {
+	Term *label.Term
+}
+
+// Concat matches the concatenation of its items.
+type Concat struct {
+	Items []Expr
+}
+
+// Alt matches any one of its items.
+type Alt struct {
+	Items []Expr
+}
+
+// Star matches zero or more repetitions of Sub.
+type Star struct {
+	Sub Expr
+}
+
+// Plus matches one or more repetitions of Sub.
+type Plus struct {
+	Sub Expr
+}
+
+// Opt matches zero or one occurrence of Sub.
+type Opt struct {
+	Sub Expr
+}
+
+func (Epsilon) isExpr() {}
+func (*Lbl) isExpr()    {}
+func (*Concat) isExpr() {}
+func (*Alt) isExpr()    {}
+func (*Star) isExpr()   {}
+func (*Plus) isExpr()   {}
+func (*Opt) isExpr()    {}
+
+// Convenience constructors.
+
+// Eps returns the empty-path pattern.
+func Eps() Expr { return Epsilon{} }
+
+// L returns a single-label pattern for the given transition label.
+func L(t *label.Term) Expr { return &Lbl{Term: t} }
+
+// Lit parses s as a transition label (pattern mode) and returns the
+// single-label pattern; it panics on parse errors.
+func Lit(s string) Expr { return L(label.MustParse(s, label.PatternMode)) }
+
+// Seq returns the concatenation of the given patterns.
+func Seq(items ...Expr) Expr {
+	if len(items) == 1 {
+		return items[0]
+	}
+	return &Concat{Items: items}
+}
+
+// Or returns the alternation of the given patterns.
+func Or(items ...Expr) Expr {
+	if len(items) == 1 {
+		return items[0]
+	}
+	return &Alt{Items: items}
+}
+
+// Rep returns sub*.
+func Rep(sub Expr) Expr { return &Star{Sub: sub} }
+
+// Rep1 returns sub+.
+func Rep1(sub Expr) Expr { return &Plus{Sub: sub} }
+
+// Maybe returns sub?.
+func Maybe(sub Expr) Expr { return &Opt{Sub: sub} }
+
+// Any returns the wildcard label pattern "_".
+func Any() Expr { return L(label.Wildcard()) }
+
+// AnyStar returns "_*", the skip-anything prefix used by many queries.
+func AnyStar() Expr { return Rep(Any()) }
+
+// String renders the pattern in the syntax accepted by Parse.
+func String(e Expr) string {
+	var b strings.Builder
+	e.write(&b, 0)
+	return b.String()
+}
+
+func (Epsilon) write(b *strings.Builder, prec int) { b.WriteString("eps") }
+
+func (l *Lbl) write(b *strings.Builder, prec int) {
+	s := l.Term.String()
+	// A negated alternation label renders as !(a|b); it needs no extra
+	// parentheses because '!' binds it syntactically.
+	b.WriteString(s)
+}
+
+func (c *Concat) write(b *strings.Builder, prec int) {
+	if prec > 1 {
+		b.WriteByte('(')
+	}
+	for i, it := range c.Items {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		it.write(b, 1)
+	}
+	if prec > 1 {
+		b.WriteByte(')')
+	}
+}
+
+func (a *Alt) write(b *strings.Builder, prec int) {
+	if prec > 0 {
+		b.WriteByte('(')
+	}
+	for i, it := range a.Items {
+		if i > 0 {
+			b.WriteString(" | ")
+		}
+		it.write(b, 0)
+	}
+	if prec > 0 {
+		b.WriteByte(')')
+	}
+}
+
+func writeRep(b *strings.Builder, sub Expr, suffix byte) {
+	switch sub.(type) {
+	case Epsilon, *Lbl:
+		sub.write(b, 2)
+	default:
+		b.WriteByte('(')
+		sub.write(b, 0)
+		b.WriteByte(')')
+	}
+	b.WriteByte(suffix)
+}
+
+func (s *Star) write(b *strings.Builder, prec int) { writeRep(b, s.Sub, '*') }
+func (p *Plus) write(b *strings.Builder, prec int) { writeRep(b, p.Sub, '+') }
+func (o *Opt) write(b *strings.Builder, prec int)  { writeRep(b, o.Sub, '?') }
+
+// Params returns the sorted parameter names occurring in the pattern.
+func Params(e Expr) []string {
+	set := map[string]bool{}
+	collectParams(e, set)
+	out := make([]string, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func collectParams(e Expr, set map[string]bool) {
+	switch n := e.(type) {
+	case Epsilon:
+	case *Lbl:
+		for _, p := range n.Term.Params() {
+			set[p] = true
+		}
+	case *Concat:
+		for _, it := range n.Items {
+			collectParams(it, set)
+		}
+	case *Alt:
+		for _, it := range n.Items {
+			collectParams(it, set)
+		}
+	case *Star:
+		collectParams(n.Sub, set)
+	case *Plus:
+		collectParams(n.Sub, set)
+	case *Opt:
+		collectParams(n.Sub, set)
+	}
+}
+
+// Labels returns every transition label occurring in the pattern, in
+// left-to-right order (with duplicates).
+func Labels(e Expr) []*label.Term {
+	var out []*label.Term
+	var rec func(Expr)
+	rec = func(e Expr) {
+		switch n := e.(type) {
+		case *Lbl:
+			out = append(out, n.Term)
+		case *Concat:
+			for _, it := range n.Items {
+				rec(it)
+			}
+		case *Alt:
+			for _, it := range n.Items {
+				rec(it)
+			}
+		case *Star:
+			rec(n.Sub)
+		case *Plus:
+			rec(n.Sub)
+		case *Opt:
+			rec(n.Sub)
+		}
+	}
+	rec(e)
+	return out
+}
+
+// Size returns the number of AST nodes, a proxy for pattern size |P|.
+func Size(e Expr) int {
+	n := 1
+	switch x := e.(type) {
+	case *Concat:
+		for _, it := range x.Items {
+			n += Size(it)
+		}
+	case *Alt:
+		for _, it := range x.Items {
+			n += Size(it)
+		}
+	case *Star:
+		n += Size(x.Sub)
+	case *Plus:
+		n += Size(x.Sub)
+	case *Opt:
+		n += Size(x.Sub)
+	}
+	return n
+}
+
+// Equal reports structural equality of two patterns.
+func Equal(a, b Expr) bool {
+	switch x := a.(type) {
+	case Epsilon:
+		_, ok := b.(Epsilon)
+		return ok
+	case *Lbl:
+		y, ok := b.(*Lbl)
+		return ok && x.Term.Equal(y.Term)
+	case *Concat:
+		y, ok := b.(*Concat)
+		if !ok || len(x.Items) != len(y.Items) {
+			return false
+		}
+		for i := range x.Items {
+			if !Equal(x.Items[i], y.Items[i]) {
+				return false
+			}
+		}
+		return true
+	case *Alt:
+		y, ok := b.(*Alt)
+		if !ok || len(x.Items) != len(y.Items) {
+			return false
+		}
+		for i := range x.Items {
+			if !Equal(x.Items[i], y.Items[i]) {
+				return false
+			}
+		}
+		return true
+	case *Star:
+		y, ok := b.(*Star)
+		return ok && Equal(x.Sub, y.Sub)
+	case *Plus:
+		y, ok := b.(*Plus)
+		return ok && Equal(x.Sub, y.Sub)
+	case *Opt:
+		y, ok := b.(*Opt)
+		return ok && Equal(x.Sub, y.Sub)
+	}
+	return false
+}

@@ -1,0 +1,40 @@
+package pattern
+
+// Mirror returns the reversal of the pattern: a word w matches e iff the
+// reversed word matches Mirror(e). Concatenations flip their order; labels,
+// alternations, and repetitions are unchanged in structure.
+//
+// Section 5.1 of the paper discusses converting between forward and backward
+// formulations of a query; Mirror is the mechanical half of that conversion:
+// a path v0 → v in G matches P exactly when the corresponding reversed path
+// v → v0 in the reversed graph matches Mirror(P). (The other half — moving
+// parameter bindings ahead of negations, as the paper's hand-written
+// backward queries do by adding a site parameter — changes the query's
+// answers and stays the query writer's choice.)
+func Mirror(e Expr) Expr {
+	switch x := e.(type) {
+	case Epsilon:
+		return x
+	case *Lbl:
+		return x
+	case *Concat:
+		items := make([]Expr, len(x.Items))
+		for i, it := range x.Items {
+			items[len(x.Items)-1-i] = Mirror(it)
+		}
+		return &Concat{Items: items}
+	case *Alt:
+		items := make([]Expr, len(x.Items))
+		for i, it := range x.Items {
+			items[i] = Mirror(it)
+		}
+		return &Alt{Items: items}
+	case *Star:
+		return &Star{Sub: Mirror(x.Sub)}
+	case *Plus:
+		return &Plus{Sub: Mirror(x.Sub)}
+	case *Opt:
+		return &Opt{Sub: Mirror(x.Sub)}
+	}
+	return e
+}

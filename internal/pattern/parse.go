@@ -1,0 +1,207 @@
+package pattern
+
+import (
+	"fmt"
+
+	"rpq/internal/label"
+)
+
+// Parse reads a pattern from its textual syntax.
+//
+// Grammar:
+//
+//	pattern := alt
+//	alt     := concat ('|' concat)*
+//	concat  := rep+
+//	rep     := atom ('*' | '+' | '?')*
+//	atom    := '(' alt ')' | 'eps' | LABEL
+//
+// where LABEL is a transition label in the syntax of package label, pattern
+// mode: bare identifiers in argument position are parameters, quoted
+// identifiers and numbers are symbols, '_' is a wildcard, '!' negates, and
+// '!( a | b )' is a negated label alternation. Examples from the paper:
+//
+//	(!def(x))* use(x)
+//	_* use(x,l) (!def(x))* entry()
+//	(eps | _* close(f)) (!open(f))* access(f)
+//	_* state(s) act('i')+ state(s)
+//	((!access(x))* acq(l) (!rel(l))*)*
+func Parse(src string) (Expr, error) {
+	p := &parser{src: src}
+	e, err := p.parseAlt()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, p.errf("trailing input %q", p.src[p.pos:])
+	}
+	return e, nil
+}
+
+// MustParse is Parse that panics on error.
+func MustParse(src string) Expr {
+	e, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("pattern: %s (at offset %d in %q)", fmt.Sprintf(format, args...), p.pos, p.src)
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.src) {
+		switch p.src[p.pos] {
+		case ' ', '\t', '\n', '\r':
+			p.pos++
+		case '#':
+			// Line comment to end of line.
+			for p.pos < len(p.src) && p.src[p.pos] != '\n' {
+				p.pos++
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (p *parser) peek() byte {
+	if p.pos < len(p.src) {
+		return p.src[p.pos]
+	}
+	return 0
+}
+
+func (p *parser) parseAlt() (Expr, error) {
+	var items []Expr
+	for {
+		c, err := p.parseConcat()
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, c)
+		p.skipSpace()
+		if p.peek() != '|' {
+			break
+		}
+		p.pos++
+	}
+	if len(items) == 1 {
+		return items[0], nil
+	}
+	return &Alt{Items: items}, nil
+}
+
+func (p *parser) parseConcat() (Expr, error) {
+	var items []Expr
+	for {
+		p.skipSpace()
+		if !p.atAtomStart() {
+			break
+		}
+		r, err := p.parseRep()
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, r)
+	}
+	if len(items) == 0 {
+		return nil, p.errf("expected a label, 'eps', or '('")
+	}
+	if len(items) == 1 {
+		return items[0], nil
+	}
+	return &Concat{Items: items}, nil
+}
+
+// atAtomStart reports whether the next character can begin an atom.
+func (p *parser) atAtomStart() bool {
+	switch c := p.peek(); {
+	case c == '(' || c == '!' || c == '_':
+		return true
+	case c == 0 || c == ')' || c == '|' || c == '*' || c == '+' || c == '?':
+		return false
+	default:
+		return label.ParseArgsHint(p.src[p.pos:])
+	}
+}
+
+func (p *parser) parseRep() (Expr, error) {
+	e, err := p.parseAtom()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.skipSpace()
+		switch p.peek() {
+		case '*':
+			p.pos++
+			e = &Star{Sub: e}
+		case '+':
+			p.pos++
+			e = &Plus{Sub: e}
+		case '?':
+			p.pos++
+			e = &Opt{Sub: e}
+		default:
+			return e, nil
+		}
+	}
+}
+
+func (p *parser) parseAtom() (Expr, error) {
+	p.skipSpace()
+	switch c := p.peek(); {
+	case c == '(':
+		p.pos++
+		e, err := p.parseAlt()
+		if err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		if p.peek() != ')' {
+			return nil, p.errf("expected ')'")
+		}
+		p.pos++
+		return e, nil
+	case c == 0:
+		return nil, p.errf("unexpected end of pattern")
+	default:
+		// The 'eps' keyword, unless it is a constructor application eps(...).
+		if hasKeyword(p.src[p.pos:], "eps") {
+			p.pos += 3
+			return Epsilon{}, nil
+		}
+		t, n, err := label.ParsePrefix(p.src[p.pos:], label.PatternMode)
+		if err != nil {
+			return nil, p.errf("bad label: %v", err)
+		}
+		p.pos += n
+		return &Lbl{Term: t}, nil
+	}
+}
+
+// hasKeyword reports whether s begins with the keyword kw not followed by an
+// identifier character or '('.
+func hasKeyword(s, kw string) bool {
+	if len(s) < len(kw) || s[:len(kw)] != kw {
+		return false
+	}
+	if len(s) == len(kw) {
+		return true
+	}
+	c := s[len(kw)]
+	if c == '(' {
+		return false
+	}
+	return !(c == '_' || c == '.' || c == '-' ||
+		('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z') || ('0' <= c && c <= '9'))
+}

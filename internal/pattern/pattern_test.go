@@ -1,0 +1,184 @@
+package pattern
+
+import (
+	"math/rand"
+	"testing"
+
+	"rpq/internal/label"
+)
+
+func TestParseBasics(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Expr
+	}{
+		{"def(x)", Lit("def(x)")},
+		{"eps", Eps()},
+		{"_", Any()},
+		{"_*", AnyStar()},
+		{"def(x) use(x)", Seq(Lit("def(x)"), Lit("use(x)"))},
+		{"def(x)|use(x)", Or(Lit("def(x)"), Lit("use(x)"))},
+		{"(def(x))*", Rep(Lit("def(x)"))},
+		{"def(x)*", Rep(Lit("def(x)"))},
+		{"def(x)+", Rep1(Lit("def(x)"))},
+		{"def(x)?", Maybe(Lit("def(x)"))},
+		{"(!def(x))* use(x)", Seq(Rep(Lit("!def(x)")), Lit("use(x)"))},
+		{"a() (b() | c())* d()", Seq(Lit("a()"), Rep(Or(Lit("b()"), Lit("c()"))), Lit("d()"))},
+		{"eps | _* close(f)", Or(Eps(), Seq(AnyStar(), Lit("close(f)")))},
+		{"def(x)**", Rep(Rep(Lit("def(x)")))},
+		{"eps()", L(label.App("eps"))},
+		{"epsilon()", L(label.App("epsilon"))},
+	}
+	for _, c := range cases {
+		got, err := Parse(c.in)
+		if err != nil {
+			t.Errorf("Parse(%q) error: %v", c.in, err)
+			continue
+		}
+		if !Equal(got, c.want) {
+			t.Errorf("Parse(%q) = %s, want %s", c.in, String(got), String(c.want))
+		}
+	}
+}
+
+func TestParsePaperQueries(t *testing.T) {
+	// Every query pattern appearing in the paper must parse.
+	queries := []string{
+		"(!def(x))* use(x)",
+		"(!(def(x)|use(x)))* use(x)",
+		"_* use(x) (!def(x))*",
+		"_* exp(x,op,y) (!(def(x)|def(y)))*",
+		"_* def(x,c) (!(def(x)|def(x,_)))*",
+		"(eps | _* close(f)) (!open(f))* access(f)",
+		"(!close(f))* open(f)",
+		"_* free(p) (!malloc(p))* (free(p)|deref(p))",
+		"_* save(x) change() (!restore(x))* exit()",
+		"_* open(f) (!close(f))* seteuid(!0)",
+		"((!access(x))* acq(l) (!rel(l))*)*",
+		"_* acq(l1) (!rel(l1))* acq(l2) _*",
+		"_* state(s) act(_)",
+		"_* state(s) act('i')+ state(s)",
+		"_* use(x,l) (!def(x))* entry()",
+		"_* use(x,l) (!(def(x)|use(x,_)))* entry()",
+		"_* use(x) (!def(x))* entry()",
+		"(open(f) (access(f))* close(f))*",
+	}
+	for _, q := range queries {
+		e, err := Parse(q)
+		if err != nil {
+			t.Errorf("Parse(%q) error: %v", q, err)
+			continue
+		}
+		// Round trip.
+		back, err := Parse(String(e))
+		if err != nil {
+			t.Errorf("re-Parse(%q) error: %v", String(e), err)
+			continue
+		}
+		if !Equal(back, e) {
+			t.Errorf("round trip of %q: %s != %s", q, String(back), String(e))
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"(",
+		"(def(x)",
+		"def(x))",
+		"*",
+		"def(x) |",
+		"| def(x)",
+		"def(x | y",
+		"def(x) ) use(y)",
+		"!",
+	}
+	for _, in := range bad {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestParams(t *testing.T) {
+	e := MustParse("_* use(x,l) (!def(x))* entry()")
+	got := Params(e)
+	if len(got) != 2 || got[0] != "l" || got[1] != "x" {
+		t.Errorf("Params = %v, want [l x]", got)
+	}
+	if n := len(Params(MustParse("_* state('s')"))); n != 0 {
+		t.Errorf("ground pattern has %d params", n)
+	}
+}
+
+func TestLabelsAndSize(t *testing.T) {
+	e := MustParse("(!def(x))* use(x)")
+	ls := Labels(e)
+	if len(ls) != 2 {
+		t.Fatalf("Labels = %d, want 2", len(ls))
+	}
+	if ls[0].String() != "!def(x)" || ls[1].String() != "use(x)" {
+		t.Errorf("Labels = %v %v", ls[0], ls[1])
+	}
+	if Size(e) < 4 {
+		t.Errorf("Size = %d, want >= 4", Size(e))
+	}
+}
+
+func TestCommentsAndWhitespace(t *testing.T) {
+	e, err := Parse("(!def(x))*  # skip defs\n use(x)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(e, Seq(Rep(Lit("!def(x)")), Lit("use(x)"))) {
+		t.Errorf("comment parsing changed the pattern: %s", String(e))
+	}
+}
+
+// genExpr builds a random pattern for round-trip testing.
+func genExpr(rng *rand.Rand, depth int) Expr {
+	if depth <= 0 {
+		switch rng.Intn(4) {
+		case 0:
+			return Eps()
+		case 1:
+			return Any()
+		case 2:
+			return Lit("def(x)")
+		default:
+			return Lit("use(x,y)")
+		}
+	}
+	switch rng.Intn(7) {
+	case 0:
+		return Seq(genExpr(rng, depth-1), genExpr(rng, depth-1))
+	case 1:
+		return Or(genExpr(rng, depth-1), genExpr(rng, depth-1))
+	case 2:
+		return Rep(genExpr(rng, depth-1))
+	case 3:
+		return Rep1(genExpr(rng, depth-1))
+	case 4:
+		return Maybe(genExpr(rng, depth-1))
+	case 5:
+		return Lit("!(def(x)|use(x))")
+	default:
+		return genExpr(rng, depth-1)
+	}
+}
+
+func TestRandomRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 500; i++ {
+		e := genExpr(rng, 4)
+		s := String(e)
+		back, err := Parse(s)
+		if err != nil {
+			t.Fatalf("Parse(%q) failed: %v (from %#v)", s, err, e)
+		}
+		if String(back) != s {
+			t.Fatalf("round trip not stable: %q -> %q", s, String(back))
+		}
+	}
+}

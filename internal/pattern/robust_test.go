@@ -1,0 +1,65 @@
+package pattern
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"rpq/internal/label"
+)
+
+// fuzzish produces adversarial strings from pattern-relevant fragments.
+func fuzzish(rng *rand.Rand) string {
+	frag := []string{
+		"def", "use", "(", ")", "|", "*", "+", "?", "!", "_", ",", "'", "\"",
+		"x", "eps", " ", "0", "9", "def(x)", "!(", "))", "((", "#c\n", "\t",
+		"é", "'''", "state(s)",
+	}
+	var b strings.Builder
+	for i := rng.Intn(12); i > 0; i-- {
+		b.WriteString(frag[rng.Intn(len(frag))])
+	}
+	return b.String()
+}
+
+func TestParseNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for i := 0; i < 20000; i++ {
+		s := fuzzish(rng)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Parse(%q) panicked: %v", s, r)
+				}
+			}()
+			e, err := Parse(s)
+			if err == nil {
+				// Anything that parses must print and re-parse stably.
+				back, err2 := Parse(String(e))
+				if err2 != nil {
+					t.Fatalf("re-Parse of %q (from %q) failed: %v", String(e), s, err2)
+				}
+				if String(back) != String(e) {
+					t.Fatalf("unstable print for %q: %q vs %q", s, String(back), String(e))
+				}
+			}
+		}()
+	}
+}
+
+func TestLabelParseNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for i := 0; i < 20000; i++ {
+		s := fuzzish(rng)
+		for _, mode := range []label.ParseMode{label.GroundMode, label.PatternMode} {
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("label.Parse(%q, %v) panicked: %v", s, mode, r)
+					}
+				}()
+				_, _ = label.Parse(s, mode)
+			}()
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package pattern
+
+// Simplify returns a normalized pattern accepting exactly the same language:
+// nested concatenations and alternations are flattened, ε units dropped from
+// concatenations, duplicate alternation arms removed, and repetition towers
+// collapsed ((e*)* → e*, (e+)+ → e+, (e?)? → e?, (e*)? and (e?)* → e*,
+// (e+)? and (e?)+ → e*, (e+)* and (e*)+ → e*). Query front-ends run it
+// before compilation; smaller patterns mean fewer automaton states.
+func Simplify(e Expr) Expr {
+	switch x := e.(type) {
+	case Epsilon, *Lbl:
+		return e
+	case *Concat:
+		var items []Expr
+		for _, it := range x.Items {
+			s := Simplify(it)
+			switch y := s.(type) {
+			case Epsilon:
+				// ε is the concatenation unit.
+			case *Concat:
+				items = append(items, y.Items...)
+			default:
+				items = append(items, s)
+			}
+		}
+		switch len(items) {
+		case 0:
+			return Epsilon{}
+		case 1:
+			return items[0]
+		}
+		return &Concat{Items: items}
+	case *Alt:
+		var items []Expr
+		seen := map[string]bool{}
+		for _, it := range x.Items {
+			s := Simplify(it)
+			arms := []Expr{s}
+			if a, ok := s.(*Alt); ok {
+				arms = a.Items
+			}
+			for _, arm := range arms {
+				key := String(arm)
+				if !seen[key] {
+					seen[key] = true
+					items = append(items, arm)
+				}
+			}
+		}
+		if len(items) == 1 {
+			return items[0]
+		}
+		return &Alt{Items: items}
+	case *Star:
+		s := Simplify(x.Sub)
+		switch y := s.(type) {
+		case Epsilon:
+			return Epsilon{}
+		case *Star:
+			return y
+		case *Plus:
+			return &Star{Sub: y.Sub}
+		case *Opt:
+			return &Star{Sub: y.Sub}
+		}
+		return &Star{Sub: s}
+	case *Plus:
+		s := Simplify(x.Sub)
+		switch y := s.(type) {
+		case Epsilon:
+			return Epsilon{}
+		case *Star:
+			return y
+		case *Plus:
+			return y
+		case *Opt:
+			return &Star{Sub: y.Sub}
+		}
+		return &Plus{Sub: s}
+	case *Opt:
+		s := Simplify(x.Sub)
+		switch y := s.(type) {
+		case Epsilon:
+			return Epsilon{}
+		case *Star:
+			return y
+		case *Opt:
+			return y
+		case *Plus:
+			return &Star{Sub: y.Sub}
+		}
+		return &Opt{Sub: s}
+	}
+	return e
+}

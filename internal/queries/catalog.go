@@ -1,0 +1,213 @@
+// Package queries is the analysis catalog: every program-analysis and
+// model-checking query of Liu et al. (PLDI 2004), Sections 2.2, 2.3, and
+// 5.1, as a named, documented pattern, plus the Section 5.4 construction
+// that derives a merged existential violation query from a universal
+// per-resource discipline specification.
+package queries
+
+import (
+	"fmt"
+
+	"rpq/internal/pattern"
+)
+
+// Kind distinguishes existential from universal queries.
+type Kind int
+
+const (
+	// Existential queries ask about some path (Section 2.1).
+	Existential Kind = iota
+	// Universal queries ask about all paths.
+	Universal
+)
+
+func (k Kind) String() string {
+	if k == Universal {
+		return "universal"
+	}
+	return "existential"
+}
+
+// Direction distinguishes forward queries (from the entry) from backward
+// queries (all edges reversed, from the exit; Section 2.2).
+type Direction int
+
+const (
+	Forward Direction = iota
+	Backward
+)
+
+func (d Direction) String() string {
+	if d == Backward {
+		return "backward"
+	}
+	return "forward"
+}
+
+// Analysis is one catalog entry.
+type Analysis struct {
+	// Name is the catalog key, e.g. "uninit-uses".
+	Name string
+	// Description says what the query computes and how to read the result.
+	Description string
+	// Pattern is the query in the textual pattern syntax.
+	Pattern string
+	Kind    Kind
+	Dir     Direction
+	// NeedsUseSites / NeedsExpLabels / NeedsConstDefs / NeedsEntryLoop name
+	// the front-end labeling features the query expects.
+	NeedsUseSites  bool
+	NeedsExpLabels bool
+	NeedsConstDefs bool
+	NeedsEntryLoop bool
+}
+
+// Expr parses the analysis pattern.
+func (a Analysis) Expr() pattern.Expr { return pattern.MustParse(a.Pattern) }
+
+// Catalog returns every analysis of the paper, in presentation order.
+func Catalog() []Analysis {
+	return []Analysis{
+		{
+			Name:        "uninit-uses",
+			Description: "Uses of uninitialized variables (Section 2.2): pairs ⟨v, {x↦a}⟩ where v follows a use of a not preceded by any definition of a on some path from the entry.",
+			Pattern:     "(!def(x))* use(x)",
+			Kind:        Existential,
+		},
+		{
+			Name:        "uninit-first-uses",
+			Description: "First use of each uninitialized variable along each path (Section 2.2).",
+			Pattern:     "(!(def(x)|use(x)))* use(x)",
+			Kind:        Existential,
+		},
+		{
+			Name:          "uninit-uses-sites",
+			Description:   "Uses of uninitialized variables when uses carry site numbers use(x,l).",
+			Pattern:       "(!def(x))* use(x,_)",
+			Kind:          Existential,
+			NeedsUseSites: true,
+		},
+		{
+			Name:           "uninit-uses-bwd",
+			Description:    "Backward formulation of uninit uses (Section 5.1): binds x positively before the negation, much faster than the forward query; run on the reversed graph from the exit.",
+			Pattern:        "_* use(x,l) (!def(x))* entry()",
+			Kind:           Existential,
+			Dir:            Backward,
+			NeedsUseSites:  true,
+			NeedsEntryLoop: true,
+		},
+		{
+			Name:           "uninit-first-uses-bwd",
+			Description:    "Backward first-uses (Section 5.1).",
+			Pattern:        "_* use(x,l) (!(def(x)|use(x,_)))* entry()",
+			Kind:           Existential,
+			Dir:            Backward,
+			NeedsUseSites:  true,
+			NeedsEntryLoop: true,
+		},
+		{
+			Name:           "uninit-vars-bwd",
+			Description:    "Names of uninitialized variables, backward (Section 5.1).",
+			Pattern:        "_* use(x) (!def(x))* entry()",
+			Kind:           Existential,
+			Dir:            Backward,
+			NeedsEntryLoop: true,
+		},
+		{
+			Name:        "live-variables",
+			Description: "Live variables (Section 2.2): backward query; ⟨v, {x↦a}⟩ means a is used before being redefined on some path from v.",
+			Pattern:     "_* use(x) (!def(x))*",
+			Kind:        Existential,
+			Dir:         Backward,
+		},
+		{
+			Name:           "available-expressions",
+			Description:    "Available expressions (Section 2.2): universal query; ⟨v, {x↦a,op↦o,y↦b}⟩ means a o b is computed and not killed on every path to v.",
+			Pattern:        "_* exp(x,op,y) (!(def(x)|def(y)))*",
+			Kind:           Universal,
+			NeedsExpLabels: true,
+		},
+		{
+			Name:           "constant-folding",
+			Description:    "Constant folding (Section 2.2): universal query; ⟨v, {x↦a,c↦k}⟩ means a holds constant k at v on every path.",
+			Pattern:        "_* def(x,c) (!(def(x)|def(x,_)))*",
+			Kind:           Universal,
+			NeedsConstDefs: true,
+		},
+		{
+			Name:        "file-access-violation",
+			Description: "File discipline (Section 2.2): an access while the file is not open (never opened, or closed since).",
+			Pattern:     "(eps | _* close(f)) (!open(f))* access(f)",
+			Kind:        Existential,
+		},
+		{
+			Name:        "file-unclosed",
+			Description: "File discipline (Section 2.2): backward query from the exit; an open file never subsequently closed.",
+			Pattern:     "(!close(f))* open(f)",
+			Kind:        Existential,
+			Dir:         Backward,
+		},
+		{
+			Name:        "freed-memory",
+			Description: "Freed memory (Section 2.2): a pointer freed and then freed or dereferenced without an intervening allocation.",
+			Pattern:     "_* free(p) (!malloc(p))* (free(p)|deref(p))",
+			Kind:        Existential,
+		},
+		{
+			Name:        "interrupts",
+			Description: "Interrupt discipline (Section 2.2): a procedure saved and changed the interrupt level but did not restore it before exit.",
+			Pattern:     "_* save(x) change() (!restore(x))* exit()",
+			Kind:        Existential,
+		},
+		{
+			Name:        "setuid-security",
+			Description: "UNIX setuid discipline (Section 2.2): a file still open when the effective uid is changed to a non-superuser.",
+			Pattern:     "_* open(f) (!close(f))* seteuid(!0)",
+			Kind:        Existential,
+		},
+		{
+			Name:        "locking-discipline",
+			Description: "Locking discipline (Section 2.2): universal query; ⟨v, {x↦a,l↦m}⟩ means variable a is accessed only under lock m on all paths to v.",
+			Pattern:     "((!access(x))* acq(l) (!rel(l))*)*",
+			Kind:        Universal,
+		},
+		{
+			Name:        "deadlock-avoidance",
+			Description: "Lock-order discovery (Section 2.2): ⟨v, {l1↦m1,l2↦m2}⟩ means m2 is acquired while m1 is held on some path; inspect the exit's substitutions for a consistent partial order.",
+			Pattern:     "_* acq(l1) (!rel(l1))* acq(l2) _*",
+			Kind:        Existential,
+		},
+		{
+			Name:        "lts-deadlock",
+			Description: "LTS deadlock (Section 2.3): run on the existential transformation; states bound to s have an outgoing action, so reachable states missing from the result deadlock.",
+			Pattern:     "_* state(s) act(_)",
+			Kind:        Existential,
+		},
+		{
+			Name:        "lts-livelock",
+			Description: "LTS livelock (Section 2.3): a reachable cycle of invisible actions; the result is non-empty iff a livelock exists.",
+			Pattern:     "_* state(s) act('i')+ state(s)",
+			Kind:        Existential,
+		},
+	}
+}
+
+// ByName finds a catalog entry.
+func ByName(name string) (Analysis, error) {
+	for _, a := range Catalog() {
+		if a.Name == name {
+			return a, nil
+		}
+	}
+	return Analysis{}, fmt.Errorf("queries: unknown analysis %q", name)
+}
+
+// Names lists the catalog keys in order.
+func Names() []string {
+	cat := Catalog()
+	out := make([]string, len(cat))
+	for i, a := range cat {
+		out[i] = a.Name
+	}
+	return out
+}

@@ -1,0 +1,121 @@
+package queries
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"rpq/internal/core"
+	"rpq/internal/pattern"
+	"rpq/internal/tracelog"
+)
+
+// TestViolationQueryAgainstSimulation checks the Section 5.4 construction
+// semantically: on random linear traces of file operations, the generated
+// merged violation query must flag exactly the same (event, file) pairs as
+// a direct per-file state-machine simulation of the discipline
+// (open (access)* close)*, reporting the first violation per file (the
+// error state is absorbing).
+func TestViolationQueryAgainstSimulation(t *testing.T) {
+	rng := rand.New(rand.NewSource(202))
+	ops := []string{"open", "access", "close", "noise"}
+	files := []string{"fa", "fb"}
+	for trial := 0; trial < 200; trial++ {
+		// Random trace.
+		n := 1 + rng.Intn(12)
+		var lines []string
+		for i := 0; i < n; i++ {
+			op := ops[rng.Intn(len(ops))]
+			if op == "noise" {
+				lines = append(lines, "noise()")
+			} else {
+				lines = append(lines, fmt.Sprintf("%s(%s)", op, files[rng.Intn(len(files))]))
+			}
+		}
+		lines = append(lines, "exit()")
+		trace := strings.Join(lines, "\n")
+
+		// Direct simulation: state per file, first violation only.
+		type hit struct {
+			event int
+			file  string
+		}
+		var want []hit
+		state := map[string]string{} // "" closed, "open"
+		dead := map[string]bool{}
+		for i, line := range lines {
+			event := i + 1
+			var op, f string
+			if line == "noise()" {
+				continue
+			}
+			if line == "exit()" {
+				for _, file := range files {
+					if !dead[file] && state[file] == "open" {
+						want = append(want, hit{event, file})
+					}
+				}
+				continue
+			}
+			fmt.Sscanf(line, "%s", &op)
+			op = line[:strings.Index(line, "(")]
+			f = line[strings.Index(line, "(")+1 : strings.Index(line, ")")]
+			if dead[f] {
+				continue
+			}
+			switch op {
+			case "open":
+				if state[f] == "open" {
+					want = append(want, hit{event, f})
+					dead[f] = true
+				} else {
+					state[f] = "open"
+				}
+			case "access":
+				if state[f] != "open" {
+					want = append(want, hit{event, f})
+					dead[f] = true
+				}
+			case "close":
+				if state[f] != "open" {
+					want = append(want, hit{event, f})
+					dead[f] = true
+				} else {
+					state[f] = ""
+				}
+			}
+		}
+
+		// The generated query on the trace graph.
+		g, err := tracelog.ReadString(trace)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q, err := ViolationQuery(pattern.MustParse("(open(f) (access(f))* close(f))*"), g.U, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := core.Exist(g, g.Start(), q, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := map[hit]bool{}
+		fIdx, _ := q.PS.Lookup("f")
+		for _, p := range res.Pairs {
+			idx, ok := tracelog.EventIndex(g.VertexName(p.Vertex))
+			if !ok {
+				t.Fatalf("bad vertex name %s", g.VertexName(p.Vertex))
+			}
+			got[hit{idx, g.U.Syms.Name(p.Subst[fIdx])}] = true
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d trace:\n%s\nsimulation %v, query %v", trial, trace, want, got)
+		}
+		for _, h := range want {
+			if !got[h] {
+				t.Fatalf("trial %d trace:\n%s\nquery missing %v (has %v)", trial, trace, h, got)
+			}
+		}
+	}
+}

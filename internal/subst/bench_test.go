@@ -1,0 +1,74 @@
+package subst
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchSubsts(pars, symbols, n int) []Subst {
+	rng := rand.New(rand.NewSource(1))
+	out := make([]Subst, n)
+	for i := range out {
+		out[i] = genSubst(rng, pars, symbols)
+	}
+	return out
+}
+
+func BenchmarkMergeInto(b *testing.B) {
+	ss := benchSubsts(3, 8, 64)
+	dst := New(3)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		MergeInto(dst, ss[i%64], ss[(i+1)%64])
+	}
+}
+
+func BenchmarkTableKey(b *testing.B) {
+	for _, kind := range []TableKind{Hash, Nested} {
+		b.Run(kind.String(), func(b *testing.B) {
+			ss := benchSubsts(3, 16, 1024)
+			tb := NewTable(kind, 3, 16)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tb.Key(ss[i%1024])
+			}
+		})
+	}
+}
+
+func BenchmarkTableLookupHit(b *testing.B) {
+	for _, kind := range []TableKind{Hash, Nested} {
+		b.Run(kind.String(), func(b *testing.B) {
+			ss := benchSubsts(3, 16, 1024)
+			tb := NewTable(kind, 3, 16)
+			for _, s := range ss {
+				tb.Key(s)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, ok := tb.Lookup(ss[i%1024]); !ok {
+					b.Fatal("miss")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkForEachExtension(b *testing.B) {
+	doms := Uniform(3, []int32{0, 1, 2, 3, 4, 5, 6, 7})
+	base := Subst{NoSym, 3, NoSym}
+	params := AllParams(3)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		count := 0
+		ForEachExtension(base, params, doms, func(s Subst) bool {
+			count++
+			return true
+		})
+		if count != 64 {
+			b.Fatalf("count = %d", count)
+		}
+	}
+}

@@ -1,0 +1,207 @@
+package subst
+
+import "fmt"
+
+// TableKind selects the representation used to intern substitutions (and, in
+// the solver, the reach set and auxiliary maps). The paper's Table 3
+// compares the two: hashing uses less space with similar time; nested arrays
+// are fast when dense but waste space on sparse sets.
+type TableKind int
+
+const (
+	// Hash uses hash tables keyed on the substitution's bytes.
+	Hash TableKind = iota
+	// Nested uses nested arrays (a trie over symbol keys, one level per
+	// parameter), the "based" representation of Schonberg et al. as used in
+	// the paper.
+	Nested
+)
+
+func (k TableKind) String() string {
+	switch k {
+	case Hash:
+		return "hashing"
+	case Nested:
+		return "nested"
+	}
+	return fmt.Sprintf("TableKind(%d)", int(k))
+}
+
+// Table interns substitutions, assigning dense keys in first-seen order.
+// The number of interned substitutions is the "substs" quantity of Figure 2
+// (minus the implicit badsubst, which is never stored).
+type Table interface {
+	// Key interns s (copying it) and returns its key.
+	Key(s Subst) int32
+	// Lookup returns the key of s without interning.
+	Lookup(s Subst) (int32, bool)
+	// Get returns the substitution with key k; the result must not be
+	// modified.
+	Get(k int32) Subst
+	// Len reports the number of interned substitutions.
+	Len() int
+	// Bytes approximates the memory footprint of the table in bytes, for
+	// the Table 3 memory comparison.
+	Bytes() int64
+	// Kind reports the representation.
+	Kind() TableKind
+}
+
+// NewTable returns an empty table of the given kind for substitutions over
+// pars parameters, where symbol keys are expected to be < symbols (the
+// nested representation sizes its arrays from this; it grows if exceeded).
+func NewTable(kind TableKind, pars, symbols int) Table {
+	switch kind {
+	case Hash:
+		return newHashTable(pars)
+	case Nested:
+		return newNestedTable(pars, symbols)
+	}
+	panic(fmt.Sprintf("subst: unknown table kind %d", kind))
+}
+
+// ---- hash representation ----
+
+type hashTable struct {
+	pars   int
+	byKey  map[string]int32
+	substs []Subst
+	bytes  int64
+}
+
+func newHashTable(pars int) *hashTable {
+	return &hashTable{pars: pars, byKey: make(map[string]int32)}
+}
+
+func hashKey(s Subst) string {
+	b := make([]byte, len(s)*4)
+	for i, v := range s {
+		u := uint32(v)
+		b[i*4] = byte(u)
+		b[i*4+1] = byte(u >> 8)
+		b[i*4+2] = byte(u >> 16)
+		b[i*4+3] = byte(u >> 24)
+	}
+	return string(b)
+}
+
+func (t *hashTable) Key(s Subst) int32 {
+	k := hashKey(s)
+	if id, ok := t.byKey[k]; ok {
+		return id
+	}
+	id := int32(len(t.substs))
+	t.byKey[k] = id
+	t.substs = append(t.substs, s.Clone())
+	// Key string + map entry overhead + stored substitution + slice header.
+	t.bytes += int64(len(k)) + 48 + int64(len(s)*4) + 24
+	return id
+}
+
+func (t *hashTable) Lookup(s Subst) (int32, bool) {
+	id, ok := t.byKey[hashKey(s)]
+	return id, ok
+}
+
+func (t *hashTable) Get(k int32) Subst { return t.substs[k] }
+func (t *hashTable) Len() int          { return len(t.substs) }
+func (t *hashTable) Bytes() int64      { return t.bytes }
+func (t *hashTable) Kind() TableKind   { return Hash }
+
+// ---- nested-array (trie) representation ----
+
+// nestedTable stores substitutions in a trie with one level per parameter.
+// Each node is an int32 array indexed by symbol key + 1 (index 0 encodes an
+// unbound parameter). Interior levels store child node ids + 1; the last
+// level stores substitution keys + 1. Zero means absent.
+type nestedTable struct {
+	pars   int
+	width  int
+	nodes  [][]int32
+	substs []Subst
+	bytes  int64
+	// empty caches the key of the zero-parameter substitution when pars==0.
+	emptyKey int32
+}
+
+func newNestedTable(pars, symbols int) *nestedTable {
+	t := &nestedTable{pars: pars, width: symbols + 1, emptyKey: -1}
+	if pars > 0 {
+		t.nodes = append(t.nodes, t.newNode())
+	}
+	return t
+}
+
+func (t *nestedTable) newNode() []int32 {
+	t.bytes += int64(t.width)*4 + 24
+	return make([]int32, t.width)
+}
+
+func (t *nestedTable) slot(node []int32, v int32) ([]int32, int) {
+	idx := int(v) + 1
+	if idx >= len(node) {
+		// A symbol key beyond the initial width; grow the node.
+		grown := make([]int32, idx+1)
+		copy(grown, node)
+		t.bytes += int64(idx+1-len(node)) * 4
+		return grown, idx
+	}
+	return node, idx
+}
+
+func (t *nestedTable) Key(s Subst) int32 {
+	if t.pars == 0 {
+		if t.emptyKey < 0 {
+			t.emptyKey = 0
+			t.substs = append(t.substs, Subst{})
+		}
+		return t.emptyKey
+	}
+	cur := int32(0)
+	for level := 0; level < t.pars-1; level++ {
+		node, idx := t.slot(t.nodes[cur], s[level])
+		t.nodes[cur] = node
+		if node[idx] == 0 {
+			id := int32(len(t.nodes))
+			t.nodes = append(t.nodes, t.newNode())
+			node[idx] = id + 1
+		}
+		cur = t.nodes[cur][idx] - 1
+	}
+	node, idx := t.slot(t.nodes[cur], s[t.pars-1])
+	t.nodes[cur] = node
+	if node[idx] == 0 {
+		key := int32(len(t.substs))
+		t.substs = append(t.substs, s.Clone())
+		t.bytes += int64(len(s)*4) + 24
+		node[idx] = key + 1
+	}
+	return t.nodes[cur][idx] - 1
+}
+
+func (t *nestedTable) Lookup(s Subst) (int32, bool) {
+	if t.pars == 0 {
+		if t.emptyKey < 0 {
+			return 0, false
+		}
+		return t.emptyKey, true
+	}
+	cur := int32(0)
+	for level := 0; level < t.pars; level++ {
+		node := t.nodes[cur]
+		idx := int(s[level]) + 1
+		if idx >= len(node) || node[idx] == 0 {
+			return 0, false
+		}
+		if level == t.pars-1 {
+			return node[idx] - 1, true
+		}
+		cur = node[idx] - 1
+	}
+	panic("unreachable")
+}
+
+func (t *nestedTable) Get(k int32) Subst { return t.substs[k] }
+func (t *nestedTable) Len() int          { return len(t.substs) }
+func (t *nestedTable) Bytes() int64      { return t.bytes }
+func (t *nestedTable) Kind() TableKind   { return Nested }

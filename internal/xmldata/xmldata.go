@@ -1,0 +1,116 @@
+// Package xmldata turns XML documents into edge-labeled graphs so that
+// parametric regular path queries can be used on semi-structured data — the
+// application domain the paper's introduction motivates alongside program
+// analysis ("regular path queries are also important in analyzing
+// semi-structured data … particularly data in XML"). Section 5.4 positions
+// the framework as a generalization of XPath: unbounded repeating patterns
+// via the Kleene star (not just descendant skipping), querying over graphs,
+// and parameters that correlate tags, attributes, and text across a path.
+//
+// Encoding: each element is a vertex; the document gets a root vertex.
+//
+//	child(tag)         parent element → child element
+//	elem(tag)          self-loop carrying the element's tag
+//	attr(name, value)  self-loop per attribute
+//	text(value)        self-loop carrying trimmed character data (if short)
+//
+// Example queries:
+//
+//	child('bookstore') child('book')         the books (XPath /bookstore/book)
+//	_* child('title')                        all titles (XPath //title)
+//	_* child('book') attr('lang', l)         books with their lang attribute
+//	_* child(t) child(t)                     same tag nested directly twice —
+//	                                         inexpressible in XPath 1.0
+package xmldata
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+
+	"rpq/internal/graph"
+	"rpq/internal/label"
+)
+
+// MaxTextSymbol is the longest character-data run stored as a text() symbol;
+// longer runs are skipped (symbols are atoms, not documents).
+const MaxTextSymbol = 80
+
+// FromXML parses the document and returns its graph. The start vertex is a
+// synthetic root with a child(tag) edge to the document element.
+func FromXML(r io.Reader) (*graph.Graph, error) {
+	g := graph.New()
+	root := g.Vertex("/")
+	g.SetStart(root)
+
+	dec := xml.NewDecoder(r)
+	type open struct {
+		vertex int32
+		tag    string
+	}
+	stack := []open{{vertex: root, tag: ""}}
+	counts := map[string]int{}
+
+	addSelfLoop := func(v int32, t *label.Term) error {
+		return g.AddEdge(v, t, v)
+	}
+
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("xmldata: %v", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			tag := t.Name.Local
+			counts[tag]++
+			name := fmt.Sprintf("%s[%d]", tag, counts[tag])
+			v := g.Vertex(name)
+			parent := stack[len(stack)-1]
+			if err := g.AddEdge(parent.vertex, label.App("child", label.Sym(tag)), v); err != nil {
+				return nil, err
+			}
+			if err := addSelfLoop(v, label.App("elem", label.Sym(tag))); err != nil {
+				return nil, err
+			}
+			for _, a := range t.Attr {
+				al := label.App("attr", label.Sym(a.Name.Local), label.Sym(a.Value))
+				if err := addSelfLoop(v, al); err != nil {
+					return nil, err
+				}
+			}
+			stack = append(stack, open{vertex: v, tag: tag})
+		case xml.EndElement:
+			if len(stack) <= 1 {
+				return nil, fmt.Errorf("xmldata: unbalanced end element %s", t.Name.Local)
+			}
+			stack = stack[:len(stack)-1]
+		case xml.CharData:
+			text := strings.TrimSpace(string(t))
+			if text == "" || len(text) > MaxTextSymbol {
+				continue
+			}
+			cur := stack[len(stack)-1]
+			if cur.vertex == root {
+				continue
+			}
+			if err := addSelfLoop(cur.vertex, label.App("text", label.Sym(text))); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if len(stack) != 1 {
+		return nil, fmt.Errorf("xmldata: %d elements left open", len(stack)-1)
+	}
+	if len(counts) == 0 {
+		return nil, fmt.Errorf("xmldata: no document element")
+	}
+	return g, nil
+}
+
+// FromXMLString parses a document from a string.
+func FromXMLString(s string) (*graph.Graph, error) { return FromXML(strings.NewReader(s)) }

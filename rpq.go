@@ -1,0 +1,673 @@
+// Package rpq implements parametric regular path queries — the system of
+// Liu, Rothamel, Yu, Stoller, and Hu, "Parametric Regular Path Queries"
+// (PLDI 2004).
+//
+// A query matches a regular-expression pattern whose alphabet elements are
+// transition labels — constructor terms that may contain parameters (x),
+// wildcards (_), and negations (!) — against the paths of an edge-labeled
+// directed graph. Existential queries compute the pairs ⟨v, θ⟩ such that
+// some path from the start vertex to v matches the pattern under the
+// substitution θ; universal queries require every path to v to match.
+//
+// Quick start:
+//
+//	g := rpq.NewGraph()
+//	g.MustAddEdge("v1", "def(a)", "v2")
+//	g.MustAddEdge("v2", "use(b)", "v3")
+//	g.SetStart("v1")
+//	p := rpq.MustParsePattern("(!def(x))* use(x)")
+//	res, err := g.Exist(p, nil)
+//	// res.Answers = [{Vertex: "v3", Bindings: [{x b}]}]
+//
+// The solver variants of the paper (basic, match memoization, M_ts/M_ds
+// precomputation, enumeration, hybrid), the two data-structure
+// representations it compares (hashing vs. nested arrays), backward queries
+// on reversed graphs, parameter-domain refinement, SCC-ordered processing,
+// and graph compaction are all selected through Options.
+package rpq
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"rpq/internal/core"
+	"rpq/internal/graph"
+	"rpq/internal/lts"
+	"rpq/internal/minic"
+	"rpq/internal/minipy"
+	"rpq/internal/pattern"
+	"rpq/internal/queries"
+	"rpq/internal/subst"
+	"rpq/internal/xmldata"
+)
+
+// Graph is an edge-labeled directed graph with a distinguished start vertex.
+type Graph struct {
+	g *graph.Graph
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph { return &Graph{g: graph.New()} }
+
+// ReadGraph parses the textual graph format:
+//
+//	# comment
+//	start v1
+//	edge v1 def(a) v2
+func ReadGraph(r io.Reader) (*Graph, error) {
+	g, err := graph.Read(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Graph{g: g}, nil
+}
+
+// ReadGraphString parses a graph from a string.
+func ReadGraphString(s string) (*Graph, error) { return ReadGraph(strings.NewReader(s)) }
+
+// AddEdge adds an edge between named vertices with a ground label such as
+// "def(a)", "use(x,17)", or "exit()". Vertices are created as needed.
+func (g *Graph) AddEdge(from, label, to string) error {
+	return g.g.AddEdgeStr(from, label, to)
+}
+
+// MustAddEdge is AddEdge that panics on error.
+func (g *Graph) MustAddEdge(from, label, to string) {
+	g.g.MustAddEdgeStr(from, label, to)
+}
+
+// SetStart sets the start vertex v0, creating it if needed.
+func (g *Graph) SetStart(name string) { g.g.SetStart(g.g.Vertex(name)) }
+
+// Start returns the start vertex name, or "" if unset.
+func (g *Graph) Start() string {
+	if g.g.Start() < 0 {
+		return ""
+	}
+	return g.g.VertexName(g.g.Start())
+}
+
+// NumVertices reports the number of vertices.
+func (g *Graph) NumVertices() int { return g.g.NumVertices() }
+
+// NumEdges reports the number of edges.
+func (g *Graph) NumEdges() int { return g.g.NumEdges() }
+
+// Write emits the graph in the textual format.
+func (g *Graph) Write(w io.Writer) error { return g.g.Write(w) }
+
+// WriteDOT emits the graph in Graphviz DOT format. Vertices named in
+// highlight (e.g. query answers) are filled; the start vertex is drawn with
+// a double circle.
+func (g *Graph) WriteDOT(w io.Writer, name string, highlight []string) error {
+	var hl map[int32]bool
+	if len(highlight) > 0 {
+		hl = map[int32]bool{}
+		for _, n := range highlight {
+			if v, ok := g.g.LookupVertex(n); ok {
+				hl[v] = true
+			}
+		}
+	}
+	return g.g.WriteDOT(w, name, hl)
+}
+
+// String renders the graph in the textual format.
+func (g *Graph) String() string { return g.g.String() }
+
+// Reverse returns the graph with all edges reversed; backward queries run on
+// the reversed graph (Section 2.2 of the paper).
+func (g *Graph) Reverse() *Graph { return &Graph{g: g.g.Reverse()} }
+
+// ExitVertex returns the vertex just after an exit() edge, the conventional
+// start for backward queries on program graphs produced by the MiniC
+// front-end and the workload generator.
+func (g *Graph) ExitVertex() (string, bool) {
+	for v := 0; v < g.g.NumVertices(); v++ {
+		for _, e := range g.g.Out(int32(v)) {
+			if e.Label.Format(g.g.U, nil) == "exit()" {
+				return g.g.VertexName(e.To), true
+			}
+		}
+	}
+	return "", false
+}
+
+// Internal exposes the underlying graph for the benchmark harness and
+// command-line tools inside this module.
+func (g *Graph) Internal() *graph.Graph { return g.g }
+
+// WrapGraph wraps an internal graph in the public type.
+func WrapGraph(ig *graph.Graph) *Graph { return &Graph{g: ig} }
+
+// Pattern is a parsed parametric regular-expression pattern.
+type Pattern struct {
+	expr pattern.Expr
+	src  string
+}
+
+// ParsePattern parses the pattern syntax, e.g. "(!def(x))* use(x)":
+// concatenation by juxtaposition, alternation with |, repetition with * + ?,
+// grouping with parentheses, eps for the empty path; labels are constructor
+// terms whose bare argument identifiers are parameters, quoted or numeric
+// arguments are symbols, _ is a wildcard and ! negation (with !(a|b) for
+// negated alternations).
+func ParsePattern(src string) (*Pattern, error) {
+	e, err := pattern.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return &Pattern{expr: e, src: src}, nil
+}
+
+// MustParsePattern is ParsePattern that panics on error.
+func MustParsePattern(src string) *Pattern {
+	p, err := ParsePattern(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// String returns the canonical rendering of the pattern.
+func (p *Pattern) String() string { return pattern.String(p.expr) }
+
+// Mirror returns the pattern's reversal: a path matches p iff the reversed
+// path matches p.Mirror(). It is the mechanical half of the Section 5.1
+// forward/backward query conversion — combine with Options.Backward to ask
+// suffix questions ("from which vertices does a P-path reach the exit?").
+func (p *Pattern) Mirror() *Pattern {
+	m := pattern.Mirror(p.expr)
+	return &Pattern{expr: m, src: pattern.String(m)}
+}
+
+// Params returns the pattern's parameter names, sorted.
+func (p *Pattern) Params() []string { return pattern.Params(p.expr) }
+
+// Expr exposes the pattern AST for in-module tools.
+func (p *Pattern) Expr() pattern.Expr { return p.expr }
+
+// Algorithm selects the solver variant (Sections 3, 4, and 6).
+type Algorithm int
+
+const (
+	// Auto picks the paper's recommended variant: memoization for
+	// existential queries; for universal queries the direct algorithm with
+	// automatic fallback to hybrid when the determinism check fails.
+	Auto Algorithm = iota
+	// Basic is the plain worklist algorithm.
+	Basic
+	// Memo memoizes match results (the substitution map M_s).
+	Memo
+	// Precompute builds the target-and-substitution map M_ts (existential)
+	// or the determinism-and-substitution map M_ds (universal).
+	Precompute
+	// Enumerate runs one parameter-free query per full substitution over
+	// the parameter domains.
+	Enumerate
+	// Hybrid (universal only) enumerates only extensions of substitutions
+	// found by a first existential pass.
+	Hybrid
+)
+
+func (a Algorithm) String() string {
+	switch a {
+	case Auto:
+		return "auto"
+	case Basic:
+		return "basic"
+	case Memo:
+		return "memo"
+	case Precompute:
+		return "precomputation"
+	case Enumerate:
+		return "enumeration"
+	case Hybrid:
+		return "hybrid"
+	}
+	return fmt.Sprintf("Algorithm(%d)", int(a))
+}
+
+// TableKind selects the set/map representation (Table 3).
+type TableKind int
+
+const (
+	// Hashing keys hash sets off (vertex, state) bases — the paper's best
+	// overall representation.
+	Hashing TableKind = iota
+	// NestedArrays indexes dense arrays by substitution key — fast when
+	// dense, space-hungry when sparse.
+	NestedArrays
+)
+
+// Completion selects how universal queries treat automaton states with no
+// matching transition (the prior-work baseline comparison; existential
+// queries ignore it).
+type Completion int
+
+const (
+	// IncompleteAutomaton handles incomplete automata directly with the
+	// paper's badstate rules — its improvement over Liu & Yu (2002).
+	IncompleteAutomaton Completion = iota
+	// TrapCompletion adds a compact trap state (one negated alternation
+	// per state).
+	TrapCompletion
+	// ExplicitCompletion adds one trap transition per uncovered edge label
+	// per state, the classical prior-work construction; parameter-free
+	// patterns only.
+	ExplicitCompletion
+)
+
+// DomainMode selects how parameter domains are computed (Section 5.3).
+type DomainMode int
+
+const (
+	// RefinedDomains restricts each parameter to symbols occurring at its
+	// (constructor, argument) positions in the graph.
+	RefinedDomains DomainMode = iota
+	// AllSymbols uses every symbol for every parameter.
+	AllSymbols
+)
+
+// Options configures a query run. The zero value (or nil) requests Auto
+// with hashing and refined domains.
+type Options struct {
+	Algorithm Algorithm
+	Table     TableKind
+	Domains   DomainMode
+	// Backward reverses all edges before the query (Section 2.2) and, if
+	// Start is empty, starts from the vertex after the exit() edge.
+	Backward bool
+	// Start overrides the graph's start vertex by name.
+	Start string
+	// Compact drops edges no transition label can match before an
+	// existential query (Section 5.3).
+	Compact bool
+	// SCCOrder processes strongly connected components in topological
+	// order, releasing per-component storage (Section 5.3); existential
+	// only.
+	SCCOrder bool
+	// Completion selects the universal automaton completion baseline.
+	Completion Completion
+	// Witnesses attaches, to each existential answer, one start-to-vertex
+	// path witnessing it (an error trace). Worklist algorithms only.
+	Witnesses bool
+}
+
+// Stats reports the instrumentation of a run; see core.Stats for the
+// correspondence with the paper's tables.
+type Stats = core.Stats
+
+// Binding is one parameter-to-symbol binding of an answer.
+type Binding struct {
+	Param  string
+	Symbol string
+}
+
+// Step is one edge of a witnessing path.
+type Step struct {
+	From  string
+	Label string
+	To    string
+}
+
+// Answer is one query answer: a vertex and the substitution witnessing it.
+// For existential queries the substitution is minimal (every extension also
+// matches); for direct universal queries it is the merge over all paths.
+// Witness is populated when Options.Witnesses is set on an existential
+// query: one path from the start vertex matching the pattern.
+type Answer struct {
+	Vertex   string
+	Bindings []Binding
+	Witness  []Step
+}
+
+// String renders the answer as "v {x↦a, y↦b}".
+func (a Answer) String() string {
+	var b strings.Builder
+	b.WriteString(a.Vertex)
+	b.WriteString(" {")
+	for i, bd := range a.Bindings {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(bd.Param)
+		b.WriteString("↦")
+		b.WriteString(bd.Symbol)
+	}
+	b.WriteString("}")
+	return b.String()
+}
+
+// Result is a query result.
+type Result struct {
+	Answers []Answer
+	Stats   Stats
+}
+
+// Filter returns a result restricted to the answers keep accepts; Stats are
+// carried over unchanged. It supports the Section 5.4 direction of
+// "computations involving the values of parameters": bindings are plain
+// strings, so callers can apply numeric or lexical predicates to them.
+func (r *Result) Filter(keep func(Answer) bool) *Result {
+	out := &Result{Stats: r.Stats}
+	for _, a := range r.Answers {
+		if keep(a) {
+			out.Answers = append(out.Answers, a)
+		}
+	}
+	return out
+}
+
+// Binding returns the symbol bound to param in the answer, or "" if unbound.
+func (a Answer) Binding(param string) string {
+	for _, b := range a.Bindings {
+		if b.Param == param {
+			return b.Symbol
+		}
+	}
+	return ""
+}
+
+// resolve prepares the run: algorithm mapping, direction, start vertex.
+func (g *Graph) resolve(opts *Options, universal bool) (*graph.Graph, int32, core.Options, error) {
+	if opts == nil {
+		opts = &Options{}
+	}
+	ig := g.g
+	if opts.Backward {
+		ig = ig.Reverse()
+	}
+	start := ig.Start()
+	if opts.Start != "" {
+		v, ok := ig.LookupVertex(opts.Start)
+		if !ok {
+			return nil, 0, core.Options{}, fmt.Errorf("rpq: unknown start vertex %q", opts.Start)
+		}
+		start = v
+	} else if opts.Backward {
+		if name, ok := g.ExitVertex(); ok {
+			start, _ = ig.LookupVertex(name)
+		}
+	}
+	if start < 0 {
+		return nil, 0, core.Options{}, fmt.Errorf("rpq: no start vertex; call SetStart or pass Options.Start")
+	}
+	co := core.Options{
+		Table:      subst.TableKind(opts.Table),
+		Domains:    core.DomainMode(opts.Domains),
+		Compact:    opts.Compact,
+		SCCOrder:   opts.SCCOrder,
+		Completion: core.CompletionMode(opts.Completion),
+		Witnesses:  opts.Witnesses,
+	}
+	switch opts.Algorithm {
+	case Auto:
+		if universal {
+			co.Algo = core.AlgoBasic // with hybrid fallback in Universal
+		} else {
+			co.Algo = core.AlgoMemo
+		}
+	case Basic:
+		co.Algo = core.AlgoBasic
+	case Memo:
+		co.Algo = core.AlgoMemo
+	case Precompute:
+		co.Algo = core.AlgoPrecomp
+	case Enumerate:
+		co.Algo = core.AlgoEnum
+	case Hybrid:
+		co.Algo = core.AlgoHybrid
+	default:
+		return nil, 0, core.Options{}, fmt.Errorf("rpq: unknown algorithm %v", opts.Algorithm)
+	}
+	return ig, start, co, nil
+}
+
+func (g *Graph) convert(ig *graph.Graph, q *core.Query, res *core.Result) *Result {
+	out := &Result{Stats: res.Stats}
+	for _, p := range res.Pairs {
+		a := Answer{Vertex: ig.VertexName(p.Vertex)}
+		for i, v := range p.Subst {
+			if v >= 0 {
+				a.Bindings = append(a.Bindings, Binding{
+					Param:  q.PS.Name(int32(i)),
+					Symbol: ig.U.Syms.Name(v),
+				})
+			}
+		}
+		for _, w := range p.Witness {
+			a.Witness = append(a.Witness, Step{
+				From:  ig.VertexName(w.From),
+				Label: w.Label.Format(ig.U, nil),
+				To:    ig.VertexName(w.To),
+			})
+		}
+		out.Answers = append(out.Answers, a)
+	}
+	return out
+}
+
+// Exist runs an existential query: all ⟨v, θ⟩ such that some path from the
+// start vertex to v matches the pattern under θ.
+func (g *Graph) Exist(p *Pattern, opts *Options) (*Result, error) {
+	ig, start, co, err := g.resolve(opts, false)
+	if err != nil {
+		return nil, err
+	}
+	if co.Algo == core.AlgoHybrid {
+		return nil, fmt.Errorf("rpq: the hybrid algorithm applies to universal queries only")
+	}
+	q, err := core.Compile(p.expr, ig.U)
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.Exist(ig, start, q, co)
+	if err != nil {
+		return nil, err
+	}
+	return g.convert(ig, q, res), nil
+}
+
+// Universal runs a universal query: all ⟨v, θ⟩ such that there is a path
+// from the start vertex to v and every such path matches under θ. With
+// Algorithm Auto, the direct algorithm of Section 4 is tried first and the
+// hybrid algorithm is used when the runtime determinism check fails.
+func (g *Graph) Universal(p *Pattern, opts *Options) (*Result, error) {
+	ig, start, co, err := g.resolve(opts, true)
+	if err != nil {
+		return nil, err
+	}
+	q, err := core.Compile(p.expr, ig.U)
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.Univ(ig, start, q, co)
+	if err == core.ErrNondeterministic && (opts == nil || opts.Algorithm == Auto) {
+		co.Algo = core.AlgoHybrid
+		res, err = core.Univ(ig, start, q, co)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return g.convert(ig, q, res), nil
+}
+
+// ErrNondeterministic is returned by Universal with an explicit direct
+// algorithm when the determinism condition of Section 4 fails.
+var ErrNondeterministic = core.ErrNondeterministic
+
+// Estimate is the complexity report of the paper's Figure 2 quantities and
+// Section 3/4 worst-case formulas, evaluated for a query on a graph.
+type Estimate = core.Estimate
+
+// EstimateQuery computes the Figure 2 quantities and worst-case time bounds
+// for running p on g (Section 5.3's refined per-parameter domains when
+// mode is RefinedDomains).
+func (g *Graph) EstimateQuery(p *Pattern, mode DomainMode) (Estimate, error) {
+	q, err := core.Compile(p.expr, g.g.U)
+	if err != nil {
+		return Estimate{}, err
+	}
+	return core.EstimateQuery(q, g.g, core.DomainMode(mode)), nil
+}
+
+// Advise inspects the query and returns formulation warnings drawn from the
+// paper's Section 5.1 experience: parameters reachable under a negation
+// before any positive binding (consider the backward formulation), labels
+// outside the efficient agree/disagree matching fragment, and
+// negation/parameter combinations that trigger the 2^labelpars factor.
+func (g *Graph) Advise(p *Pattern) ([]string, error) {
+	q, err := core.Compile(p.expr, g.g.U)
+	if err != nil {
+		return nil, err
+	}
+	return core.Advise(q), nil
+}
+
+// ---- Front ends ----
+
+// MiniCConfig controls the MiniC front-end's labeling; see the analysis
+// catalog for which analyses need which features.
+type MiniCConfig struct {
+	// UseSites labels uses as use(x, l) with distinct site numbers.
+	UseSites bool
+	// ExpLabels emits exp(a, op, b) for binary expressions over variables.
+	ExpLabels bool
+	// ConstDefs emits def(x, k) for constant assignments.
+	ConstDefs bool
+	// Interproc splices user-defined calls into a supergraph and tracks
+	// parameter/return equalities.
+	Interproc bool
+	// EntryLoop adds the entry() self-loop at the program entry.
+	EntryLoop bool
+	// AssignEqualities unifies the sides of simple variable copies
+	// (x = y), the Section 5.2 equality module for resource aliasing.
+	AssignEqualities bool
+}
+
+// FromMiniC builds a program graph from MiniC source. The start vertex is
+// the entry of main.
+func FromMiniC(src string, cfg MiniCConfig) (*Graph, error) {
+	g, err := minic.Build(src, minic.Config{
+		UseSites:         cfg.UseSites,
+		ExpLabels:        cfg.ExpLabels,
+		ConstDefs:        cfg.ConstDefs,
+		Interproc:        cfg.Interproc,
+		EntryLoop:        cfg.EntryLoop,
+		AssignEqualities: cfg.AssignEqualities,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Graph{g: g}, nil
+}
+
+// MiniPyConfig controls the MiniPy front-end's labeling.
+type MiniPyConfig struct {
+	// UseSites labels uses as use(x, l) with distinct site numbers.
+	UseSites bool
+	// EntryLoop adds the entry() self-loop at the program entry.
+	EntryLoop bool
+}
+
+// FromMiniPy builds a program graph from MiniPy (Python-like) source. The
+// labeling matches FromMiniC's, so the same query automata analyze both
+// languages — the property the paper demonstrates with its C and Python
+// front ends.
+func FromMiniPy(src string, cfg MiniPyConfig) (*Graph, error) {
+	g, err := minipy.Build(src, minipy.Config{
+		UseSites:  cfg.UseSites,
+		EntryLoop: cfg.EntryLoop,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Graph{g: g}, nil
+}
+
+// FromAUT reads a labeled transition system in the Aldébaran (.aut) format
+// and applies the transformation of Section 2.3: for existential queries,
+// every state gains a state(v) self-loop; for universal queries, every
+// state is split into v_in --state(v)--> v_out.
+func FromAUT(r io.Reader, universal bool) (*Graph, error) {
+	l, err := lts.ReadAUT(r)
+	if err != nil {
+		return nil, err
+	}
+	if universal {
+		return &Graph{g: l.ForUniversal()}, nil
+	}
+	return &Graph{g: l.ForExistential()}, nil
+}
+
+// FromXML parses an XML document into an edge-labeled graph for querying
+// semi-structured data: elements become vertices with child(tag) edges and
+// elem(tag)/attr(name,value)/text(value) self-loops; the start vertex is a
+// synthetic root. Section 5.4 of the paper positions such queries as a
+// generalization of XPath — e.g. "_* child(t) child(t)" finds a tag nested
+// directly in itself, which XPath 1.0 cannot express.
+func FromXML(r io.Reader) (*Graph, error) {
+	g, err := xmldata.FromXML(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Graph{g: g}, nil
+}
+
+// ---- Analysis catalog ----
+
+// Analysis is a catalog entry: a named, documented query from the paper.
+type Analysis = queries.Analysis
+
+// Analyses returns the full catalog of the paper's analyses (Sections 2.2,
+// 2.3, 5.1).
+func Analyses() []Analysis { return queries.Catalog() }
+
+// AnalysisByName looks up a catalog entry such as "uninit-uses",
+// "available-expressions", or "lts-deadlock".
+func AnalysisByName(name string) (Analysis, error) { return queries.ByName(name) }
+
+// RunAnalysis runs a catalog analysis on the graph, handling the query's
+// direction and kind. Options' Backward and Algorithm fields are combined
+// with the analysis' own requirements.
+func (g *Graph) RunAnalysis(a Analysis, opts *Options) (*Result, error) {
+	var o Options
+	if opts != nil {
+		o = *opts
+	}
+	if a.Dir == queries.Backward {
+		o.Backward = true
+	}
+	p := &Pattern{expr: a.Expr(), src: a.Pattern}
+	if a.Kind == queries.Universal {
+		return g.Universal(p, &o)
+	}
+	return g.Exist(p, &o)
+}
+
+// Violations derives, from a universal per-resource discipline pattern such
+// as "(open(f) (access(f))* close(f))*", a single merged existential query
+// finding every way the discipline can be violated (out-of-order operations
+// and, when withExit is set, resources left incomplete at exit), and runs it
+// (Section 5.4).
+func (g *Graph) Violations(discipline string, withExit bool, opts *Options) (*Result, error) {
+	e, err := pattern.Parse(discipline)
+	if err != nil {
+		return nil, err
+	}
+	ig, start, co, err := g.resolve(opts, false)
+	if err != nil {
+		return nil, err
+	}
+	q, err := queries.ViolationQuery(e, ig.U, withExit)
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.Exist(ig, start, q, co)
+	if err != nil {
+		return nil, err
+	}
+	return g.convert(ig, q, res), nil
+}

@@ -19,6 +19,7 @@ import (
 	"rpq/internal/core"
 	"rpq/internal/gen"
 	"rpq/internal/graph"
+	"rpq/internal/obs"
 	"rpq/internal/pattern"
 	"rpq/internal/queries"
 	"rpq/internal/subst"
@@ -95,6 +96,28 @@ func benchQuery(b *testing.B, g *graph.Graph, start int32, pat string, opts core
 	b.ReportMetric(float64(res.Stats.WorklistInserts), "worklist")
 	b.ReportMetric(float64(res.Stats.ResultPairs), "results")
 	b.ReportMetric(float64(res.Stats.Bytes)/1024, "KiB")
+}
+
+// ---- BenchmarkExist: observability overhead guard ----
+
+// BenchmarkExist compares the solver with no tracer against the same run
+// with the no-op tracer installed, on a mid-sized Table 1 program. The two
+// sub-benchmarks must stay within noise (±5%) of each other: tracing that is
+// off may cost at most one cached boolean test per hot-path event site.
+func BenchmarkExist(b *testing.B) {
+	spec := gen.Table1Specs()[4]
+	for _, bench := range []struct {
+		name string
+		opts core.Options
+	}{
+		{"plain", core.Options{Algo: core.AlgoMemo}},
+		{"nop-tracer", core.Options{Algo: core.AlgoMemo, Tracer: obs.Nop()}},
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			w := progWorkload(b, spec)
+			benchQuery(b, w.bwd, w.bwdStart, bwdUninitPattern, bench.opts)
+		})
+	}
 }
 
 // ---- Table 1: uninitialized-use detection ----

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,20 +24,70 @@ import (
 	"rpq/internal/core"
 	"rpq/internal/gen"
 	"rpq/internal/graph"
+	"rpq/internal/obs"
 	"rpq/internal/pattern"
 	"rpq/internal/queries"
 	"rpq/internal/subst"
 )
 
+// liveGauges, when -http is set, exposes each running query's worklist
+// depth, reach size, and table bytes at /metrics.
+var liveGauges *obs.SolverGauges
+
+// section labels bench entries with the table/figure/ablation being run.
+var section string
+
+// benchEntry is one machine-comparable measurement, in the shape of a
+// `go test -bench` result plus the solver counters (BENCH_*.json style).
+type benchEntry struct {
+	Name            string `json:"name"`
+	NsPerOp         int64  `json:"ns_per_op"`
+	WorklistInserts int    `json:"worklist_inserts"`
+	MatchCalls      int    `json:"match_calls"`
+	EnumSubsts      int    `json:"enum_substs"`
+	ResultPairs     int    `json:"result_pairs"`
+	Bytes           int64  `json:"bytes"`
+	SolveNS         int64  `json:"solve_ns"`
+}
+
+var benchEntries []benchEntry
+
+// record appends one bench entry; run() calls it for every measured query.
+func record(name string, res *core.Result, dt time.Duration) {
+	benchEntries = append(benchEntries, benchEntry{
+		Name:            name,
+		NsPerOp:         dt.Nanoseconds(),
+		WorklistInserts: res.Stats.WorklistInserts,
+		MatchCalls:      res.Stats.MatchCalls,
+		EnumSubsts:      res.Stats.EnumSubsts,
+		ResultPairs:     res.Stats.ResultPairs,
+		Bytes:           res.Stats.Bytes,
+		SolveNS:         res.Stats.Phases.Solve.Wall.Nanoseconds(),
+	})
+}
+
 func main() {
 	var (
-		table    = flag.Int("table", 0, "regenerate Table 1, 2, or 3")
-		figure   = flag.Int("figure", 0, "regenerate Figure 3")
-		ablation = flag.String("ablation", "", "direction|memo|domains|compact|scc|complete")
-		all      = flag.Bool("all", false, "run everything")
-		maxCost  = flag.Float64("enumcost", 2e7, "run enumeration only when substs×edges is below this (n/d otherwise, like the paper's 180 s limit)")
+		table     = flag.Int("table", 0, "regenerate Table 1, 2, or 3")
+		figure    = flag.Int("figure", 0, "regenerate Figure 3")
+		ablation  = flag.String("ablation", "", "direction|memo|domains|compact|scc|complete")
+		all       = flag.Bool("all", false, "run everything")
+		maxCost   = flag.Float64("enumcost", 2e7, "run enumeration only when substs×edges is below this (n/d otherwise, like the paper's 180 s limit)")
+		httpAddr  = flag.String("http", "", "serve /metrics, /debug/vars, and /debug/pprof on this address during the run")
+		benchJSON = flag.String("benchjson", "", "write a BENCH_*.json-compatible summary of every measured query to this file")
 	)
 	flag.Parse()
+
+	if *httpAddr != "" {
+		srv, err := obs.Serve(*httpAddr, nil)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "experiments: observability on http://%s (/metrics, /debug/vars, /debug/pprof)\n", srv.Addr)
+		liveGauges = obs.NewSolverGauges(nil)
+	}
 
 	ran := false
 	if *table == 1 || *all {
@@ -69,10 +120,31 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *benchJSON != "" {
+		f, err := os.Create(*benchJSON)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		err = enc.Encode(struct {
+			Benchmarks []benchEntry `json:"benchmarks"`
+		}{benchEntries})
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "experiments: wrote %d bench entries to %s\n", len(benchEntries), *benchJSON)
+	}
 }
 
 // run executes one query and returns the result with wall-clock time.
 func run(g *graph.Graph, start int32, pat string, opts core.Options) (*core.Result, time.Duration) {
+	opts.Gauges = liveGauges
 	q := core.MustCompile(pattern.MustParse(pat), g.U)
 	t0 := time.Now()
 	res, err := core.Exist(g, start, q, opts)
@@ -80,7 +152,9 @@ func run(g *graph.Graph, start int32, pat string, opts core.Options) (*core.Resu
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 		os.Exit(1)
 	}
-	return res, time.Since(t0)
+	dt := time.Since(t0)
+	record(fmt.Sprintf("%s/%s/%s", section, opts.Algo, opts.Table), res, dt)
+	return res, dt
 }
 
 // backwardSetup reverses the graph and finds the post-exit start vertex.
@@ -110,6 +184,7 @@ func table1() {
 		"input", "LOC", "edges", "result",
 		"basic-wl", "time", "pre-wl", "time", "enum-wl", "time", "substs")
 	for _, spec := range gen.Table1Specs() {
+		section = "table1/" + spec.Name
 		g := gen.Program(spec)
 		rg, rstart := backwardSetup(g)
 
@@ -133,6 +208,7 @@ func table2(maxCost float64) {
 		"input", "states", "edges", "result",
 		"basic-wl", "time", "pre-wl", "time", "enum-wl", "time", "substs")
 	for _, spec := range gen.Table2Specs() {
+		section = "table2/" + spec.Name
 		l := gen.RandomLTS(spec)
 		g := l.ForExistential()
 
@@ -165,6 +241,7 @@ func table3() {
 		"p-hash", "time", "p-nested", "time",
 		"e-hash", "time", "e-nested", "time")
 	for _, spec := range gen.Table1Specs() {
+		section = "table3/" + spec.Name
 		g := gen.Program(spec)
 		rg, rstart := backwardSetup(g)
 		row := fmt.Sprintf("%-10s |", spec.Name)
@@ -191,6 +268,7 @@ func figure3() {
 	fmt.Println("(basic algorithm, backward uninitialized-uses query)")
 	fmt.Printf("%8s %10s %10s %12s\n", "edges", "worklist", "time(ms)", "wl/edges")
 	for i, edges := range []int{500, 1000, 1500, 2000, 3000, 4000, 5000, 6000, 7000, 8000, 9000, 10000} {
+		section = fmt.Sprintf("figure3/%d", edges)
 		spec := gen.ProgSpec{
 			Name: fmt.Sprintf("sweep-%d", edges), LOC: 0, Seed: int64(3000 + i),
 			Edges: edges, Vars: 40 + edges/25, UninitFrac: 0.12,
@@ -207,6 +285,7 @@ func figure3() {
 }
 
 func runAblation(name string) {
+	section = "ablation/" + name
 	spec := gen.Table1Specs()[4] // "cut": mid-sized
 	g := gen.Program(spec)
 	rg, rstart := backwardSetup(g)
@@ -279,12 +358,13 @@ func runAblation(name string) {
 		q := core.MustCompile(pattern.MustParse("(state(_) act(_))* state(_)?"), ug.U)
 		for _, cm := range []core.CompletionMode{core.Incomplete, core.CompleteTrap, core.CompleteExplicit} {
 			t0 := time.Now()
-			res, err := core.Univ(ug, ug.Start(), q, core.Options{Completion: cm})
+			res, err := core.Univ(ug, ug.Start(), q, core.Options{Completion: cm, Gauges: liveGauges})
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 				os.Exit(1)
 			}
 			dt := time.Since(t0)
+			record(fmt.Sprintf("%s/univ/%s", section, cm), res, dt)
 			fmt.Printf("  %-11s worklist %8d  match calls %9d  bytes %8dk  time %8.3fs  answers %d\n",
 				cm.String()+":", res.Stats.WorklistInserts, res.Stats.MatchCalls,
 				res.Stats.Bytes/1024, dt.Seconds(), res.Stats.ResultPairs)

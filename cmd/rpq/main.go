@@ -11,6 +11,12 @@
 // the data-structure representation (hashing or nested arrays), direction,
 // and the start vertex. Graphs in the Aldébaran .aut format are accepted
 // with -aut.
+//
+// Observability flags (docs/observability.md): -http serves /metrics,
+// /debug/vars, and /debug/pprof during the run; -trace records a Chrome
+// trace_event file for chrome://tracing; -events streams NDJSON trace
+// events; -slow logs slow queries; -stats selects text, json, or csv run
+// statistics.
 package main
 
 import (
@@ -18,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"rpq"
 )
@@ -36,7 +43,11 @@ func main() {
 		backward  = flag.Bool("backward", false, "reverse all edges before the query")
 		start     = flag.String("start", "", "start vertex (default: graph's start; backward: after exit())")
 		compact   = flag.Bool("compact", false, "drop query-irrelevant edges first (existential)")
-		stats     = flag.Bool("stats", false, "print run statistics")
+		statsFmt  = flag.String("stats", "", "print run statistics: text|json|csv")
+		httpAddr  = flag.String("http", "", "serve /metrics, /debug/vars, and /debug/pprof on this address during the run")
+		traceOut  = flag.String("trace", "", "write a Chrome trace_event JSON file (load in chrome://tracing)")
+		eventsOut = flag.String("events", "", "stream structured trace events as NDJSON to this file (- for stderr)")
+		slow      = flag.Duration("slow", 0, "log queries at or above this duration as NDJSON to stderr")
 		jsonOut   = flag.Bool("json", false, "emit answers as JSON")
 		dotOut    = flag.Bool("dot", false, "emit the graph as Graphviz DOT with answers highlighted, instead of listing answers")
 		witness   = flag.Bool("witness", false, "attach a witnessing path to each existential answer")
@@ -73,6 +84,49 @@ func main() {
 	}
 
 	opts := &rpq.Options{Backward: *backward, Start: *start, Compact: *compact, Witnesses: *witness}
+
+	// Observability wiring: live HTTP endpoints, trace sinks, slow log.
+	if *httpAddr != "" {
+		srv, err := rpq.ServeObservability(*httpAddr)
+		if err != nil {
+			fail("%v", err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "rpq: observability on http://%s (/metrics, /debug/vars, /debug/pprof)\n", srv.Addr)
+		opts.Gauges = rpq.LiveGauges()
+	}
+	var tracers rpq.MultiTracer
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fail("%v", err)
+		}
+		defer f.Close()
+		ct := rpq.NewChromeTracer(f)
+		defer ct.Close()
+		tracers = append(tracers, ct)
+	}
+	if *eventsOut != "" {
+		w := os.Stderr
+		if *eventsOut != "-" {
+			f, err := os.Create(*eventsOut)
+			if err != nil {
+				fail("%v", err)
+			}
+			defer f.Close()
+			w = f
+		}
+		tracers = append(tracers, rpq.NewNDJSONTracer(w))
+	}
+	if len(tracers) == 1 {
+		opts.Tracer = tracers[0]
+	} else if len(tracers) > 1 {
+		opts.Tracer = tracers
+	}
+	if *slow > 0 {
+		opts.SlowLog = rpq.NewSlowLog(os.Stderr, *slow)
+	}
+
 	switch *algo {
 	case "auto":
 		opts.Algorithm = rpq.Auto
@@ -189,10 +243,54 @@ func main() {
 			fmt.Printf("... and %d more answers\n", len(res.Answers)-n)
 		}
 	}
-	if *stats {
-		s := res.Stats
-		fmt.Fprintf(os.Stderr, "answers=%d worklist=%d reach=%d substs=%d match=%d merge=%d bytes=%d\n",
-			len(res.Answers), s.WorklistInserts, s.ReachSize, s.Substs, s.MatchCalls, s.MergeCalls, s.Bytes)
+	if *statsFmt != "" {
+		printStats(*statsFmt, res)
+	}
+}
+
+// printStats renders run statistics in the requested format on stderr
+// (json/csv go to stdout so they can be piped while answers go elsewhere
+// via -json or -dot; text keeps the historical stderr destination).
+func printStats(format string, res *rpq.Result) {
+	s := res.Stats
+	switch format {
+	case "text", "true": // "true" preserves the old boolean -stats spelling
+		fmt.Fprintf(os.Stderr, "answers=%d worklist=%d reach=%d substs=%d match=%d hits=%d misses=%d merge=%d bytes=%d determinism=%v\n",
+			len(res.Answers), s.WorklistInserts, s.ReachSize, s.Substs, s.MatchCalls,
+			s.MatchCacheHits, s.MatchCacheMisses, s.MergeCalls, s.Bytes, s.DeterminismOK)
+		fmt.Fprintf(os.Stderr, "phases: compile=%s domains=%s solve=%s enumerate=%s",
+			s.Phases.Compile.Wall, s.Phases.Domains.Wall, s.Phases.Solve.Wall, s.Phases.Enumerate.Wall)
+		if s.Phases.Solve.AllocBytes > 0 {
+			fmt.Fprintf(os.Stderr, " solve-alloc=%dB", s.Phases.Solve.AllocBytes)
+		}
+		fmt.Fprintln(os.Stderr)
+	case "json":
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(struct {
+			Answers int       `json:"answers"`
+			Stats   rpq.Stats `json:"stats"`
+		}{len(res.Answers), s}); err != nil {
+			fail("%v", err)
+		}
+	case "csv":
+		cols := []string{"answers", "worklist_inserts", "reach_size", "substs", "match_calls",
+			"match_cache_hits", "match_cache_misses", "merge_calls", "enum_substs", "result_pairs",
+			"bytes", "peak_triples", "determinism_ok",
+			"compile_ns", "domains_ns", "solve_ns", "enumerate_ns", "solve_alloc_bytes"}
+		vals := []any{len(res.Answers), s.WorklistInserts, s.ReachSize, s.Substs, s.MatchCalls,
+			s.MatchCacheHits, s.MatchCacheMisses, s.MergeCalls, s.EnumSubsts, s.ResultPairs,
+			s.Bytes, s.PeakTriples, s.DeterminismOK,
+			int64(s.Phases.Compile.Wall), int64(s.Phases.Domains.Wall),
+			int64(s.Phases.Solve.Wall), int64(s.Phases.Enumerate.Wall), s.Phases.Solve.AllocBytes}
+		fmt.Println(strings.Join(cols, ","))
+		parts := make([]string, len(vals))
+		for i, v := range vals {
+			parts[i] = fmt.Sprint(v)
+		}
+		fmt.Println(strings.Join(parts, ","))
+	default:
+		fail("unknown -stats format %q (want text, json, or csv)", format)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Determinize applies the subset construction treating transition labels as
@@ -20,6 +21,7 @@ import (
 // no matching transition (the paper's improvement over requiring complete
 // automata).
 func Determinize(n *NFA) *NFA {
+	t0 := time.Now()
 	type setKey = string
 	encode := func(set []int32) setKey {
 		var b strings.Builder
@@ -84,6 +86,7 @@ func Determinize(n *NFA) *NFA {
 		}
 	}
 	out.NumStates = len(sets)
+	out.BuildWall = time.Since(t0)
 	return out
 }
 

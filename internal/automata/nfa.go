@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"rpq/internal/label"
 	"rpq/internal/pattern"
@@ -34,6 +35,10 @@ type NFA struct {
 	// Figure 2 is len(Labels)).
 	Labels  []*label.CTerm
 	LabelID map[string]int32
+	// BuildWall is the wall-clock time spent constructing this automaton
+	// (FromPattern or Determinize); the observability layer surfaces it in
+	// the compile phase of core.Stats.Phases.
+	BuildWall time.Duration
 }
 
 // NumTrans returns the total number of transitions, |P| in the paper's
@@ -81,13 +86,16 @@ func (e *epsNFA) edge(from, to int32, l *label.CTerm) {
 // (label.KOr outside a negation) are split into parallel transitions, so the
 // matcher only ever sees KOr under a negation.
 func FromPattern(e pattern.Expr, u *label.Universe, ps *label.ParamSpace) (*NFA, error) {
+	t0 := time.Now()
 	en := &epsNFA{}
 	start := en.state()
 	final := en.state()
 	if err := build(en, e, start, final, u, ps); err != nil {
 		return nil, err
 	}
-	return eliminateEps(en, start, final), nil
+	nfa := eliminateEps(en, start, final)
+	nfa.BuildWall = time.Since(t0)
+	return nfa, nil
 }
 
 // MustFromPattern is FromPattern that panics on error.

@@ -9,10 +9,12 @@ package core
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"rpq/internal/automata"
 	"rpq/internal/graph"
 	"rpq/internal/label"
+	"rpq/internal/obs"
 	"rpq/internal/pattern"
 	"rpq/internal/subst"
 )
@@ -120,39 +122,93 @@ type Options struct {
 	// enumeration and by universal queries (whose answers quantify over
 	// all paths).
 	Witnesses bool
+	// Tracer receives structured lifecycle events (phase begin/end,
+	// worklist high-water marks, table-growth snapshots, end-of-run
+	// counters). Nil disables tracing at the cost of one nil check; see
+	// internal/obs for sinks (ring buffer, NDJSON, Chrome trace_event).
+	Tracer obs.Tracer
+	// Gauges, when non-nil, receives periodic live samples (worklist
+	// depth, reach-set size, interned substitutions, table bytes) every
+	// few hundred worklist pops, for the /metrics endpoint to expose
+	// while a query runs.
+	Gauges *obs.SolverGauges
 }
 
 // Stats instruments a run with the quantities reported in the paper's
-// Tables 1-3 and Figure 3.
+// Tables 1-3 and Figure 3, plus the phase timings and cache counters of the
+// observability layer. The struct marshals to JSON for machine-comparable
+// runs (cmd/rpq -stats json, cmd/experiments -benchjson).
 type Stats struct {
 	// WorklistInserts counts elements inserted into the worklist — the
 	// "worklist" columns of Tables 1 and 2.
-	WorklistInserts int
+	WorklistInserts int `json:"worklist_inserts"`
 	// ReachSize is the size of the reach set R when the run finishes.
-	ReachSize int
+	ReachSize int `json:"reach_size"`
 	// MatchCalls counts invocations of the match operation (cache misses
 	// only, under memoization/precomputation).
-	MatchCalls int
+	MatchCalls int `json:"match_calls"`
+	// MatchCacheHits counts match lookups answered from the memoized
+	// substitution map M_s (memoization/precomputation only).
+	MatchCacheHits int `json:"match_cache_hits"`
+	// MatchCacheMisses counts match lookups that had to compute (and
+	// cache) a fresh result; equals the memoized portion of MatchCalls.
+	MatchCacheMisses int `json:"match_cache_misses"`
 	// MergeCalls counts merge operations.
-	MergeCalls int
+	MergeCalls int `json:"merge_calls"`
 	// Substs is the number of distinct substitutions interned, the
 	// "substs" quantity of Figure 2 (excluding badsubst).
-	Substs int
+	Substs int `json:"substs"`
 	// EnumSubsts is the number of full substitutions enumerated by the
 	// enumeration and hybrid algorithms — the "substs" column of Tables
 	// 1-2.
-	EnumSubsts int
+	EnumSubsts int `json:"enum_substs"`
 	// ResultPairs is the size of the query result.
-	ResultPairs int
+	ResultPairs int `json:"result_pairs"`
 	// Bytes approximates the memory used by the run's data structures, for
-	// the Table 3 comparison.
-	Bytes int64
+	// the Table 3 comparison. Every algorithm variant and both table
+	// representations account the same classes of storage: the reach set
+	// (its peak when SCCOrder releases components, or the per-substitution
+	// peak under enumeration), the substitution-interning table, the match
+	// memo M_s, the precomputed M_ts/M_ds maps, per-vertex result
+	// bookkeeping, auxiliary enumeration tables, and the result pairs.
+	// Go runtime overheads (GC headers, map buckets beyond the modeled 48
+	// bytes/entry) are not included.
+	Bytes int64 `json:"bytes"`
 	// DeterminismOK reports whether the universal determinism condition
 	// held (always true for existential runs).
-	DeterminismOK bool
+	DeterminismOK bool `json:"determinism_ok"`
 	// PeakTriples is the maximum number of live reach-set triples; with
 	// SCCOrder it can be far below ReachSize.
-	PeakTriples int
+	PeakTriples int `json:"peak_triples"`
+	// Phases is the phase-level timing breakdown of the run.
+	Phases PhaseTimings `json:"phases"`
+}
+
+// PhaseTimings is the wall-clock (and, when tracing, allocation) breakdown
+// of one query run into its coarse phases.
+type PhaseTimings struct {
+	// Compile covers pattern normalization and automaton construction —
+	// the ε-free NFA, plus the opaque-label determinization for universal
+	// worklist runs. It is recorded once per compiled Query and copied
+	// into every run's stats.
+	Compile PhaseStat `json:"compile"`
+	// Domains covers parameter-domain computation (Section 5.3).
+	Domains PhaseStat `json:"domains"`
+	// Solve is the whole solver pass, from after compilation to the
+	// sorted result (it includes Domains and Enumerate).
+	Solve PhaseStat `json:"solve"`
+	// Enumerate is the portion of Solve spent running per-substitution
+	// ground queries; zero for the worklist algorithms.
+	Enumerate PhaseStat `json:"enumerate"`
+}
+
+// PhaseStat is the cost of one phase. AllocBytes is the heap allocation
+// delta across the phase; it is sampled (via runtime.ReadMemStats) only
+// when a Tracer is installed, and only for the Solve phase, since the
+// read is too expensive for the always-on path.
+type PhaseStat struct {
+	Wall       time.Duration `json:"wall_ns"`
+	AllocBytes int64         `json:"alloc_bytes,omitempty"`
 }
 
 // WitnessStep is one edge of a witnessing path.
@@ -207,6 +263,9 @@ type Query struct {
 	U    *label.Universe
 	PS   *label.ParamSpace
 	NFA  *automata.NFA
+	// CompileWall is the wall-clock time Compile spent normalizing the
+	// pattern and building the NFA.
+	CompileWall time.Duration
 	// DFA is the subset-construction determinization of NFA, built on first
 	// use by the universal solvers.
 	dfa *automata.NFA
@@ -216,13 +275,14 @@ type Query struct {
 // pattern is simplified first (language-preserving normalization), keeping
 // the automaton small.
 func Compile(e pattern.Expr, u *label.Universe) (*Query, error) {
+	t0 := time.Now()
 	e = pattern.Simplify(e)
 	ps := &label.ParamSpace{}
 	nfa, err := automata.FromPattern(e, u, ps)
 	if err != nil {
 		return nil, err
 	}
-	return &Query{Expr: e, U: u, PS: ps, NFA: nfa}, nil
+	return &Query{Expr: e, U: u, PS: ps, NFA: nfa, CompileWall: time.Since(t0)}, nil
 }
 
 // MustCompile is Compile that panics on error.
@@ -243,6 +303,16 @@ func (q *Query) DFA() *automata.NFA {
 		q.dfa = automata.Determinize(q.NFA)
 	}
 	return q.dfa
+}
+
+// BuildWall is the total automaton-construction wall time attributable to
+// this query so far: compilation plus the determinization if it was built.
+func (q *Query) BuildWall() time.Duration {
+	d := q.CompileWall
+	if q.dfa != nil {
+		d += q.dfa.BuildWall
+	}
+	return d
 }
 
 // ErrNondeterministic is returned by the universal basic/memo/precomp

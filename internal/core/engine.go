@@ -18,6 +18,7 @@ type engine struct {
 	doms  subst.Domains
 	table subst.Table
 	stats *Stats
+	in    instr
 
 	// memo is the substitution map M_s of Section 3: match results cached
 	// by (edge label id, transition label id). Entry nil = not yet
@@ -30,21 +31,33 @@ type engine struct {
 }
 
 func newEngine(g *graph.Graph, q *Query, auto *automata.NFA, opts Options, stats *Stats) *engine {
+	in := newInstr(opts)
+	tDoms := in.phaseBegin("domains")
+	doms := ComputeDomains(q, g, opts.Domains)
+	stats.Phases.Domains.Wall = in.phaseEnd("domains", tDoms)
 	e := &engine{
 		g:     g,
 		q:     q,
 		auto:  auto,
 		opts:  opts,
-		doms:  ComputeDomains(q, g, opts.Domains),
+		doms:  doms,
 		table: subst.NewTable(opts.Table, q.Pars(), g.U.NumSymbols()),
 		stats: stats,
+		in:    in,
 		buf1:  subst.New(q.Pars()),
 	}
+	e.in.growthHookFor(e.table)
 	if opts.Algo == AlgoMemo || opts.Algo == AlgoPrecomp {
 		e.memo = make([][]*label.Match, g.NumLabels())
 		e.memoBytes = int64(g.NumLabels()) * 24
 	}
 	return e
+}
+
+// sample publishes a live gauge snapshot from the worklist loops.
+func (e *engine) sample(worklistDepth, reach int, reachBytes int64) {
+	e.in.gauges.Sample(int64(worklistDepth), int64(reach), int64(e.table.Len()),
+		reachBytes+e.table.Bytes()+e.memoBytes)
 }
 
 // match computes (or recalls) the agree/disagree match of edge label el
@@ -60,12 +73,14 @@ func (e *engine) match(tl *label.CTerm, tlID int32, el *label.CTerm, elID int32)
 			e.memoBytes += int64(len(row)) * 8
 		}
 		if m := row[tlID]; m != nil {
+			e.stats.MatchCacheHits++
 			if !m.OK {
 				return nil
 			}
 			return m
 		}
 		e.stats.MatchCalls++
+		e.stats.MatchCacheMisses++
 		m := label.MatchAD(tl, el)
 		row[tlID] = &m
 		e.memoBytes += 48

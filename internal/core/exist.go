@@ -22,14 +22,33 @@ func Exist(g *graph.Graph, v0 int32, q *Query, opts Options) (*Result, error) {
 		return nil, fmt.Errorf("core: start vertex %d out of range", v0)
 	}
 	switch opts.Algo {
-	case AlgoBasic, AlgoMemo, AlgoPrecomp:
-		return existWorklist(g, v0, q, opts)
-	case AlgoEnum:
-		return existEnum(g, v0, q, opts)
+	case AlgoBasic, AlgoMemo, AlgoPrecomp, AlgoEnum:
 	case AlgoHybrid:
 		return nil, fmt.Errorf("core: the hybrid algorithm applies to universal queries only")
+	default:
+		return nil, fmt.Errorf("core: unknown algorithm %v", opts.Algo)
 	}
-	return nil, fmt.Errorf("core: unknown algorithm %v", opts.Algo)
+	in := newInstr(opts)
+	in.span("compile", q.CompileWall)
+	a0 := in.allocSnapshot()
+	t0 := in.phaseBegin("solve")
+	var res *Result
+	var err error
+	if opts.Algo == AlgoEnum {
+		res, err = existEnum(g, v0, q, opts)
+	} else {
+		res, err = existWorklist(g, v0, q, opts)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.Stats.Phases.Solve.Wall = in.phaseEnd("solve", t0)
+	if a1 := in.allocSnapshot(); a1 > a0 {
+		res.Stats.Phases.Solve.AllocBytes = int64(a1 - a0)
+	}
+	res.Stats.Phases.Compile.Wall = q.BuildWall()
+	in.finish(&res.Stats)
+	return res, nil
 }
 
 // mtsEntry is one element of the target-and-substitution map M_ts: from the
@@ -186,11 +205,16 @@ func existWorklist(g *graph.Graph, v0 int32, q *Query, opts Options) (*Result, e
 	}
 
 	var maxBytes int64
+	pops, nextHW := 0, 1
 	for bi := range buckets {
 		for len(buckets[bi]) > 0 {
 			t := buckets[bi][len(buckets[bi])-1]
 			buckets[bi] = buckets[bi][:len(buckets[bi])-1]
 			processTriple(t)
+			e.in.highWater(len(buckets[bi]), &nextHW)
+			if pops++; e.in.gauges != nil && pops&sampleMask == 0 {
+				e.sample(len(buckets[bi]), seen.Len(), seen.Bytes())
+			}
 		}
 		if opts.SCCOrder {
 			// The component is finished: release its reach-set storage.
@@ -235,7 +259,11 @@ func existWorklist(g *graph.Graph, v0 int32, q *Query, opts Options) (*Result, e
 	stats.ReachSize = seen.Len()
 	stats.Substs = e.table.Len()
 	stats.ResultPairs = len(pairs)
-	stats.Bytes = maxBytes + e.table.Bytes() + e.memoBytes + mtsBytes
+	stats.Bytes = maxBytes + e.table.Bytes() + e.memoBytes + mtsBytes +
+		pairsBytes(len(pairs), q.Pars())
+	if e.in.gauges != nil {
+		e.sample(0, seen.Len(), seen.Bytes())
+	}
 	sortPairs(pairs)
 	return &Result{Pairs: pairs, Stats: stats}, nil
 }
@@ -252,7 +280,10 @@ func existEnum(g *graph.Graph, v0 int32, q *Query, opts Options) (*Result, error
 	stats.DeterminismOK = true
 	nfa := q.NFA
 	states := nfa.NumStates
+	in := newInstr(opts)
+	tDoms := in.phaseBegin("domains")
 	doms := ComputeDomains(q, g, opts.Domains)
+	stats.Phases.Domains.Wall = in.phaseEnd("domains", tDoms)
 	stats.EnumSubsts = doms.Count()
 
 	seen := make([]bool, g.NumVertices()*states)
@@ -260,7 +291,13 @@ func existEnum(g *graph.Graph, v0 int32, q *Query, opts Options) (*Result, error
 	var pairs []Pair
 	var maxBytes int64
 
+	enumerated := 0
+	tEnum := in.phaseBegin("enumerate")
 	subst.ForEachFull(q.Pars(), doms, func(th subst.Subst) bool {
+		if enumerated++; in.gauges != nil {
+			in.gauges.EnumSubsts.Set(int64(enumerated))
+			in.gauges.Sample(-1, int64(stats.WorklistInserts), -1, maxBytes)
+		}
 		// Instantiate each distinct transition label under θ.
 		for i, tl := range nfa.Labels {
 			if tl.HasParams() {
@@ -311,10 +348,11 @@ func existEnum(g *graph.Graph, v0 int32, q *Query, opts Options) (*Result, error
 		}
 		return true
 	})
+	stats.Phases.Enumerate.Wall = in.phaseEnd("enumerate", tEnum)
 
 	stats.ReachSize = stats.WorklistInserts
 	stats.ResultPairs = len(pairs)
-	stats.Bytes = maxBytes + int64(len(pairs))*int64(q.Pars()*4+8)
+	stats.Bytes = maxBytes + pairsBytes(len(pairs), q.Pars())
 	sortPairs(pairs)
 	return &Result{Pairs: pairs, Stats: stats}, nil
 }

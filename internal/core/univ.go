@@ -25,15 +25,32 @@ func Univ(g *graph.Graph, v0 int32, q *Query, opts Options) (*Result, error) {
 	if opts.Compact {
 		return nil, fmt.Errorf("core: compaction is unsound for universal queries")
 	}
+	in := newInstr(opts)
+	in.span("compile", q.CompileWall)
+	a0 := in.allocSnapshot()
+	t0 := in.phaseBegin("solve")
+	var res *Result
+	var err error
 	switch opts.Algo {
 	case AlgoBasic, AlgoMemo, AlgoPrecomp:
-		return univWorklist(g, v0, q, opts)
+		res, err = univWorklist(g, v0, q, opts)
 	case AlgoEnum:
-		return univEnum(g, v0, q, opts)
+		res, err = univEnum(g, v0, q, opts)
 	case AlgoHybrid:
-		return univHybrid(g, v0, q, opts)
+		res, err = univHybrid(g, v0, q, opts)
+	default:
+		return nil, fmt.Errorf("core: unknown algorithm %v", opts.Algo)
 	}
-	return nil, fmt.Errorf("core: unknown algorithm %v", opts.Algo)
+	if err != nil {
+		return nil, err
+	}
+	res.Stats.Phases.Solve.Wall = in.phaseEnd("solve", t0)
+	if a1 := in.allocSnapshot(); a1 > a0 {
+		res.Stats.Phases.Solve.AllocBytes = int64(a1 - a0)
+	}
+	res.Stats.Phases.Compile.Wall = q.BuildWall()
+	in.finish(&res.Stats)
+	return res, nil
 }
 
 // dsEntry is one element of the determinism-and-substitution map M_ds,
@@ -124,9 +141,14 @@ func univWorklist(g *graph.Graph, v0 int32, q *Query, opts Options) (*Result, er
 	badU := make([]bool, g.NumVertices())
 
 	var detErr error
+	pops, nextHW := 0, 1
 	for len(work) > 0 && detErr == nil {
 		t := work[len(work)-1]
 		work = work[:len(work)-1]
+		e.in.highWater(len(work), &nextHW)
+		if pops++; e.in.gauges != nil && pops&sampleMask == 0 {
+			e.sample(len(work), seen.Len(), seen.Bytes())
+		}
 
 		// Successor generation with the determinism check.
 		if t.s == badstate {
@@ -235,7 +257,10 @@ func univWorklist(g *graph.Graph, v0 int32, q *Query, opts Options) (*Result, er
 	stats.Substs = e.table.Len()
 	stats.ResultPairs = len(pairs)
 	stats.Bytes = seen.Bytes() + e.table.Bytes() + e.memoBytes + mdsBytes +
-		int64(g.NumVertices())*(1+24+1)
+		int64(g.NumVertices())*(1+24+1) + pairsBytes(len(pairs), q.Pars())
+	if e.in.gauges != nil {
+		e.sample(0, seen.Len(), seen.Bytes())
+	}
 	sortPairs(pairs)
 	return &Result{Pairs: pairs, Stats: stats}, nil
 }

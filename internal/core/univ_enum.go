@@ -71,17 +71,28 @@ func groundUniv(g *graph.Graph, v0 int32, q *Query, th subst.Subst, stats *Stats
 func univEnum(g *graph.Graph, v0 int32, q *Query, opts Options) (*Result, error) {
 	var stats Stats
 	stats.DeterminismOK = true
+	in := newInstr(opts)
+	tDoms := in.phaseBegin("domains")
 	doms := ComputeDomains(q, g, opts.Domains)
+	stats.Phases.Domains.Wall = in.phaseEnd("domains", tDoms)
 	stats.EnumSubsts = doms.Count()
 	var pairs []Pair
+	enumerated := 0
+	tEnum := in.phaseBegin("enumerate")
 	subst.ForEachFull(q.Pars(), doms, func(th subst.Subst) bool {
+		if enumerated++; in.gauges != nil {
+			in.gauges.EnumSubsts.Set(int64(enumerated))
+			in.gauges.Sample(-1, int64(stats.WorklistInserts), -1, stats.Bytes)
+		}
 		for _, v := range groundUniv(g, v0, q, th, &stats) {
 			pairs = append(pairs, Pair{Vertex: v, Subst: th.Clone()})
 		}
 		return true
 	})
+	stats.Phases.Enumerate.Wall = in.phaseEnd("enumerate", tEnum)
 	stats.ResultPairs = len(pairs)
 	stats.ReachSize = stats.WorklistInserts
+	stats.Bytes += pairsBytes(len(pairs), q.Pars())
 	sortPairs(pairs)
 	return &Result{Pairs: pairs, Stats: stats}, nil
 }
@@ -101,10 +112,15 @@ func univHybrid(g *graph.Graph, v0 int32, q *Query, opts Options) (*Result, erro
 	stats.DeterminismOK = true
 	stats.WorklistInserts = ex.Stats.WorklistInserts
 	stats.MatchCalls = ex.Stats.MatchCalls
+	stats.MatchCacheHits = ex.Stats.MatchCacheHits
+	stats.MatchCacheMisses = ex.Stats.MatchCacheMisses
 	stats.MergeCalls = ex.Stats.MergeCalls
 	stats.Bytes = ex.Stats.Bytes
 
+	in := newInstr(opts)
+	tDoms := in.phaseBegin("domains")
 	doms := ComputeDomains(q, g, opts.Domains)
+	stats.Phases.Domains.Wall = in.phaseEnd("domains", tDoms)
 	// Deduplicate candidate full substitutions across all existential
 	// result substitutions.
 	cand := subst.NewTable(subst.Hash, q.Pars(), g.U.NumSymbols())
@@ -125,14 +141,21 @@ func univHybrid(g *graph.Graph, v0 int32, q *Query, opts Options) (*Result, erro
 	}
 	stats.EnumSubsts = len(order)
 	var pairs []Pair
-	for _, key := range order {
+	tEnum := in.phaseBegin("enumerate")
+	for i, key := range order {
+		if in.gauges != nil {
+			in.gauges.EnumSubsts.Set(int64(i + 1))
+			in.gauges.Sample(-1, int64(stats.WorklistInserts), int64(cand.Len()), stats.Bytes)
+		}
 		th := cand.Get(key)
 		for _, v := range groundUniv(g, v0, q, th, &stats) {
 			pairs = append(pairs, Pair{Vertex: v, Subst: th.Clone()})
 		}
 	}
+	stats.Phases.Enumerate.Wall = in.phaseEnd("enumerate", tEnum)
 	stats.ResultPairs = len(pairs)
 	stats.ReachSize = stats.WorklistInserts
+	stats.Bytes += cand.Bytes() + pairsBytes(len(pairs), q.Pars())
 	sortPairs(pairs)
 	return &Result{Pairs: pairs, Stats: stats}, nil
 }

@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// publishOnce guards the expvar publication: expvar.Publish panics on
+// duplicate names, and tests may start several servers in one process.
+var publishOnce sync.Once
+
+// Serve starts the observability HTTP server on addr (e.g. "localhost:6060")
+// serving, from the given registry (Default() when nil):
+//
+//	/metrics       Prometheus text exposition of the live gauges
+//	/debug/vars    expvar JSON (includes the registry under "rpq_metrics")
+//	/debug/pprof/  the standard pprof profile index
+//
+// The listener is bound synchronously — a bad address fails here, not
+// later — and requests are served on a background goroutine. The returned
+// server can be Closed to stop it.
+func Serve(addr string, reg *Registry) (*http.Server, error) {
+	if reg == nil {
+		reg = Default()
+	}
+	publishOnce.Do(func() {
+		expvar.Publish("rpq_metrics", expvar.Func(func() any { return Default().Snapshot() }))
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "rpq observability\n\n/metrics\n/debug/vars\n/debug/pprof/\n")
+	})
+	srv := &http.Server{Addr: ln.Addr().String(), Handler: mux}
+	go srv.Serve(ln)
+	return srv, nil
+}

@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Gauge is an atomically updated int64 metric, safe to write from a solver
+// loop while the HTTP exposition reads it.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add increments by d.
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Value reads the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Registry names a set of gauges and renders them in the Prometheus text
+// exposition format. Registration is cheap and idempotent by name.
+type Registry struct {
+	mu     sync.Mutex
+	gauges map[string]*Gauge
+	help   map[string]string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{gauges: map[string]*Gauge{}, help: map[string]string{}}
+}
+
+// defaultRegistry backs Default.
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry served by Serve when no
+// explicit registry is given.
+func Default() *Registry { return defaultRegistry }
+
+// Gauge returns the gauge registered under name, creating it (with the
+// given help text) on first use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	g := &Gauge{}
+	r.gauges[name] = g
+	r.help[name] = help
+	return g
+}
+
+// Snapshot returns the current name → value map, for expvar publication.
+func (r *Registry) Snapshot() map[string]int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int64, len(r.gauges))
+	for name, g := range r.gauges {
+		out[name] = g.Value()
+	}
+	return out
+}
+
+// WritePrometheus renders every gauge in the Prometheus text exposition
+// format (# HELP / # TYPE lines followed by the sample), sorted by name.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.gauges))
+	for name := range r.gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	type row struct {
+		name, help string
+		value      int64
+	}
+	rows := make([]row, 0, len(names))
+	for _, name := range names {
+		rows = append(rows, row{name, r.help[name], r.gauges[name].Value()})
+	}
+	r.mu.Unlock()
+	for _, rw := range rows {
+		if rw.help != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", rw.name, rw.help)
+		}
+		fmt.Fprintf(w, "# TYPE %s gauge\n", rw.name)
+		fmt.Fprintf(w, "%s %d\n", rw.name, rw.value)
+	}
+}
+
+// SolverGauges is the live view of a running query that the solvers sample
+// every few hundred worklist pops: current worklist depth, reach-set size,
+// interned substitutions, and approximate table bytes, plus monotonic
+// query/slow-query totals maintained by the rpq layer.
+type SolverGauges struct {
+	WorklistDepth *Gauge
+	ReachSize     *Gauge
+	Substs        *Gauge
+	TableBytes    *Gauge
+	EnumSubsts    *Gauge
+	Queries       *Gauge
+	SlowQueries   *Gauge
+}
+
+// NewSolverGauges registers the solver gauge set in r (the default registry
+// when nil) under the rpq_ metric namespace.
+func NewSolverGauges(r *Registry) *SolverGauges {
+	if r == nil {
+		r = Default()
+	}
+	return &SolverGauges{
+		WorklistDepth: r.Gauge("rpq_worklist_depth", "current solver worklist depth"),
+		ReachSize:     r.Gauge("rpq_reach_size", "triples in the reach set of the running query"),
+		Substs:        r.Gauge("rpq_substs_interned", "distinct substitutions interned by the running query"),
+		TableBytes:    r.Gauge("rpq_table_bytes", "approximate bytes in the reach-set and substitution tables"),
+		EnumSubsts:    r.Gauge("rpq_enum_substs", "full substitutions enumerated so far (enumeration/hybrid)"),
+		Queries:       r.Gauge("rpq_queries_total", "queries completed since process start"),
+		SlowQueries:   r.Gauge("rpq_slow_queries_total", "queries exceeding the slow-query threshold"),
+	}
+}
+
+// Sample stores one live snapshot; any negative argument leaves the
+// corresponding gauge untouched, letting callers update a subset.
+func (s *SolverGauges) Sample(worklist, reach, substs, bytes int64) {
+	if s == nil {
+		return
+	}
+	if worklist >= 0 {
+		s.WorklistDepth.Set(worklist)
+	}
+	if reach >= 0 {
+		s.ReachSize.Set(reach)
+	}
+	if substs >= 0 {
+		s.Substs.Set(substs)
+	}
+	if bytes >= 0 {
+		s.TableBytes.Set(bytes)
+	}
+}

@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// SlowLog records queries whose wall-clock time crosses a threshold, one
+// NDJSON record per slow query. A nil *SlowLog is a valid no-op, so callers
+// thread it unconditionally.
+type SlowLog struct {
+	mu        sync.Mutex
+	w         io.Writer
+	threshold time.Duration
+	n         int
+}
+
+// NewSlowLog returns a log writing to w for queries at or above threshold.
+func NewSlowLog(w io.Writer, threshold time.Duration) *SlowLog {
+	return &SlowLog{w: w, threshold: threshold}
+}
+
+// slowRecord is the NDJSON schema of one slow-query entry.
+type slowRecord struct {
+	TS      string `json:"ts"`
+	Query   string `json:"query"`
+	Kind    string `json:"kind"`
+	DurMS   float64 `json:"dur_ms"`
+	Answers int    `json:"answers"`
+	Stats   any    `json:"stats,omitempty"`
+}
+
+// Observe records the query if it was slow; it reports whether it did.
+// stats may be any JSON-marshallable value (typically core.Stats).
+func (l *SlowLog) Observe(kind, query string, d time.Duration, answers int, stats any) bool {
+	if l == nil || d < l.threshold {
+		return false
+	}
+	rec := slowRecord{
+		TS:      time.Now().UTC().Format(time.RFC3339Nano),
+		Query:   query,
+		Kind:    kind,
+		DurMS:   float64(d.Microseconds()) / 1000,
+		Answers: answers,
+		Stats:   stats,
+	}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return false
+	}
+	b = append(b, '\n')
+	l.mu.Lock()
+	l.w.Write(b)
+	l.n++
+	l.mu.Unlock()
+	return true
+}
+
+// Count reports how many slow queries were recorded.
+func (l *SlowLog) Count() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.n
+}
+
+// Threshold returns the configured threshold.
+func (l *SlowLog) Threshold() time.Duration {
+	if l == nil {
+		return 0
+	}
+	return l.threshold
+}

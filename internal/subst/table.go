@@ -45,6 +45,11 @@ type Table interface {
 	Bytes() int64
 	// Kind reports the representation.
 	Kind() TableKind
+	// SetOnGrow installs a callback invoked after each newly interned
+	// substitution with the new length and byte figures. The observability
+	// layer uses it for table-growth snapshots; a nil callback (the
+	// default) costs one nil check per intern.
+	SetOnGrow(func(n int, bytes int64))
 }
 
 // NewTable returns an empty table of the given kind for substitutions over
@@ -67,6 +72,7 @@ type hashTable struct {
 	byKey  map[string]int32
 	substs []Subst
 	bytes  int64
+	onGrow func(n int, bytes int64)
 }
 
 func newHashTable(pars int) *hashTable {
@@ -95,6 +101,9 @@ func (t *hashTable) Key(s Subst) int32 {
 	t.substs = append(t.substs, s.Clone())
 	// Key string + map entry overhead + stored substitution + slice header.
 	t.bytes += int64(len(k)) + 48 + int64(len(s)*4) + 24
+	if t.onGrow != nil {
+		t.onGrow(len(t.substs), t.bytes)
+	}
 	return id
 }
 
@@ -108,6 +117,8 @@ func (t *hashTable) Len() int          { return len(t.substs) }
 func (t *hashTable) Bytes() int64      { return t.bytes }
 func (t *hashTable) Kind() TableKind   { return Hash }
 
+func (t *hashTable) SetOnGrow(fn func(n int, bytes int64)) { t.onGrow = fn }
+
 // ---- nested-array (trie) representation ----
 
 // nestedTable stores substitutions in a trie with one level per parameter.
@@ -120,6 +131,7 @@ type nestedTable struct {
 	nodes  [][]int32
 	substs []Subst
 	bytes  int64
+	onGrow func(n int, bytes int64)
 	// empty caches the key of the zero-parameter substitution when pars==0.
 	emptyKey int32
 }
@@ -154,6 +166,9 @@ func (t *nestedTable) Key(s Subst) int32 {
 		if t.emptyKey < 0 {
 			t.emptyKey = 0
 			t.substs = append(t.substs, Subst{})
+			if t.onGrow != nil {
+				t.onGrow(len(t.substs), t.bytes)
+			}
 		}
 		return t.emptyKey
 	}
@@ -175,6 +190,9 @@ func (t *nestedTable) Key(s Subst) int32 {
 		t.substs = append(t.substs, s.Clone())
 		t.bytes += int64(len(s)*4) + 24
 		node[idx] = key + 1
+		if t.onGrow != nil {
+			t.onGrow(len(t.substs), t.bytes)
+		}
 	}
 	return t.nodes[cur][idx] - 1
 }
@@ -205,3 +223,5 @@ func (t *nestedTable) Get(k int32) Subst { return t.substs[k] }
 func (t *nestedTable) Len() int          { return len(t.substs) }
 func (t *nestedTable) Bytes() int64      { return t.bytes }
 func (t *nestedTable) Kind() TableKind   { return Nested }
+
+func (t *nestedTable) SetOnGrow(fn func(n int, bytes int64)) { t.onGrow = fn }

@@ -29,13 +29,16 @@ package rpq
 import (
 	"fmt"
 	"io"
+	"net/http"
 	"strings"
+	"time"
 
 	"rpq/internal/core"
 	"rpq/internal/graph"
 	"rpq/internal/lts"
 	"rpq/internal/minic"
 	"rpq/internal/minipy"
+	"rpq/internal/obs"
 	"rpq/internal/pattern"
 	"rpq/internal/queries"
 	"rpq/internal/subst"
@@ -293,11 +296,111 @@ type Options struct {
 	// Witnesses attaches, to each existential answer, one start-to-vertex
 	// path witnessing it (an error trace). Worklist algorithms only.
 	Witnesses bool
+	// Tracer receives structured lifecycle events from the solver: phase
+	// begin/end, worklist high-water marks, substitution-table growth
+	// snapshots, and end-of-run counters. Nil (the default) disables
+	// tracing; the no-op path costs one branch per query. See
+	// NewRingTracer, NewNDJSONTracer, and NewChromeTracer for sinks.
+	Tracer Tracer
+	// Gauges receives live samples of worklist depth, reach-set size,
+	// interned substitutions, and table bytes every few hundred worklist
+	// pops, so the /metrics endpoint can expose a query in flight. Use
+	// LiveGauges for a process-wide set served by ServeObservability.
+	Gauges *SolverGauges
+	// SlowLog, when non-nil, records queries whose wall-clock time
+	// reaches its threshold as NDJSON (one record per slow query).
+	SlowLog *SlowLog
 }
 
 // Stats reports the instrumentation of a run; see core.Stats for the
-// correspondence with the paper's tables.
+// correspondence with the paper's tables and the phase-timing breakdown of
+// the observability layer (docs/observability.md). It marshals to JSON.
 type Stats = core.Stats
+
+// PhaseTimings is the per-phase cost breakdown carried in Stats.Phases.
+type PhaseTimings = core.PhaseTimings
+
+// PhaseStat is one phase's wall-clock (and, under tracing, allocation)
+// cost.
+type PhaseStat = core.PhaseStat
+
+// ---- Observability ----
+//
+// The types below re-export the internal/obs layer so callers can trace
+// runs, expose live metrics, and log slow queries; docs/observability.md
+// documents the event schema and metric names.
+
+// Tracer receives solver trace events; see Options.Tracer.
+type Tracer = obs.Tracer
+
+// TraceEvent is one structured trace event.
+type TraceEvent = obs.Event
+
+// RingTracer retains the last N events in memory.
+type RingTracer = obs.RingSink
+
+// NDJSONTracer streams events as NDJSON, one object per line.
+type NDJSONTracer = obs.NDJSONSink
+
+// ChromeTracer writes Chrome trace_event JSON for chrome://tracing.
+type ChromeTracer = obs.ChromeSink
+
+// MultiTracer fans events out to several tracers.
+type MultiTracer = obs.Multi
+
+// SlowLog records slow queries as NDJSON; see Options.SlowLog.
+type SlowLog = obs.SlowLog
+
+// SolverGauges is the live gauge set sampled by a running query.
+type SolverGauges = obs.SolverGauges
+
+// NewRingTracer returns a tracer retaining the last n events.
+func NewRingTracer(n int) *RingTracer { return obs.NewRingSink(n) }
+
+// NewNDJSONTracer returns a tracer streaming NDJSON events to w.
+func NewNDJSONTracer(w io.Writer) *NDJSONTracer { return obs.NewNDJSONSink(w) }
+
+// NewChromeTracer returns a tracer writing Chrome trace_event JSON to w;
+// call Close when the run finishes to terminate the JSON array.
+func NewChromeTracer(w io.Writer) *ChromeTracer { return obs.NewChromeSink(w) }
+
+// NewSlowLog returns a slow-query log writing NDJSON records to w for
+// queries taking threshold or longer.
+func NewSlowLog(w io.Writer, threshold time.Duration) *SlowLog {
+	return obs.NewSlowLog(w, threshold)
+}
+
+// LiveGauges returns the process-wide solver gauge set, registered under
+// the rpq_ namespace in the default metric registry that
+// ServeObservability exposes at /metrics.
+func LiveGauges() *SolverGauges { return obs.NewSolverGauges(nil) }
+
+// ServeObservability starts the observability HTTP server on addr, serving
+// /metrics (Prometheus text exposition of the default registry),
+// /debug/vars (expvar), and /debug/pprof/. The listener binds
+// synchronously; requests are served in the background until the returned
+// server is Closed.
+func ServeObservability(addr string) (*http.Server, error) { return obs.Serve(addr, nil) }
+
+// FormatTrace renders trace events as an aligned human-readable table.
+func FormatTrace(evs []TraceEvent) string { return obs.FormatEvents(evs) }
+
+// observe finishes one public query: bump the query gauges and feed the
+// slow-query log.
+func observe(opts *Options, kind, query string, t0 time.Time, res *Result) {
+	if opts == nil {
+		return
+	}
+	d := time.Since(t0)
+	if opts.Gauges != nil {
+		opts.Gauges.Queries.Add(1)
+	}
+	if res != nil && opts.SlowLog.Observe(kind, query, d, len(res.Answers), res.Stats) {
+		if opts.Gauges != nil {
+			opts.Gauges.SlowQueries.Add(1)
+		}
+	}
+}
 
 // Binding is one parameter-to-symbol binding of an answer.
 type Binding struct {
@@ -401,6 +504,8 @@ func (g *Graph) resolve(opts *Options, universal bool) (*graph.Graph, int32, cor
 		SCCOrder:   opts.SCCOrder,
 		Completion: core.CompletionMode(opts.Completion),
 		Witnesses:  opts.Witnesses,
+		Tracer:     opts.Tracer,
+		Gauges:     opts.Gauges,
 	}
 	switch opts.Algorithm {
 	case Auto:
@@ -452,6 +557,7 @@ func (g *Graph) convert(ig *graph.Graph, q *core.Query, res *core.Result) *Resul
 // Exist runs an existential query: all ⟨v, θ⟩ such that some path from the
 // start vertex to v matches the pattern under θ.
 func (g *Graph) Exist(p *Pattern, opts *Options) (*Result, error) {
+	t0 := time.Now()
 	ig, start, co, err := g.resolve(opts, false)
 	if err != nil {
 		return nil, err
@@ -467,7 +573,9 @@ func (g *Graph) Exist(p *Pattern, opts *Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return g.convert(ig, q, res), nil
+	out := g.convert(ig, q, res)
+	observe(opts, "exist", p.src, t0, out)
+	return out, nil
 }
 
 // Universal runs a universal query: all ⟨v, θ⟩ such that there is a path
@@ -475,6 +583,7 @@ func (g *Graph) Exist(p *Pattern, opts *Options) (*Result, error) {
 // Algorithm Auto, the direct algorithm of Section 4 is tried first and the
 // hybrid algorithm is used when the runtime determinism check fails.
 func (g *Graph) Universal(p *Pattern, opts *Options) (*Result, error) {
+	t0 := time.Now()
 	ig, start, co, err := g.resolve(opts, true)
 	if err != nil {
 		return nil, err
@@ -491,7 +600,9 @@ func (g *Graph) Universal(p *Pattern, opts *Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return g.convert(ig, q, res), nil
+	out := g.convert(ig, q, res)
+	observe(opts, "universal", p.src, t0, out)
+	return out, nil
 }
 
 // ErrNondeterministic is returned by Universal with an explicit direct
@@ -653,6 +764,7 @@ func (g *Graph) RunAnalysis(a Analysis, opts *Options) (*Result, error) {
 // and, when withExit is set, resources left incomplete at exit), and runs it
 // (Section 5.4).
 func (g *Graph) Violations(discipline string, withExit bool, opts *Options) (*Result, error) {
+	t0 := time.Now()
 	e, err := pattern.Parse(discipline)
 	if err != nil {
 		return nil, err
@@ -669,5 +781,7 @@ func (g *Graph) Violations(discipline string, withExit bool, opts *Options) (*Re
 	if err != nil {
 		return nil, err
 	}
-	return g.convert(ig, q, res), nil
+	out := g.convert(ig, q, res)
+	observe(opts, "violations", discipline, t0, out)
+	return out, nil
 }

@@ -6,7 +6,7 @@
 //	experiments -table 2      Table 2: LTS deadlock detection
 //	experiments -table 3      Table 3: hashing vs. nested arrays
 //	experiments -figure 3     Figure 3: worklist and time vs. graph size
-//	experiments -ablation X   X ∈ direction|memo|domains|compact|scc|complete
+//	experiments -ablation X   X ∈ direction|memo|domains|compact|scc|complete|workers
 //	experiments -all          everything
 //
 // Absolute times differ from the paper's 2.0 GHz Pentium 4; the comparisons
@@ -36,6 +36,10 @@ var liveGauges *obs.SolverGauges
 
 // section labels bench entries with the table/figure/ablation being run.
 var section string
+
+// workerCount is the -workers flag: goroutines for every measured
+// existential query (<=1 sequential).
+var workerCount int
 
 // benchEntry is one machine-comparable measurement, in the shape of a
 // `go test -bench` result plus the solver counters (BENCH_*.json style).
@@ -70,13 +74,15 @@ func main() {
 	var (
 		table     = flag.Int("table", 0, "regenerate Table 1, 2, or 3")
 		figure    = flag.Int("figure", 0, "regenerate Figure 3")
-		ablation  = flag.String("ablation", "", "direction|memo|domains|compact|scc|complete")
+		ablation  = flag.String("ablation", "", "direction|memo|domains|compact|scc|complete|workers")
 		all       = flag.Bool("all", false, "run everything")
+		workers   = flag.Int("workers", 1, "goroutines for every measured existential query (<=1 sequential)")
 		maxCost   = flag.Float64("enumcost", 2e7, "run enumeration only when substs×edges is below this (n/d otherwise, like the paper's 180 s limit)")
 		httpAddr  = flag.String("http", "", "serve /metrics, /debug/vars, and /debug/pprof on this address during the run")
 		benchJSON = flag.String("benchjson", "", "write a BENCH_*.json-compatible summary of every measured query to this file")
 	)
 	flag.Parse()
+	workerCount = *workers
 
 	if *httpAddr != "" {
 		srv, err := obs.Serve(*httpAddr, nil)
@@ -109,7 +115,7 @@ func main() {
 	if *ablation != "" || *all {
 		names := []string{*ablation}
 		if *all {
-			names = []string{"direction", "memo", "domains", "compact", "scc", "complete"}
+			names = []string{"direction", "memo", "domains", "compact", "scc", "complete", "workers"}
 		}
 		for _, n := range names {
 			runAblation(n)
@@ -145,6 +151,9 @@ func main() {
 // run executes one query and returns the result with wall-clock time.
 func run(g *graph.Graph, start int32, pat string, opts core.Options) (*core.Result, time.Duration) {
 	opts.Gauges = liveGauges
+	if opts.Workers == 0 {
+		opts.Workers = workerCount
+	}
 	q := core.MustCompile(pattern.MustParse(pat), g.U)
 	t0 := time.Now()
 	res, err := core.Exist(g, start, q, opts)
@@ -371,6 +380,21 @@ func runAblation(name string) {
 		}
 		fmt.Println("  (explicit completion is the prior-work construction; its per-label trap")
 		fmt.Println("   transitions cost extra matches and space the incomplete algorithm avoids)")
+	case "workers":
+		fmt.Println("Ablation: sharded parallel worklist solver (Workers goroutines)")
+		seq, tSeq := run(rg, rstart, bwdUninit, core.Options{Algo: core.AlgoMemo, Workers: 1})
+		fmt.Printf("  sequential:  worklist %8d  time %8.3fs\n", seq.Stats.WorklistInserts, tSeq.Seconds())
+		for _, w := range []int{2, 4, 8} {
+			par, tPar := run(rg, rstart, bwdUninit, core.Options{Algo: core.AlgoMemo, Workers: w})
+			same := "same answers"
+			if par.Stats.ResultPairs != seq.Stats.ResultPairs ||
+				par.Stats.WorklistInserts != seq.Stats.WorklistInserts {
+				same = "ANSWERS DIFFER"
+			}
+			fmt.Printf("  %d workers:   worklist %8d  time %8.3fs  speedup %5.2fx  (%s)\n",
+				w, par.Stats.WorklistInserts, tPar.Seconds(),
+				tSeq.Seconds()/tPar.Seconds(), same)
+		}
 	default:
 		fmt.Fprintf(os.Stderr, "experiments: unknown ablation %q\n", name)
 		os.Exit(2)

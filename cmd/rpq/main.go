@@ -51,6 +51,7 @@ func main() {
 		jsonOut   = flag.Bool("json", false, "emit answers as JSON")
 		dotOut    = flag.Bool("dot", false, "emit the graph as Graphviz DOT with answers highlighted, instead of listing answers")
 		witness   = flag.Bool("witness", false, "attach a witnessing path to each existential answer")
+		workers   = flag.Int("workers", 1, "goroutines for the existential solver (<=1 sequential)")
 		list      = flag.Bool("list", false, "list the analysis catalog and exit")
 		estimate  = flag.Bool("estimate", false, "print the Figure 2 complexity report and query advice, then run")
 		maxPrint  = flag.Int("n", 0, "print at most n answers (0 = all)")
@@ -83,7 +84,7 @@ func main() {
 		fail("%v", err)
 	}
 
-	opts := &rpq.Options{Backward: *backward, Start: *start, Compact: *compact, Witnesses: *witness}
+	opts := &rpq.Options{Backward: *backward, Start: *start, Compact: *compact, Witnesses: *witness, Workers: *workers}
 
 	// Observability wiring: live HTTP endpoints, trace sinks, slow log.
 	if *httpAddr != "" {

@@ -116,6 +116,15 @@ type Options struct {
 	// (Section 5.3). Existential only; universal queries quantify over all
 	// paths, so compaction would change their meaning.
 	Compact bool
+	// Workers sets the number of goroutines the existential solver uses;
+	// values <= 1 select the sequential algorithms. The parallel solver
+	// returns the same sorted Pairs (and the same WorklistInserts,
+	// ReachSize, Substs, ResultPairs, and DeterminismOK) as the sequential
+	// one; PeakTriples, Bytes, and the match-call/cache counters become
+	// approximate, and witness paths may differ while remaining valid. See
+	// exist_parallel.go. Universal queries ignore it except through
+	// AlgoHybrid's inner existential pass.
+	Workers int
 	// Witnesses records, for each existential answer, one path from the
 	// start vertex witnessing it (the error trace). Costs parent pointers
 	// for the whole reach set. Worklist algorithms only; ignored by

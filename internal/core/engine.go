@@ -30,28 +30,69 @@ type engine struct {
 	buf1 subst.Subst
 }
 
-func newEngine(g *graph.Graph, q *Query, auto *automata.NFA, opts Options, stats *Stats) *engine {
+func newEngine(g *graph.Graph, q *Query, auto *automata.NFA, opts Options, stats *Stats) (*engine, error) {
+	return newEngineTable(g, q, auto, opts, stats, nil)
+}
+
+// newEngineTable is newEngine with an optional pre-built substitution table
+// (the parallel solver passes a concurrency-safe sharded table; nil builds
+// the sequential representation selected by opts.Table).
+func newEngineTable(g *graph.Graph, q *Query, auto *automata.NFA, opts Options, stats *Stats, table subst.Table) (*engine, error) {
 	in := newInstr(opts)
 	tDoms := in.phaseBegin("domains")
 	doms := ComputeDomains(q, g, opts.Domains)
 	stats.Phases.Domains.Wall = in.phaseEnd("domains", tDoms)
+	if table == nil {
+		var err error
+		table, err = subst.NewTable(opts.Table, q.Pars(), g.U.NumSymbols())
+		if err != nil {
+			return nil, err
+		}
+	}
 	e := &engine{
 		g:     g,
 		q:     q,
 		auto:  auto,
 		opts:  opts,
 		doms:  doms,
-		table: subst.NewTable(opts.Table, q.Pars(), g.U.NumSymbols()),
+		table: table,
 		stats: stats,
 		in:    in,
 		buf1:  subst.New(q.Pars()),
 	}
-	e.in.growthHookFor(e.table)
+	if opts.Workers <= 1 {
+		// The growth-hook closure mutates unguarded state; it is installed
+		// only for sequential runs.
+		e.in.growthHookFor(e.table)
+	}
 	if opts.Algo == AlgoMemo || opts.Algo == AlgoPrecomp {
 		e.memo = make([][]*label.Match, g.NumLabels())
 		e.memoBytes = int64(g.NumLabels()) * 24
 	}
-	return e
+	return e, nil
+}
+
+// fork returns a worker-private engine for the parallel solver: it shares
+// the read-only inputs (graph, query, automaton, domains) and the
+// concurrency-safe substitution table, but has its own stats, match memo,
+// and merge scratch buffer, and no instrumentation (workers publish their
+// own gauges).
+func (e *engine) fork() *engine {
+	w := &engine{
+		g:     e.g,
+		q:     e.q,
+		auto:  e.auto,
+		opts:  e.opts,
+		doms:  e.doms,
+		table: e.table,
+		stats: &Stats{},
+		buf1:  subst.New(e.q.Pars()),
+	}
+	if e.memo != nil {
+		w.memo = make([][]*label.Match, e.g.NumLabels())
+		w.memoBytes = int64(e.g.NumLabels()) * 24
+	}
+	return w
 }
 
 // sample publishes a live gauge snapshot from the worklist loops.

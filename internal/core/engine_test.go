@@ -15,7 +15,10 @@ import (
 func TestTripleSetBasics(t *testing.T) {
 	for _, kind := range []subst.TableKind{subst.Hash, subst.Nested} {
 		t.Run(kind.String(), func(t *testing.T) {
-			ts := newTripleSet(kind, 4, 3)
+			ts, err := newTripleSet(kind, 4, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
 			a := triple{v: 1, s: 2, th: 0}
 			if !ts.Add(a) {
 				t.Fatal("first Add returned false")
@@ -54,8 +57,8 @@ func TestTripleSetBasics(t *testing.T) {
 
 func TestTripleSetEquivalence(t *testing.T) {
 	f := func(ops []struct{ V, S, Th uint8 }) bool {
-		h := newTripleSet(subst.Hash, 8, 5)
-		n := newTripleSet(subst.Nested, 8, 5)
+		h, _ := newTripleSet(subst.Hash, 8, 5)
+		n, _ := newTripleSet(subst.Nested, 8, 5)
 		for _, op := range ops {
 			tr := triple{v: int32(op.V % 8), s: int32(op.S % 5), th: int32(op.Th%7) - 1}
 			if h.Add(tr) != n.Add(tr) {
@@ -78,7 +81,10 @@ edge v1 use(a) v2
 `)
 	q := MustCompile(pattern.MustParse("(!def(x))* use(x)"), g.U)
 	var stats Stats
-	e := newEngine(g, q, q.NFA, Options{Algo: AlgoMemo}, &stats)
+	e, err := newEngine(g, q, q.NFA, Options{Algo: AlgoMemo}, &stats)
+	if err != nil {
+		t.Fatal(err)
+	}
 	tl := q.NFA.Labels[0]
 	tlID := q.NFA.LabelID[tl.Key()]
 	el := g.Out(g.Start())[0].Label

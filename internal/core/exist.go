@@ -3,10 +3,25 @@ package core
 import (
 	"fmt"
 
+	"rpq/internal/automata"
 	"rpq/internal/graph"
 	"rpq/internal/label"
 	"rpq/internal/subst"
 )
+
+// packPair packs a ⟨v, s⟩ product pair into an int64. The solvers
+// previously used int32 packing (v*states+s), which silently overflows once
+// |V|·|S| exceeds 2³¹ — exactly the inputs the dense base arrays are sized
+// for, so the constructors guard that bound (checkDenseBase) and all pair
+// arithmetic is 64-bit.
+func packPair(v, s int32, states int) int64 {
+	return int64(v)*int64(states) + int64(s)
+}
+
+// unpackPair inverts packPair.
+func unpackPair(p int64, states int) (v, s int32) {
+	return int32(p / int64(states)), int32(p % int64(states))
+}
 
 // Exist solves the existential query of Section 3: compute all pairs ⟨v, θ⟩
 // such that some path from v0 to v matches some sentence accepted by the
@@ -34,9 +49,14 @@ func Exist(g *graph.Graph, v0 int32, q *Query, opts Options) (*Result, error) {
 	t0 := in.phaseBegin("solve")
 	var res *Result
 	var err error
-	if opts.Algo == AlgoEnum {
+	switch {
+	case opts.Algo == AlgoEnum && opts.Workers > 1:
+		res, err = existEnumParallel(g, v0, q, opts)
+	case opts.Algo == AlgoEnum:
 		res, err = existEnum(g, v0, q, opts)
-	} else {
+	case opts.Workers > 1:
+		res, err = existParallel(g, v0, q, opts)
+	default:
 		res, err = existWorklist(g, v0, q, opts)
 	}
 	if err != nil {
@@ -62,6 +82,82 @@ type mtsEntry struct {
 	el     *label.CTerm
 }
 
+// buildMTS precomputes the target-and-substitution map M_ts (pseudo-code
+// (3)): for every reachable ⟨v, s⟩ pair (packed v*states+s), the match
+// results of its outgoing (edge, transition) combinations, ignoring
+// substitution feasibility. Callers validate |V|·|S| against maxDenseBase
+// first (existWorklist via newTripleSet, existParallel explicitly).
+func buildMTS(e *engine, v0 int32) ([][]mtsEntry, int64) {
+	g, nfa := e.g, e.auto
+	states := nfa.NumStates
+	mts := make([][]mtsEntry, g.NumVertices()*states)
+	mtsBytes := int64(len(mts)) * 24
+	seenPair := make([]bool, g.NumVertices()*states)
+	pw := []int64{packPair(v0, nfa.Start, states)}
+	seenPair[pw[0]] = true
+	for len(pw) > 0 {
+		pair := pw[len(pw)-1]
+		pw = pw[:len(pw)-1]
+		v, s := unpackPair(pair, states)
+		for _, ge := range g.Out(v) {
+			for _, tr := range nfa.Trans[s] {
+				tlID := nfa.LabelID[tr.Label.Key()]
+				m := e.possiblyMatches(tr.Label, tlID, ge.Label, ge.LabelID)
+				if m == nil {
+					continue
+				}
+				entry := mtsEntry{v1: ge.To, s1: tr.To, tl: tr.Label, el: ge.Label}
+				if tr.Label.ADCompatible() {
+					entry.m = m
+				}
+				mts[pair] = append(mts[pair], entry)
+				mtsBytes += 48
+				np := packPair(ge.To, tr.To, states)
+				if !seenPair[np] {
+					seenPair[np] = true
+					pw = append(pw, np)
+				}
+			}
+		}
+	}
+	return mts, mtsBytes
+}
+
+// parentStep is the parent pointer of a discovered triple — the triple and
+// edge that first produced it — recorded when Options.Witnesses is on.
+type parentStep struct {
+	prev triple
+	lbl  *label.CTerm
+	from int32
+}
+
+// attachWitnesses reconstructs one witnessing path per answer by following
+// parent pointers from each origin triple back to the seed (which has no
+// parent entry). Each step matched under a subset of the final
+// substitution, and matching is closed under extension, so the whole path
+// matches under the answer's substitution. lookup abstracts over the single
+// parent map of the sequential solver and the per-worker maps of the
+// parallel one.
+func attachWitnesses(pairs []Pair, origins []triple, lookup func(triple) (parentStep, bool)) {
+	for i := range pairs {
+		var rev []WitnessStep
+		cur := origins[i]
+		for {
+			ps, ok := lookup(cur)
+			if !ok {
+				break
+			}
+			rev = append(rev, WitnessStep{From: ps.from, Label: ps.lbl, To: cur.v})
+			cur = ps.prev
+		}
+		w := make([]WitnessStep, len(rev))
+		for j := range rev {
+			w[j] = rev[len(rev)-1-j]
+		}
+		pairs[i].Witness = w
+	}
+}
+
 func existWorklist(g *graph.Graph, v0 int32, q *Query, opts Options) (*Result, error) {
 	if opts.Compact {
 		g = g.CompactFor(q.NFA.Labels)
@@ -70,9 +166,15 @@ func existWorklist(g *graph.Graph, v0 int32, q *Query, opts Options) (*Result, e
 	stats.DeterminismOK = true
 	nfa := q.NFA
 	states := nfa.NumStates
-	e := newEngine(g, q, nfa, opts, &stats)
+	e, err := newEngine(g, q, nfa, opts, &stats)
+	if err != nil {
+		return nil, err
+	}
 
-	seen := newTripleSet(opts.Table, g.NumVertices(), states)
+	seen, err := newTripleSet(opts.Table, g.NumVertices(), states)
+	if err != nil {
+		return nil, err
+	}
 
 	// SCC-ordered mode (Section 5.3): one worklist bucket per strongly
 	// connected component, processed in topological order, with the reach
@@ -88,13 +190,7 @@ func existWorklist(g *graph.Graph, v0 int32, q *Query, opts Options) (*Result, e
 		buckets = make([][]triple, len(comps))
 		bucketOf = func(v int32) int { return int(comp[v]) }
 	}
-	// Witness reconstruction: the parent pointer of each discovered triple
-	// (the triple and edge that first produced it).
-	type parentStep struct {
-		prev triple
-		lbl  *label.CTerm
-		from int32
-	}
+	// Witness reconstruction: the parent pointer of each discovered triple.
 	var parents map[triple]parentStep
 	if opts.Witnesses {
 		parents = map[triple]parentStep{}
@@ -124,36 +220,7 @@ func existWorklist(g *graph.Graph, v0 int32, q *Query, opts Options) (*Result, e
 	var mts [][]mtsEntry
 	var mtsBytes int64
 	if opts.Algo == AlgoPrecomp {
-		mts = make([][]mtsEntry, g.NumVertices()*states)
-		mtsBytes = int64(len(mts)) * 24
-		seenPair := make([]bool, g.NumVertices()*states)
-		pw := []int32{v0*int32(states) + nfa.Start}
-		seenPair[pw[0]] = true
-		for len(pw) > 0 {
-			pair := pw[len(pw)-1]
-			pw = pw[:len(pw)-1]
-			v, s := pair/int32(states), pair%int32(states)
-			for _, ge := range g.Out(v) {
-				for _, tr := range nfa.Trans[s] {
-					tlID := nfa.LabelID[tr.Label.Key()]
-					m := e.possiblyMatches(tr.Label, tlID, ge.Label, ge.LabelID)
-					if m == nil {
-						continue
-					}
-					entry := mtsEntry{v1: ge.To, s1: tr.To, tl: tr.Label, el: ge.Label}
-					if tr.Label.ADCompatible() {
-						entry.m = m
-					}
-					mts[pair] = append(mts[pair], entry)
-					mtsBytes += 48
-					np := ge.To*int32(states) + tr.To
-					if !seenPair[np] {
-						seenPair[np] = true
-						pw = append(pw, np)
-					}
-				}
-			}
-		}
+		mts, mtsBytes = buildMTS(e, v0)
 	}
 
 	// Result set keyed (v, θ-key); origins remembers each pair's triple for
@@ -233,27 +300,10 @@ func existWorklist(g *graph.Graph, v0 int32, q *Query, opts Options) (*Result, e
 	}
 
 	if parents != nil {
-		// Reconstruct one witnessing path per answer by following parent
-		// pointers to the seed triple. Each step matched under a subset of
-		// the final substitution, and matching is closed under extension,
-		// so the whole path matches under the answer's substitution.
-		for i := range pairs {
-			var rev []WitnessStep
-			cur := origins[i]
-			for {
-				ps, ok := parents[cur]
-				if !ok {
-					break
-				}
-				rev = append(rev, WitnessStep{From: ps.from, Label: ps.lbl, To: cur.v})
-				cur = ps.prev
-			}
-			w := make([]WitnessStep, len(rev))
-			for j := range rev {
-				w[j] = rev[len(rev)-1-j]
-			}
-			pairs[i].Witness = w
-		}
+		attachWitnesses(pairs, origins, func(t triple) (parentStep, bool) {
+			ps, ok := parents[t]
+			return ps, ok
+		})
 	}
 
 	stats.ReachSize = seen.Len()
@@ -268,6 +318,102 @@ func existWorklist(g *graph.Graph, v0 int32, q *Query, opts Options) (*Result, e
 	return &Result{Pairs: pairs, Stats: stats}, nil
 }
 
+// enumState is per-goroutine scratch for the enumeration algorithm's ground
+// product-reachability pass: an epoch-tagged seen array plus a reused
+// worklist and label-instantiation buffer. The epoch tag makes the
+// per-substitution reset O(1) — a slot is visited iff it carries the
+// current epoch — instead of clearing all |V|·|S| entries per enumerated
+// substitution.
+type enumState struct {
+	seen  []uint32
+	epoch uint32
+	wl    []int64
+	inst  []*label.CTerm
+}
+
+// enumEagerClear restores the old O(|V|·|S|) per-substitution clear; it
+// exists only so BenchmarkEnumReset can measure the epoch counter's win.
+var enumEagerClear = false
+
+func newEnumState(g *graph.Graph, nfa *automata.NFA) (*enumState, error) {
+	if err := checkDenseBase(g.NumVertices(), nfa.NumStates); err != nil {
+		return nil, err
+	}
+	return &enumState{
+		seen: make([]uint32, g.NumVertices()*nfa.NumStates),
+		inst: make([]*label.CTerm, len(nfa.Labels)),
+	}, nil
+}
+
+// bytes models the scratch footprint for the Table 3 memory accounting.
+func (es *enumState) bytes() int64 { return int64(len(es.seen)) * 4 }
+
+// reset prepares the seen array for the next substitution.
+func (es *enumState) reset() {
+	if enumEagerClear {
+		for i := range es.seen {
+			es.seen[i] = 0
+		}
+		es.epoch = 1
+		return
+	}
+	if es.epoch++; es.epoch == 0 {
+		// The 32-bit epoch wrapped: clear once and restart.
+		for i := range es.seen {
+			es.seen[i] = 0
+		}
+		es.epoch = 1
+	}
+}
+
+// run instantiates the transition labels under th and performs the ground
+// product reachability from ⟨v0, start⟩, marking final-state vertices in
+// resHere. It updates stats.WorklistInserts/MatchCalls/PeakTriples (all
+// deterministic: the pass depends only on th).
+func (es *enumState) run(g *graph.Graph, v0 int32, nfa *automata.NFA, th subst.Subst, resHere map[int32]bool, stats *Stats) {
+	for i, tl := range nfa.Labels {
+		if tl.HasParams() {
+			es.inst[i], _ = tl.Instantiate(th)
+		} else {
+			es.inst[i] = tl
+		}
+	}
+	es.reset()
+	states := nfa.NumStates
+	es.wl = es.wl[:0]
+	p0 := packPair(v0, nfa.Start, states)
+	es.wl = append(es.wl, p0)
+	es.seen[p0] = es.epoch
+	stats.WorklistInserts++
+	live := 1
+	for len(es.wl) > 0 {
+		pair := es.wl[len(es.wl)-1]
+		es.wl = es.wl[:len(es.wl)-1]
+		v, s := unpackPair(pair, states)
+		if nfa.Final[s] {
+			resHere[v] = true
+		}
+		for _, ge := range g.Out(v) {
+			for _, tr := range nfa.Trans[s] {
+				stats.MatchCalls++
+				if !label.MatchGround(es.inst[nfa.LabelID[tr.Label.Key()]], ge.Label, nil) {
+					continue
+				}
+				np := packPair(ge.To, tr.To, states)
+				if es.seen[np] != es.epoch {
+					es.seen[np] = es.epoch
+					es.wl = append(es.wl, np)
+					stats.WorklistInserts++
+					live++
+				}
+			}
+		}
+	}
+	if live > stats.PeakTriples {
+		stats.PeakTriples = live
+	}
+}
+
 // existEnum is the enumeration algorithm: for every full substitution over
 // the parameter domains, instantiate the pattern and run a parameter-free
 // reachability product. Slower (work scales with |G| × substs) but with far
@@ -279,15 +425,16 @@ func existEnum(g *graph.Graph, v0 int32, q *Query, opts Options) (*Result, error
 	var stats Stats
 	stats.DeterminismOK = true
 	nfa := q.NFA
-	states := nfa.NumStates
 	in := newInstr(opts)
 	tDoms := in.phaseBegin("domains")
 	doms := ComputeDomains(q, g, opts.Domains)
 	stats.Phases.Domains.Wall = in.phaseEnd("domains", tDoms)
 	stats.EnumSubsts = doms.Count()
 
-	seen := make([]bool, g.NumVertices()*states)
-	inst := make([]*label.CTerm, len(nfa.Labels))
+	es, err := newEnumState(g, nfa)
+	if err != nil {
+		return nil, err
+	}
 	var pairs []Pair
 	var maxBytes int64
 
@@ -298,52 +445,12 @@ func existEnum(g *graph.Graph, v0 int32, q *Query, opts Options) (*Result, error
 			in.gauges.EnumSubsts.Set(int64(enumerated))
 			in.gauges.Sample(-1, int64(stats.WorklistInserts), -1, maxBytes)
 		}
-		// Instantiate each distinct transition label under θ.
-		for i, tl := range nfa.Labels {
-			if tl.HasParams() {
-				inst[i], _ = tl.Instantiate(th)
-			} else {
-				inst[i] = tl
-			}
-		}
-		for i := range seen {
-			seen[i] = false
-		}
 		resHere := map[int32]bool{}
-		wl := []int32{v0*int32(states) + nfa.Start}
-		seen[wl[0]] = true
-		stats.WorklistInserts++
-		live := 1
-		for len(wl) > 0 {
-			pair := wl[len(wl)-1]
-			wl = wl[:len(wl)-1]
-			v, s := pair/int32(states), pair%int32(states)
-			if nfa.Final[s] {
-				resHere[v] = true
-			}
-			for _, ge := range g.Out(v) {
-				for _, tr := range nfa.Trans[s] {
-					stats.MatchCalls++
-					if !label.MatchGround(inst[nfa.LabelID[tr.Label.Key()]], ge.Label, nil) {
-						continue
-					}
-					np := ge.To*int32(states) + tr.To
-					if !seen[np] {
-						seen[np] = true
-						wl = append(wl, np)
-						stats.WorklistInserts++
-						live++
-					}
-				}
-			}
-		}
-		if live > stats.PeakTriples {
-			stats.PeakTriples = live
-		}
+		es.run(g, v0, nfa, th, resHere, &stats)
 		for v := range resHere {
 			pairs = append(pairs, Pair{Vertex: v, Subst: th.Clone()})
 		}
-		if b := int64(len(seen)) + int64(len(resHere))*16; b > maxBytes {
+		if b := es.bytes() + int64(len(resHere))*16; b > maxBytes {
 			maxBytes = b
 		}
 		return true

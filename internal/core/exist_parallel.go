@@ -1,0 +1,722 @@
+package core
+
+// Parallel existential solver.
+//
+// The worklist is sharded by vertex ownership: worker i owns the vertices v
+// with owner(v) == i (v mod W plainly, comp(v) mod W under SCCOrder so a
+// whole component stays on one worker). Only the owner of v admits triples
+// ⟨v, s, θ⟩ — the owner holds the vertex's slice of the reach set in a
+// private tripleSet shard (indexed by a dense per-worker vertex remap, so
+// the shards together cost what the sequential set costs) — which makes
+// dedup lock-free. Discoveries for foreign vertices are batched into
+// per-destination buffers and delivered through a mutex-guarded inbox;
+// batches are unbounded so a cycle of mutually pushing workers cannot
+// deadlock. Substitutions are interned in a shared concurrency-safe table
+// (subst.NewSharded). Idle workers steal queued triples from other workers
+// — processing a triple needs no ownership, only admission does.
+//
+// Termination (plain mode) is credit-counting: pending holds one credit per
+// admitted-unprocessed triple and per sent-unadmitted message; a credit is
+// created before the work it covers becomes visible, so pending reaching
+// zero means no work exists anywhere, and the worker that decrements to
+// zero closes done.
+//
+// Under SCCOrder the components are grouped into topological levels
+// (level(c) = 1 + max over predecessors; any cross-component edge strictly
+// increases the level, so during a level no same-level cross-worker
+// messages can arise). A coordinator runs one barrier per level: each
+// worker admits the messages deferred for this level, drains its local
+// queue to empty, flushes its out-batches, releases the reach-set storage
+// of its own components at this level, and acknowledges. Messages always
+// target strictly later levels, so released components can never be
+// re-entered — preserving the sequential solver's storage-release
+// semantics and its exact WorklistInserts/ReachSize counts.
+//
+// Determinism contract: the admitted-triple set is the fixpoint reach set,
+// which is order-independent, so sorted Pairs, WorklistInserts, ReachSize,
+// Substs, ResultPairs, and DeterminismOK are identical to the sequential
+// run. PeakTriples, Bytes, and the match-call/cache counters depend on
+// scheduling (per-worker memo caches recompute entries another worker
+// already has) and are approximate. Witness paths are valid but may differ
+// from the sequential run's: parents are recorded first-writer-wins.
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rpq/internal/automata"
+	"rpq/internal/graph"
+	"rpq/internal/label"
+	"rpq/internal/obs"
+	"rpq/internal/subst"
+)
+
+// pushBatchSize is how many cross-worker discoveries accumulate per
+// destination before an eager flush (idle workers flush everything).
+const pushBatchSize = 64
+
+// pushMsg is one cross-worker discovery: the triple (θ already interned in
+// the shared table by the sender) plus its parent step for witnesses.
+type pushMsg struct {
+	t    triple
+	prev triple
+	lbl  *label.CTerm
+	from int32
+}
+
+// psolver is the shared state of one parallel existential run.
+type psolver struct {
+	g      *graph.Graph
+	q      *Query
+	nfa    *automata.NFA
+	opts   Options
+	states int
+
+	workers []*pworker
+	owner   []int32 // vertex -> owning worker
+	localv  []int32 // vertex -> dense index within its owner's shard
+
+	mts [][]mtsEntry // AlgoPrecomp's M_ts, read-only after build
+
+	// Plain-mode termination: see the package comment.
+	pending  atomic.Int64
+	done     chan struct{}
+	doneOnce sync.Once
+
+	// SCC mode.
+	scc          bool
+	comp         []int32
+	comps        [][]int32
+	level        []int32 // component -> topological level
+	numLevels    int
+	compsAtLevel [][]int32
+
+	gauges *obs.SolverGauges
+}
+
+// pworker is one solver goroutine with its owned shard of the reach set.
+type pworker struct {
+	id   int
+	s    *psolver
+	e    *engine   // forked: private stats, memo, and scratch
+	seen tripleSet // reach-set shard over this worker's local vertex indices
+
+	qmu   sync.Mutex
+	queue []triple // owned + stolen triples awaiting processing
+
+	inmu  sync.Mutex
+	inbox [][]pushMsg
+	wake  chan struct{} // cap 1; nudged after an inbox append
+
+	out     [][]pushMsg // per-destination outgoing batches
+	byLevel [][]pushMsg // SCC mode: inbox messages deferred per level
+
+	parents map[triple]parentStep
+	resSeen map[int64]bool
+	pairs   []Pair
+	origins []triple
+
+	inserts   int
+	live      int
+	peak      int
+	maxBytes  int64
+	steals    int64
+	batches   int64
+	batchMsgs int64
+
+	perLocal []int32 // live triples per local vertex (SCC release accounting)
+
+	gauges *obs.WorkerGauges
+	pops   int
+}
+
+// existParallel runs the basic/memo/precomputation algorithms with
+// opts.Workers goroutines. Results (sorted Pairs) are identical to
+// existWorklist; see the package comment for the stats contract.
+func existParallel(g *graph.Graph, v0 int32, q *Query, opts Options) (*Result, error) {
+	if opts.Compact {
+		g = g.CompactFor(q.NFA.Labels)
+	}
+	var stats Stats
+	stats.DeterminismOK = true
+	nfa := q.NFA
+	states := nfa.NumStates
+	if err := checkDenseBase(g.NumVertices(), states); err != nil {
+		return nil, err
+	}
+	W := opts.Workers
+	if verts := g.NumVertices(); W > verts {
+		W = verts // extra workers would own no vertices
+	}
+	table, err := subst.NewSharded(opts.Table, q.Pars(), g.U.NumSymbols())
+	if err != nil {
+		return nil, err
+	}
+	master, err := newEngineTable(g, q, nfa, opts, &stats, table)
+	if err != nil {
+		return nil, err
+	}
+
+	s := &psolver{
+		g: g, q: q, nfa: nfa, opts: opts, states: states,
+		done: make(chan struct{}), gauges: opts.Gauges, scc: opts.SCCOrder,
+	}
+
+	// Ownership and the global→local vertex remap.
+	verts := g.NumVertices()
+	s.owner = make([]int32, verts)
+	s.localv = make([]int32, verts)
+	if s.scc {
+		s.comp, s.comps = g.SCCTopoOrder()
+		s.level = make([]int32, len(s.comps))
+		for ci := range s.comps {
+			for _, v := range s.comps[ci] {
+				for _, ge := range g.Out(v) {
+					if cj := s.comp[ge.To]; cj != int32(ci) && s.level[cj] < s.level[ci]+1 {
+						s.level[cj] = s.level[ci] + 1
+					}
+				}
+			}
+		}
+		for _, l := range s.level {
+			if int(l)+1 > s.numLevels {
+				s.numLevels = int(l) + 1
+			}
+		}
+		s.compsAtLevel = make([][]int32, s.numLevels)
+		for ci := range s.comps {
+			l := s.level[ci]
+			s.compsAtLevel[l] = append(s.compsAtLevel[l], int32(ci))
+		}
+		for v := range s.owner {
+			s.owner[v] = s.comp[v] % int32(W)
+		}
+	} else {
+		for v := range s.owner {
+			s.owner[v] = int32(v % W)
+		}
+	}
+	counts := make([]int32, W)
+	for v := 0; v < verts; v++ {
+		o := s.owner[v]
+		s.localv[v] = counts[o]
+		counts[o]++
+	}
+
+	s.workers = make([]*pworker, W)
+	for i := 0; i < W; i++ {
+		shard, err := newTripleSet(opts.Table, int(counts[i]), states)
+		if err != nil {
+			return nil, err
+		}
+		w := &pworker{
+			id: i, s: s, e: master.fork(), seen: shard,
+			wake:    make(chan struct{}, 1),
+			out:     make([][]pushMsg, W),
+			resSeen: map[int64]bool{},
+			gauges:  opts.Gauges.Worker(i),
+		}
+		if opts.Witnesses {
+			w.parents = map[triple]parentStep{}
+		}
+		if s.scc {
+			w.byLevel = make([][]pushMsg, s.numLevels)
+			w.perLocal = make([]int32, counts[i])
+		}
+		s.workers[i] = w
+	}
+
+	var mtsBytes int64
+	if opts.Algo == AlgoPrecomp {
+		s.mts, mtsBytes = buildMTS(master, v0)
+	}
+
+	// Seed ⟨v0, start, {}⟩ before any worker runs (no synchronization
+	// needed yet).
+	seed := pushMsg{t: triple{v: v0, s: nfa.Start, th: table.Key(subst.New(q.Pars()))}}
+	ow := s.workers[s.owner[v0]]
+	if s.scc {
+		l := s.level[s.comp[v0]]
+		ow.byLevel[l] = append(ow.byLevel[l], seed)
+	} else {
+		ow.admit(seed, false)
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(W)
+	if s.scc {
+		levelChs := make([]chan int, W)
+		ack := make(chan struct{}, W)
+		for i, w := range s.workers {
+			levelChs[i] = make(chan int)
+			go w.runSCC(&wg, levelChs[i], ack)
+		}
+		for l := 0; l < s.numLevels; l++ {
+			for _, ch := range levelChs {
+				ch <- l
+			}
+			for range s.workers {
+				<-ack
+			}
+		}
+		for _, ch := range levelChs {
+			close(ch)
+		}
+	} else {
+		for _, w := range s.workers {
+			go w.runPlain(&wg)
+		}
+	}
+	wg.Wait()
+
+	// Aggregate per-worker results and stats.
+	var pairs []Pair
+	var origins []triple
+	var seenBytes, memoBytes int64
+	for _, w := range s.workers {
+		pairs = append(pairs, w.pairs...)
+		origins = append(origins, w.origins...)
+		stats.WorklistInserts += w.inserts
+		stats.ReachSize += w.seen.Len()
+		stats.PeakTriples += w.peak
+		if b := w.seen.Bytes(); b > w.maxBytes {
+			w.maxBytes = b
+		}
+		seenBytes += w.maxBytes
+		memoBytes += w.e.memoBytes
+		stats.MatchCalls += w.e.stats.MatchCalls
+		stats.MatchCacheHits += w.e.stats.MatchCacheHits
+		stats.MatchCacheMisses += w.e.stats.MatchCacheMisses
+		stats.MergeCalls += w.e.stats.MergeCalls
+	}
+	if opts.Witnesses {
+		attachWitnesses(pairs, origins, func(t triple) (parentStep, bool) {
+			ps, ok := s.workers[s.owner[t.v]].parents[t]
+			return ps, ok
+		})
+	}
+	stats.Substs = table.Len()
+	stats.ResultPairs = len(pairs)
+	stats.Bytes = seenBytes + table.Bytes() + master.memoBytes + memoBytes +
+		mtsBytes + pairsBytes(len(pairs), q.Pars())
+	if s.gauges != nil {
+		s.gauges.Sample(0, int64(stats.ReachSize), int64(stats.Substs), seenBytes+table.Bytes())
+	}
+	sortPairs(pairs)
+	return &Result{Pairs: pairs, Stats: stats}, nil
+}
+
+// admit records a triple on its owner (always the receiver): dedup against
+// the local shard, result/parent/peak bookkeeping, then enqueue. counted
+// says the triple arrived as a cross-worker message already carrying a
+// pending credit; on successful admission that credit transfers to the
+// queued triple, on dedup it is released. Local pushes create their credit
+// here, before the triple becomes visible to thieves.
+func (w *pworker) admit(m pushMsg, counted bool) {
+	s := w.s
+	lv := s.localv[m.t.v]
+	if !w.seen.Add(triple{v: lv, s: m.t.s, th: m.t.th}) {
+		if counted && !s.scc {
+			w.dec()
+		}
+		return
+	}
+	if !s.scc && !counted {
+		s.pending.Add(1)
+	}
+	w.inserts++
+	w.live++
+	if w.live > w.peak {
+		w.peak = w.live
+	}
+	if w.perLocal != nil {
+		w.perLocal[lv]++
+	}
+	if w.parents != nil && m.lbl != nil {
+		w.parents[m.t] = parentStep{prev: m.prev, lbl: m.lbl, from: m.from}
+	}
+	// Answers are recorded at admission: all triples for a vertex admit
+	// here, so the (v, θ) dedup needs no cross-worker coordination.
+	if s.nfa.Final[m.t.s] {
+		k := int64(m.t.v)<<32 | int64(uint32(m.t.th))
+		if !w.resSeen[k] {
+			w.resSeen[k] = true
+			w.pairs = append(w.pairs, Pair{Vertex: m.t.v, Subst: w.e.table.Get(m.t.th).Clone()})
+			w.origins = append(w.origins, m.t)
+		}
+	}
+	w.qmu.Lock()
+	w.queue = append(w.queue, m.t)
+	w.qmu.Unlock()
+}
+
+// dec releases one pending credit, closing done on zero.
+func (w *pworker) dec() {
+	if w.s.pending.Add(-1) == 0 {
+		w.s.doneOnce.Do(func() { close(w.s.done) })
+	}
+}
+
+// push interns θ and routes the discovery to the owner of v: a direct admit
+// when the owner is this worker, a batched message otherwise. The message's
+// pending credit is created at batch-append time, before the batch can be
+// flushed.
+func (w *pworker) push(v, st int32, th subst.Subst, prev triple, lbl *label.CTerm, from int32) {
+	s := w.s
+	m := pushMsg{t: triple{v: v, s: st, th: w.e.table.Key(th)}, prev: prev, lbl: lbl, from: from}
+	dst := int(s.owner[v])
+	if dst == w.id {
+		w.admit(m, false)
+		return
+	}
+	if !s.scc {
+		s.pending.Add(1)
+	}
+	w.out[dst] = append(w.out[dst], m)
+	if len(w.out[dst]) >= pushBatchSize {
+		w.flushTo(dst)
+	}
+}
+
+// flushTo delivers the batch buffered for worker dst to its inbox.
+func (w *pworker) flushTo(dst int) {
+	b := w.out[dst]
+	if len(b) == 0 {
+		return
+	}
+	w.out[dst] = nil
+	d := w.s.workers[dst]
+	d.inmu.Lock()
+	d.inbox = append(d.inbox, b)
+	d.inmu.Unlock()
+	if !w.s.scc {
+		select {
+		case d.wake <- struct{}{}:
+		default:
+		}
+	}
+	w.batches++
+	w.batchMsgs += int64(len(b))
+}
+
+func (w *pworker) flushAll() {
+	for dst := range w.out {
+		w.flushTo(dst)
+	}
+}
+
+// process expands one triple — the body of pseudo-code (2)/(4), pushing
+// through the sharded router instead of a single worklist.
+func (w *pworker) process(t triple) {
+	s := w.s
+	th := w.e.table.Get(t.th)
+	if s.mts != nil {
+		base := int(t.v)*s.states + int(t.s)
+		for i := range s.mts[base] {
+			entry := &s.mts[base][i]
+			emit := func(th2 subst.Subst) bool {
+				w.push(entry.v1, entry.s1, th2, t, entry.el, t.v)
+				return true
+			}
+			if entry.m != nil {
+				w.e.applyMatch(entry.m, th, emit)
+			} else {
+				w.e.forEachGeneric(entry.tl, entry.el, th, emit)
+			}
+		}
+	} else {
+		nfa := s.nfa
+		for _, ge := range s.g.Out(t.v) {
+			for _, tr := range nfa.Trans[t.s] {
+				tlID := nfa.LabelID[tr.Label.Key()]
+				to, dst, lbl := tr.To, ge.To, ge.Label
+				w.e.forEachMatch(tr.Label, tlID, ge.Label, ge.LabelID, th, func(th2 subst.Subst) bool {
+					w.push(dst, to, th2, t, lbl, t.v)
+					return true
+				})
+			}
+		}
+	}
+	if !s.scc {
+		w.dec()
+	}
+}
+
+// pop takes the newest queued triple.
+func (w *pworker) pop() (triple, bool) {
+	w.qmu.Lock()
+	n := len(w.queue)
+	if n == 0 {
+		w.qmu.Unlock()
+		return triple{}, false
+	}
+	t := w.queue[n-1]
+	w.queue = w.queue[:n-1]
+	w.qmu.Unlock()
+	return t, true
+}
+
+// steal takes the older half of the first non-empty victim queue
+// (processing needs no ownership — only admission does), keeping one triple
+// to run and queueing the rest locally.
+func (w *pworker) steal() (triple, bool) {
+	ws := w.s.workers
+	for i := 1; i < len(ws); i++ {
+		v := ws[(w.id+i)%len(ws)]
+		v.qmu.Lock()
+		k := len(v.queue)
+		if k == 0 {
+			v.qmu.Unlock()
+			continue
+		}
+		take := (k + 1) / 2
+		got := make([]triple, take)
+		copy(got, v.queue[:take])
+		v.queue = append(v.queue[:0], v.queue[take:]...)
+		v.qmu.Unlock()
+		w.steals += int64(take)
+		if len(got) > 1 {
+			w.qmu.Lock()
+			w.queue = append(w.queue, got[1:]...)
+			w.qmu.Unlock()
+		}
+		return got[0], true
+	}
+	return triple{}, false
+}
+
+// drainInbox admits every delivered message (plain mode).
+func (w *pworker) drainInbox() {
+	w.inmu.Lock()
+	batches := w.inbox
+	w.inbox = nil
+	w.inmu.Unlock()
+	for _, b := range batches {
+		for _, m := range b {
+			w.admit(m, true)
+		}
+	}
+}
+
+// drainDeferred files delivered messages by their destination component's
+// level (SCC mode; messages always target levels after the sender's).
+func (w *pworker) drainDeferred() {
+	w.inmu.Lock()
+	batches := w.inbox
+	w.inbox = nil
+	w.inmu.Unlock()
+	s := w.s
+	for _, b := range batches {
+		for _, m := range b {
+			l := s.level[s.comp[m.t.v]]
+			w.byLevel[l] = append(w.byLevel[l], m)
+		}
+	}
+}
+
+// sampleGauges publishes this worker's live view every sampleMask+1 pops.
+func (w *pworker) sampleGauges() {
+	if w.gauges == nil {
+		return
+	}
+	if w.pops++; w.pops&sampleMask != 0 {
+		return
+	}
+	w.qmu.Lock()
+	depth := len(w.queue)
+	w.qmu.Unlock()
+	w.gauges.QueueDepth.Set(int64(depth))
+	w.gauges.Steals.Set(w.steals)
+	w.gauges.Batches.Set(w.batches)
+	w.gauges.BatchedMsgs.Set(w.batchMsgs)
+	if w.id == 0 {
+		w.s.gauges.Sample(-1, -1, int64(w.e.table.Len()), w.e.table.Bytes())
+	}
+}
+
+// runPlain is the plain-mode worker loop: drain the inbox, run owned work,
+// steal, and otherwise flush and sleep until a message, a timed retry (the
+// backoff covers queues grown by purely local pushes, which send no wake),
+// or completion.
+func (w *pworker) runPlain(wg *sync.WaitGroup) {
+	defer wg.Done()
+	const minBackoff = 50 * time.Microsecond
+	backoff := minBackoff
+	timer := time.NewTimer(time.Hour)
+	defer timer.Stop()
+	for {
+		w.drainInbox()
+		t, ok := w.pop()
+		if !ok {
+			t, ok = w.steal()
+		}
+		if ok {
+			w.process(t)
+			w.sampleGauges()
+			backoff = minBackoff
+			continue
+		}
+		w.flushAll()
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(backoff)
+		select {
+		case <-w.wake:
+		case <-timer.C:
+			if backoff < time.Millisecond {
+				backoff *= 2
+			}
+		case <-w.s.done:
+			return
+		}
+	}
+}
+
+// runSCC is the barrier-mode worker loop: per level, admit the deferred
+// messages, drain the local queue to empty (no stealing — components are
+// worker-owned), flush, release this level's components, and acknowledge.
+func (w *pworker) runSCC(wg *sync.WaitGroup, levelCh <-chan int, ack chan<- struct{}) {
+	defer wg.Done()
+	for l := range levelCh {
+		w.drainDeferred()
+		for _, m := range w.byLevel[l] {
+			w.admit(m, false)
+		}
+		w.byLevel[l] = nil
+		for {
+			t, ok := w.pop()
+			if !ok {
+				break
+			}
+			w.process(t)
+			w.sampleGauges()
+		}
+		w.flushAll()
+		w.releaseLevel(l)
+		ack <- struct{}{}
+	}
+}
+
+// releaseLevel frees the reach-set storage of this worker's components at
+// level l, mirroring the sequential SCC release. All messages into a
+// component arrive from strictly earlier levels, so nothing can re-enter.
+func (w *pworker) releaseLevel(l int) {
+	s := w.s
+	if b := w.seen.Bytes(); b > w.maxBytes {
+		w.maxBytes = b
+	}
+	for _, ci := range s.compsAtLevel[l] {
+		if int(ci%int32(len(s.workers))) != w.id {
+			continue
+		}
+		for _, v := range s.comps[ci] {
+			lv := s.localv[v]
+			w.seen.Release(lv)
+			w.live -= int(w.perLocal[lv])
+			w.perLocal[lv] = 0
+		}
+	}
+}
+
+// existEnumParallel parallelizes the enumeration algorithm over full
+// substitutions: a producer enumerates the domain product while workers run
+// the independent ground reachability passes, each with its own epoch-reset
+// scratch. Sorted Pairs and the deterministic stats match existEnum;
+// Bytes sums the per-worker scratch (W arrays are really allocated).
+func existEnumParallel(g *graph.Graph, v0 int32, q *Query, opts Options) (*Result, error) {
+	if opts.Compact {
+		g = g.CompactFor(q.NFA.Labels)
+	}
+	var stats Stats
+	stats.DeterminismOK = true
+	nfa := q.NFA
+	in := newInstr(opts)
+	tDoms := in.phaseBegin("domains")
+	doms := ComputeDomains(q, g, opts.Domains)
+	stats.Phases.Domains.Wall = in.phaseEnd("domains", tDoms)
+	stats.EnumSubsts = doms.Count()
+
+	W := opts.Workers
+	states := make([]*enumState, W)
+	for i := range states {
+		es, err := newEnumState(g, nfa)
+		if err != nil {
+			return nil, err
+		}
+		states[i] = es
+	}
+
+	const enumBatchSize = 16
+	work := make(chan []subst.Subst, 2*W)
+	type wres struct {
+		pairs    []Pair
+		stats    Stats
+		maxBytes int64
+	}
+	results := make([]wres, W)
+
+	tEnum := in.phaseBegin("enumerate")
+	var wg sync.WaitGroup
+	wg.Add(W)
+	for i := 0; i < W; i++ {
+		go func(i int, es *enumState) {
+			defer wg.Done()
+			r := &results[i]
+			resHere := map[int32]bool{}
+			for batch := range work {
+				for _, th := range batch {
+					clear(resHere)
+					es.run(g, v0, nfa, th, resHere, &r.stats)
+					for v := range resHere {
+						r.pairs = append(r.pairs, Pair{Vertex: v, Subst: th})
+					}
+					if b := es.bytes() + int64(len(resHere))*16; b > r.maxBytes {
+						r.maxBytes = b
+					}
+				}
+			}
+		}(i, states[i])
+	}
+	var batch []subst.Subst
+	enumerated := 0
+	subst.ForEachFull(q.Pars(), doms, func(th subst.Subst) bool {
+		if enumerated++; in.gauges != nil {
+			in.gauges.EnumSubsts.Set(int64(enumerated))
+		}
+		batch = append(batch, th.Clone())
+		if len(batch) >= enumBatchSize {
+			work <- batch
+			batch = nil
+		}
+		return true
+	})
+	if len(batch) > 0 {
+		work <- batch
+	}
+	close(work)
+	wg.Wait()
+	stats.Phases.Enumerate.Wall = in.phaseEnd("enumerate", tEnum)
+
+	var pairs []Pair
+	var maxBytes int64
+	for i := range results {
+		r := &results[i]
+		pairs = append(pairs, r.pairs...)
+		stats.WorklistInserts += r.stats.WorklistInserts
+		stats.MatchCalls += r.stats.MatchCalls
+		if r.stats.PeakTriples > stats.PeakTriples {
+			stats.PeakTriples = r.stats.PeakTriples
+		}
+		maxBytes += r.maxBytes
+	}
+	stats.ReachSize = stats.WorklistInserts
+	stats.ResultPairs = len(pairs)
+	stats.Bytes = maxBytes + pairsBytes(len(pairs), q.Pars())
+	sortPairs(pairs)
+	return &Result{Pairs: pairs, Stats: stats}, nil
+}

@@ -1,6 +1,10 @@
 package core
 
-import "rpq/internal/subst"
+import (
+	"fmt"
+
+	"rpq/internal/subst"
+)
 
 // triple is a worklist/reach-set element ⟨v, s, θ⟩ with the substitution
 // interned to a key. In universal runs s may be the badstate (== numStates)
@@ -29,14 +33,34 @@ type tripleSet interface {
 	Release(v int32)
 }
 
+// maxDenseBase bounds the dense (v, s) base-array element count. Beyond it
+// the pair arithmetic the solvers rely on (and any practical allocation)
+// breaks down, so the constructors report the capacity explicitly instead
+// of overflowing.
+const maxDenseBase = int64(1) << 31
+
+// checkDenseBase validates a |V|·|S| dense base size against maxDenseBase.
+func checkDenseBase(verts, states int) error {
+	if n := int64(verts) * int64(states); n > maxDenseBase {
+		return fmt.Errorf("core: |V|·|S| = %d×%d = %d exceeds the dense base capacity %d: %w",
+			verts, states, n, maxDenseBase, subst.ErrCapacity)
+	}
+	return nil
+}
+
 // newTripleSet builds a set for v in [0, verts) and s in [0, states); pass
-// states+1 for universal runs so the badstate fits.
-func newTripleSet(kind subst.TableKind, verts, states int) tripleSet {
+// states+1 for universal runs so the badstate fits. It returns an error
+// wrapping subst.ErrCapacity when |V|·|S| exceeds the representable dense
+// base size.
+func newTripleSet(kind subst.TableKind, verts, states int) (tripleSet, error) {
+	if err := checkDenseBase(verts, states); err != nil {
+		return nil, err
+	}
 	switch kind {
 	case subst.Hash:
-		return &hashTripleSet{base: make([]map[int32]struct{}, verts*states), states: states}
+		return &hashTripleSet{base: make([]map[int32]struct{}, verts*states), states: states}, nil
 	case subst.Nested:
-		return &nestedTripleSet{base: make([][]bool, verts*states), states: states}
+		return &nestedTripleSet{base: make([][]bool, verts*states), states: states}, nil
 	}
 	panic("core: unknown table kind")
 }

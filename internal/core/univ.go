@@ -82,9 +82,15 @@ func univWorklist(g *graph.Graph, v0 int32, q *Query, opts Options) (*Result, er
 	}
 	states := dfa.NumStates
 	badstate := int32(states)
-	e := newEngine(g, q, dfa, opts, &stats)
+	e, err := newEngine(g, q, dfa, opts, &stats)
+	if err != nil {
+		return nil, err
+	}
 
-	seen := newTripleSet(opts.Table, g.NumVertices(), states+1)
+	seen, err := newTripleSet(opts.Table, g.NumVertices(), states+1)
+	if err != nil {
+		return nil, err
+	}
 	var work []triple
 	push := func(v, s int32, key int32) {
 		t := triple{v: v, s: s, th: key}

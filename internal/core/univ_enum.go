@@ -20,13 +20,13 @@ func groundUniv(g *graph.Graph, v0 int32, q *Query, th subst.Subst, stats *Stats
 	// allFinal: 0 unseen, 1 every visited automaton state final, 2 broken.
 	allFinal := make([]int8, g.NumVertices())
 	seen := make([]bool, g.NumVertices()*stride)
-	wl := []int32{v0*int32(stride) + d.Start}
+	wl := []int64{packPair(v0, d.Start, stride)}
 	seen[wl[0]] = true
 	stats.WorklistInserts++
 	for len(wl) > 0 {
 		pair := wl[len(wl)-1]
 		wl = wl[:len(wl)-1]
-		v, qs := pair/int32(stride), pair%int32(stride)
+		v, qs := unpackPair(pair, stride)
 		fin := qs != bad && d.Final[qs]
 		switch {
 		case allFinal[v] == 0:
@@ -45,7 +45,7 @@ func groundUniv(g *graph.Graph, v0 int32, q *Query, th subst.Subst, stats *Stats
 					next = t
 				}
 			}
-			np := ge.To*int32(stride) + next
+			np := packPair(ge.To, next, stride)
 			if !seen[np] {
 				seen[np] = true
 				wl = append(wl, np)
@@ -123,7 +123,10 @@ func univHybrid(g *graph.Graph, v0 int32, q *Query, opts Options) (*Result, erro
 	stats.Phases.Domains.Wall = in.phaseEnd("domains", tDoms)
 	// Deduplicate candidate full substitutions across all existential
 	// result substitutions.
-	cand := subst.NewTable(subst.Hash, q.Pars(), g.U.NumSymbols())
+	cand, err := subst.NewTable(subst.Hash, q.Pars(), g.U.NumSymbols())
+	if err != nil {
+		return nil, err
+	}
 	var order []int32
 	seenPartial := map[string]bool{}
 	for _, p := range ex.Pairs {

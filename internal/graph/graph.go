@@ -4,6 +4,18 @@
 // supporting operations the paper uses — reversal for backward queries,
 // strongly connected components for SCC-ordered processing (Section 5.3),
 // and query-relevant compaction (Section 5.3).
+//
+// # Concurrency
+//
+// A Graph is read-mostly: construction (Vertex, AddEdge*, InternLabel,
+// SetStart, the readers in io.go and the front ends) must happen before any
+// query runs and is not safe for concurrent use. Once built, every accessor
+// — Out, Labels, Label, NumVertices, NumEdges, Start, VertexName, SCC — is a
+// pure read of immutable state and is safe to call from any number of
+// goroutines simultaneously; the parallel existential solver
+// (internal/core, Options.Workers > 1) relies on this to share one Graph
+// across its workers without locks. Mutating a graph while a query runs on
+// it is a data race.
 package graph
 
 import (
@@ -129,7 +141,9 @@ func (g *Graph) MustAddEdgeStr(from, lbl, to string) {
 	}
 }
 
-// Out returns the outgoing edges of v. The slice is owned by the graph.
+// Out returns the outgoing edges of v. The slice is owned by the graph;
+// callers must not mutate it. After construction it is immutable, so
+// concurrent readers need no synchronization (see the package comment).
 func (g *Graph) Out(v int32) []Edge { return g.adj[v] }
 
 // AddVertexLabel attaches a label to a vertex as a self-loop edge — the

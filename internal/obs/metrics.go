@@ -107,6 +107,51 @@ type SolverGauges struct {
 	EnumSubsts    *Gauge
 	Queries       *Gauge
 	SlowQueries   *Gauge
+
+	// reg is where Worker registers per-worker gauges on demand; nil falls
+	// back to the default registry.
+	reg     *Registry
+	mu      sync.Mutex
+	workers map[int]*WorkerGauges
+}
+
+// WorkerGauges is the live view of one parallel-solver worker: its local
+// queue depth, triples stolen from other workers, and the count and total
+// size of cross-worker push batches it has sent.
+type WorkerGauges struct {
+	QueueDepth  *Gauge
+	Steals      *Gauge
+	Batches     *Gauge
+	BatchedMsgs *Gauge
+}
+
+// Worker returns the gauge set for parallel-solver worker i, registering
+// rpq_worker_<i>_* gauges on first use. Safe for concurrent use.
+func (s *SolverGauges) Worker(i int) *WorkerGauges {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if wg, ok := s.workers[i]; ok {
+		return wg
+	}
+	r := s.reg
+	if r == nil {
+		r = Default()
+	}
+	p := fmt.Sprintf("rpq_worker_%d_", i)
+	wg := &WorkerGauges{
+		QueueDepth:  r.Gauge(p+"queue_depth", "current worklist depth of this parallel-solver worker"),
+		Steals:      r.Gauge(p+"steals_total", "triples this worker stole from other workers' queues"),
+		Batches:     r.Gauge(p+"batches_total", "cross-worker push batches this worker sent"),
+		BatchedMsgs: r.Gauge(p+"batched_msgs_total", "cross-worker push messages this worker sent"),
+	}
+	if s.workers == nil {
+		s.workers = map[int]*WorkerGauges{}
+	}
+	s.workers[i] = wg
+	return wg
 }
 
 // NewSolverGauges registers the solver gauge set in r (the default registry
@@ -116,6 +161,7 @@ func NewSolverGauges(r *Registry) *SolverGauges {
 		r = Default()
 	}
 	return &SolverGauges{
+		reg:           r,
 		WorklistDepth: r.Gauge("rpq_worklist_depth", "current solver worklist depth"),
 		ReachSize:     r.Gauge("rpq_reach_size", "triples in the reach set of the running query"),
 		Substs:        r.Gauge("rpq_substs_interned", "distinct substitutions interned by the running query"),

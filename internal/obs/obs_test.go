@@ -235,3 +235,44 @@ func TestFormatEvents(t *testing.T) {
 		t.Error("empty events should format to empty string")
 	}
 }
+
+func TestWorkerGauges(t *testing.T) {
+	r := NewRegistry()
+	sg := NewSolverGauges(r)
+	// Lazy: no worker gauges before the first Worker call.
+	if _, ok := r.Snapshot()["rpq_worker_0_queue_depth"]; ok {
+		t.Fatal("worker gauges registered eagerly")
+	}
+	// Concurrent first use returns one shared set per worker id.
+	var wg sync.WaitGroup
+	got := make([]*WorkerGauges, 8)
+	for i := range got {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i] = sg.Worker(i % 2)
+		}(i)
+	}
+	wg.Wait()
+	for i := range got {
+		if got[i] != sg.Worker(i%2) {
+			t.Fatalf("Worker(%d) not stable", i%2)
+		}
+	}
+	sg.Worker(0).QueueDepth.Set(7)
+	sg.Worker(1).Steals.Add(3)
+	snap := r.Snapshot()
+	if snap["rpq_worker_0_queue_depth"] != 7 || snap["rpq_worker_1_steals_total"] != 3 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	if !strings.Contains(buf.String(), "rpq_worker_0_queue_depth 7") {
+		t.Fatalf("prometheus output missing worker gauge:\n%s", buf.String())
+	}
+	// Nil receiver (gauges disabled) must be safe and yield nil.
+	var none *SolverGauges
+	if none.Worker(3) != nil {
+		t.Fatal("nil SolverGauges.Worker != nil")
+	}
+}

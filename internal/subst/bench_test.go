@@ -27,7 +27,7 @@ func BenchmarkTableKey(b *testing.B) {
 	for _, kind := range []TableKind{Hash, Nested} {
 		b.Run(kind.String(), func(b *testing.B) {
 			ss := benchSubsts(3, 16, 1024)
-			tb := NewTable(kind, 3, 16)
+			tb := mustNewTable(b, kind, 3, 16)
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -41,7 +41,7 @@ func BenchmarkTableLookupHit(b *testing.B) {
 	for _, kind := range []TableKind{Hash, Nested} {
 		b.Run(kind.String(), func(b *testing.B) {
 			ss := benchSubsts(3, 16, 1024)
-			tb := NewTable(kind, 3, 16)
+			tb := mustNewTable(b, kind, 3, 16)
 			for _, s := range ss {
 				tb.Key(s)
 			}

@@ -1,0 +1,157 @@
+package subst
+
+import (
+	"errors"
+	"math"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// TestTableCapacityError checks NewTable and NewSharded reject dimensions
+// whose nested-array keys would overflow int32, with ErrCapacity.
+func TestTableCapacityError(t *testing.T) {
+	for _, kind := range []TableKind{Hash, Nested} {
+		if _, err := NewTable(kind, 2, math.MaxInt32); !errors.Is(err, ErrCapacity) {
+			t.Errorf("NewTable(%v) error = %v, want ErrCapacity", kind, err)
+		}
+		if _, err := NewSharded(kind, 2, math.MaxInt32); !errors.Is(err, ErrCapacity) {
+			t.Errorf("NewSharded(%v) error = %v, want ErrCapacity", kind, err)
+		}
+		if _, err := NewTable(kind, -1, 4); err == nil {
+			t.Errorf("NewTable(%v) accepted negative pars", kind)
+		}
+		if _, err := NewTable(kind, 2, 1<<20); err != nil {
+			t.Errorf("NewTable(%v) rejected valid dims: %v", kind, err)
+		}
+	}
+}
+
+// TestNestedAscendingKeysLinear is the regression test for the exact-growth
+// O(n²) bug in nestedTable.slot: interning n keys with ascending symbol
+// values used to reallocate the node array on every insert, copying ~n²/2
+// int32s in total. With geometric growth the total bytes allocated stay
+// linear in n.
+func TestNestedAscendingKeysLinear(t *testing.T) {
+	const n = 50_000
+	tb := mustNewTable(t, Nested, 1, n)
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	for i := int32(0); i < n; i++ {
+		tb.Key(Subst{i})
+	}
+	runtime.ReadMemStats(&after)
+	total := after.TotalAlloc - before.TotalAlloc
+	// Exact growth allocates ~4·n²/2 = 5 GB here; geometric growth stays
+	// within a small multiple of the final footprint (~134 B/key observed,
+	// dominated by the interned substs themselves). 256·n is two orders of
+	// magnitude under the quadratic cost and a loose 2× over the linear one.
+	if limit := uint64(256 * n); total > limit {
+		t.Fatalf("interning %d ascending keys allocated %d bytes (> %d): growth looks quadratic", n, total, limit)
+	}
+	if tb.Len() != n {
+		t.Fatalf("Len = %d, want %d", tb.Len(), n)
+	}
+	// Bytes stays consistent with geometric growth: linear in n.
+	if b := tb.Bytes(); b <= 0 || b > 64*n {
+		t.Fatalf("Bytes = %d", b)
+	}
+}
+
+// TestShardedTableConcurrent hammers one sharded table from many goroutines
+// interning overlapping substitutions, then checks interning is consistent:
+// one key per distinct substitution, Get inverts Key, and Len matches the
+// distinct count. Run under -race this also proves the synchronization.
+func TestShardedTableConcurrent(t *testing.T) {
+	for _, kind := range []TableKind{Hash, Nested} {
+		t.Run(kind.String(), func(t *testing.T) {
+			const (
+				workers  = 8
+				perW     = 2_000
+				distinct = 512
+			)
+			tb, err := NewSharded(kind, 3, 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			keys := make([][]int32, workers)
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					ks := make([]int32, perW)
+					for i := 0; i < perW; i++ {
+						// Overlapping across workers: id in [0, distinct).
+						id := int32((i*7 + w*13) % distinct)
+						s := Subst{id % 64, (id / 8) % 64, NoSym}
+						ks[i] = tb.Key(s)
+					}
+					keys[w] = ks
+				}(w)
+			}
+			wg.Wait()
+			if tb.Len() != distinct {
+				t.Fatalf("Len = %d, want %d", tb.Len(), distinct)
+			}
+			// Every worker must have received the same key for the same
+			// substitution, and Get must invert Key.
+			byID := map[int32]int32{}
+			for w := 0; w < workers; w++ {
+				for i, k := range keys[w] {
+					id := int32((i*7 + w*13) % distinct)
+					if prev, ok := byID[id]; ok && prev != k {
+						t.Fatalf("substitution %d interned as both %d and %d", id, prev, k)
+					}
+					byID[id] = k
+					s := Subst{id % 64, (id / 8) % 64, NoSym}
+					if got := tb.Get(k); got.String() != s.String() {
+						t.Fatalf("Get(%d) = %v, want %v", k, got, s)
+					}
+					if lk, ok := tb.Lookup(s); !ok || lk != k {
+						t.Fatalf("Lookup(%v) = %d,%v, want %d", s, lk, ok, k)
+					}
+				}
+			}
+			if tb.Bytes() <= 0 {
+				t.Fatalf("Bytes = %d", tb.Bytes())
+			}
+			if tb.Kind() != kind {
+				t.Fatalf("Kind = %v", tb.Kind())
+			}
+		})
+	}
+}
+
+// TestShardedMatchesSequential interns the same substitution stream into a
+// plain table and a sharded one and compares the resulting sets.
+func TestShardedMatchesSequential(t *testing.T) {
+	seqT := mustNewTable(t, Hash, 2, 16)
+	shT, err := NewSharded(Hash, 2, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ss []Subst
+	for a := int32(-1); a < 16; a++ {
+		for b := int32(-1); b < 16; b += 3 {
+			ss = append(ss, Subst{a, b})
+		}
+	}
+	for _, s := range ss {
+		seqT.Key(s)
+		shT.Key(s)
+	}
+	if seqT.Len() != shT.Len() {
+		t.Fatalf("Len: sequential %d, sharded %d", seqT.Len(), shT.Len())
+	}
+	for _, s := range ss {
+		k, ok := shT.Lookup(s)
+		if !ok {
+			t.Fatalf("sharded lost %v", s)
+		}
+		if got := shT.Get(k); got.String() != s.String() {
+			t.Fatalf("Get(Key(%v)) = %v", s, got)
+		}
+	}
+}

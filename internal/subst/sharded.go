@@ -1,0 +1,143 @@
+package subst
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// shardedTable is a Table safe for concurrent use by the parallel solver:
+// many goroutines may Key/Lookup/Get/Len/Bytes at once. Writes take one of
+// tableShards mutexes chosen by hashing the substitution's bytes, so
+// interning scales across workers; Get is lock-free.
+//
+// Interned substitutions live in fixed-size chunks reachable from an
+// atomically published copy-on-write chunk directory. A key returned by Key
+// on one goroutine may be passed to Get on another provided the handoff
+// itself synchronizes (mutex, channel, ...), which every solver path does;
+// the chunk slot for a key is written before the key escapes its shard's
+// critical section, so such reads are race-free.
+//
+// Keys are dense but their order depends on goroutine scheduling, so two
+// runs may assign different keys to the same substitution. The solver only
+// compares substitution *values* (sorted Pairs), never raw keys, so results
+// stay deterministic.
+type shardedTable struct {
+	kind   TableKind // representation requested by the caller; reported by Kind
+	pars   int
+	shards [tableShards]tableShard
+	n      atomic.Int64
+	bytes  atomic.Int64
+
+	// dir is the copy-on-write directory of chunks; dirMu serializes growth.
+	dir   atomic.Pointer[[]*substChunk]
+	dirMu sync.Mutex
+
+	onGrow func(n int, bytes int64)
+}
+
+type tableShard struct {
+	mu    sync.Mutex
+	byKey map[string]int32
+}
+
+const (
+	tableShards = 64
+
+	chunkBits = 10
+	chunkSize = 1 << chunkBits
+)
+
+type substChunk [chunkSize]Subst
+
+// NewSharded returns an empty concurrency-safe table for substitutions over
+// pars parameters. The kind argument records which sequential representation
+// the caller asked for (reported by Kind for stats labeling); the sharded
+// implementation itself always hashes. Dimension validation matches
+// NewTable.
+func NewSharded(kind TableKind, pars, symbols int) (Table, error) {
+	if err := checkTableDims(pars, symbols); err != nil {
+		return nil, err
+	}
+	t := &shardedTable{kind: kind, pars: pars}
+	for i := range t.shards {
+		t.shards[i].byKey = make(map[string]int32)
+	}
+	dir := make([]*substChunk, 0)
+	t.dir.Store(&dir)
+	return t, nil
+}
+
+// shardOf hashes the key bytes (FNV-1a) to pick a shard.
+func shardOf(k string) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(k); i++ {
+		h ^= uint32(k[i])
+		h *= 16777619
+	}
+	return int(h % tableShards)
+}
+
+func (t *shardedTable) Key(s Subst) int32 {
+	k := hashKey(s)
+	sh := &t.shards[shardOf(k)]
+	sh.mu.Lock()
+	if id, ok := sh.byKey[k]; ok {
+		sh.mu.Unlock()
+		return id
+	}
+	id := int32(t.n.Add(1) - 1)
+	t.place(id, s.Clone())
+	t.bytes.Add(int64(len(k)) + 48 + int64(len(s)*4) + 24)
+	sh.byKey[k] = id
+	sh.mu.Unlock()
+	if t.onGrow != nil {
+		t.onGrow(int(t.n.Load()), t.bytes.Load())
+	}
+	return id
+}
+
+// place stores s at index id, growing the chunk directory if needed. The
+// slot (id is unique to this call) is written before id is published, so
+// later synchronized readers observe a fully written substitution.
+func (t *shardedTable) place(id int32, s Subst) {
+	ci := int(id) >> chunkBits
+	dir := *t.dir.Load()
+	if ci >= len(dir) {
+		t.dirMu.Lock()
+		dir = *t.dir.Load()
+		for ci >= len(dir) {
+			grown := make([]*substChunk, len(dir)+1)
+			copy(grown, dir)
+			grown[len(dir)] = new(substChunk)
+			t.bytes.Add(chunkSize * 24)
+			t.dir.Store(&grown)
+			dir = grown
+		}
+		t.dirMu.Unlock()
+	}
+	dir[ci][int(id)&(chunkSize-1)] = s
+}
+
+func (t *shardedTable) Lookup(s Subst) (int32, bool) {
+	k := hashKey(s)
+	sh := &t.shards[shardOf(k)]
+	sh.mu.Lock()
+	id, ok := sh.byKey[k]
+	sh.mu.Unlock()
+	return id, ok
+}
+
+func (t *shardedTable) Get(k int32) Subst {
+	dir := *t.dir.Load()
+	return dir[int(k)>>chunkBits][int(k)&(chunkSize-1)]
+}
+
+func (t *shardedTable) Len() int        { return int(t.n.Load()) }
+func (t *shardedTable) Bytes() int64    { return t.bytes.Load() }
+func (t *shardedTable) Kind() TableKind { return t.kind }
+
+// SetOnGrow installs the growth callback. Unlike the rest of the table it
+// is not synchronized: install it before handing the table to concurrent
+// workers, and only install callbacks that are themselves safe to call from
+// multiple goroutines. The parallel solver installs none.
+func (t *shardedTable) SetOnGrow(fn func(n int, bytes int64)) { t.onGrow = fn }

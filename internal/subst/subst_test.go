@@ -216,10 +216,19 @@ func TestUniformDomains(t *testing.T) {
 	}
 }
 
+// mustNewTable builds a table, failing the test on a capacity error.
+func mustNewTable(tb testing.TB, kind TableKind, pars, symbols int) Table {
+	t, err := NewTable(kind, pars, symbols)
+	if err != nil {
+		tb.Fatalf("NewTable(%v, %d, %d): %v", kind, pars, symbols, err)
+	}
+	return t
+}
+
 func TestTables(t *testing.T) {
 	for _, kind := range []TableKind{Hash, Nested} {
 		t.Run(kind.String(), func(t *testing.T) {
-			tb := NewTable(kind, 2, 4)
+			tb := mustNewTable(t, kind, 2, 4)
 			a := Subst{0, NoSym}
 			b := Subst{0, 3}
 			ka := tb.Key(a)
@@ -251,7 +260,7 @@ func TestTables(t *testing.T) {
 
 func TestTablesZeroParams(t *testing.T) {
 	for _, kind := range []TableKind{Hash, Nested} {
-		tb := NewTable(kind, 0, 4)
+		tb := mustNewTable(t, kind, 0, 4)
 		k1 := tb.Key(Subst{})
 		k2 := tb.Key(Subst{})
 		if k1 != k2 || tb.Len() != 1 {
@@ -262,7 +271,7 @@ func TestTablesZeroParams(t *testing.T) {
 
 func TestTableGrowthBeyondInitialWidth(t *testing.T) {
 	// Symbol keys beyond the declared bound must still work (nested grows).
-	tb := NewTable(Nested, 2, 2)
+	tb := mustNewTable(t, Nested, 2, 2)
 	s := Subst{10, 11}
 	k := tb.Key(s)
 	if got, ok := tb.Lookup(s); !ok || got != k {
@@ -277,8 +286,8 @@ func TestTableGrowthBeyondInitialWidth(t *testing.T) {
 // tables implement the same abstract interning map.
 func TestTableEquivalence(t *testing.T) {
 	f := func(raw [][4]uint8) bool {
-		h := NewTable(Hash, 3, 8)
-		n := NewTable(Nested, 3, 8)
+		h, _ := NewTable(Hash, 3, 8)
+		n, _ := NewTable(Nested, 3, 8)
 		keysH := map[string]int32{}
 		keysN := map[string]int32{}
 		for _, r := range raw {

@@ -1,6 +1,14 @@
 package subst
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrCapacity reports that a table or set cannot be built (or grown) without
+// overflowing its int32 key space. Callers detect it with errors.Is.
+var ErrCapacity = errors.New("int32 key capacity exceeded")
 
 // TableKind selects the representation used to intern substitutions (and, in
 // the solver, the reach set and auxiliary maps). The paper's Table 3
@@ -55,14 +63,32 @@ type Table interface {
 // NewTable returns an empty table of the given kind for substitutions over
 // pars parameters, where symbol keys are expected to be < symbols (the
 // nested representation sizes its arrays from this; it grows if exceeded).
-func NewTable(kind TableKind, pars, symbols int) Table {
+// It returns an error wrapping ErrCapacity when the dimensions exceed the
+// int32 key space instead of overflowing silently.
+func NewTable(kind TableKind, pars, symbols int) (Table, error) {
+	if err := checkTableDims(pars, symbols); err != nil {
+		return nil, err
+	}
 	switch kind {
 	case Hash:
-		return newHashTable(pars)
+		return newHashTable(pars), nil
 	case Nested:
-		return newNestedTable(pars, symbols)
+		return newNestedTable(pars, symbols), nil
 	}
 	panic(fmt.Sprintf("subst: unknown table kind %d", kind))
+}
+
+// checkTableDims validates table dimensions against the int32 key space
+// (symbol keys are stored shifted by one in nested nodes, so symbols+1 must
+// itself be representable).
+func checkTableDims(pars, symbols int) error {
+	if pars < 0 || symbols < 0 {
+		return fmt.Errorf("subst: negative table dimensions (pars=%d, symbols=%d)", pars, symbols)
+	}
+	if int64(symbols)+1 >= math.MaxInt32 {
+		return fmt.Errorf("subst: %d symbols: %w", symbols, ErrCapacity)
+	}
+	return nil
 }
 
 // ---- hash representation ----
@@ -152,10 +178,16 @@ func (t *nestedTable) newNode() []int32 {
 func (t *nestedTable) slot(node []int32, v int32) ([]int32, int) {
 	idx := int(v) + 1
 	if idx >= len(node) {
-		// A symbol key beyond the initial width; grow the node.
-		grown := make([]int32, idx+1)
+		// A symbol key beyond the initial width; grow the node
+		// geometrically so ascending keys amortize to O(n) total copying
+		// (growing to exactly idx+1 would make n inserts cost O(n²)).
+		n := 2*len(node) + 8
+		if idx+1 > n {
+			n = idx + 1
+		}
+		grown := make([]int32, n)
 		copy(grown, node)
-		t.bytes += int64(idx+1-len(node)) * 4
+		t.bytes += int64(n-len(node)) * 4
 		return grown, idx
 	}
 	return node, idx

@@ -296,6 +296,14 @@ type Options struct {
 	// Witnesses attaches, to each existential answer, one start-to-vertex
 	// path witnessing it (an error trace). Worklist algorithms only.
 	Witnesses bool
+	// Workers sets the number of goroutines the existential solver uses;
+	// 0 or 1 selects the sequential algorithms. The parallel solver returns
+	// the same sorted answers, the same WorklistInserts, ReachSize, Substs,
+	// and ResultPairs as the sequential one; peak-memory and match-cache
+	// counters are approximate, and witnesses — while always valid — may
+	// pick different paths. Universal queries ignore Workers (their
+	// existential sub-queries in the hybrid algorithm do use it).
+	Workers int
 	// Tracer receives structured lifecycle events from the solver: phase
 	// begin/end, worklist high-water marks, substitution-table growth
 	// snapshots, and end-of-run counters. Nil (the default) disables
@@ -504,6 +512,7 @@ func (g *Graph) resolve(opts *Options, universal bool) (*graph.Graph, int32, cor
 		SCCOrder:   opts.SCCOrder,
 		Completion: core.CompletionMode(opts.Completion),
 		Witnesses:  opts.Witnesses,
+		Workers:    opts.Workers,
 		Tracer:     opts.Tracer,
 		Gauges:     opts.Gauges,
 	}

@@ -103,7 +103,10 @@ func benchQuery(b *testing.B, g *graph.Graph, start int32, pat string, opts core
 // BenchmarkExist compares the solver with no tracer against the same run
 // with the no-op tracer installed, on a mid-sized Table 1 program. The two
 // sub-benchmarks must stay within noise (±5%) of each other: tracing that is
-// off may cost at most one cached boolean test per hot-path event site.
+// off may cost at most one cached boolean test per hot-path event site. The
+// explain sub-benchmark measures the full profiling cost (counters at every
+// match site plus curve sampling) for comparison; it is expected to run a
+// few percent slower.
 func BenchmarkExist(b *testing.B) {
 	spec := gen.Table1Specs()[4]
 	for _, bench := range []struct {
@@ -112,6 +115,7 @@ func BenchmarkExist(b *testing.B) {
 	}{
 		{"plain", core.Options{Algo: core.AlgoMemo}},
 		{"nop-tracer", core.Options{Algo: core.AlgoMemo, Tracer: obs.Nop()}},
+		{"explain", core.Options{Algo: core.AlgoMemo, Explain: true}},
 	} {
 		b.Run(bench.name, func(b *testing.B) {
 			w := progWorkload(b, spec)

@@ -41,6 +41,10 @@ var section string
 // existential query (<=1 sequential).
 var workerCount int
 
+// explainOn is the -explain flag: collect execution profiles for every
+// measured query and carry the hot-state fields into the bench entries.
+var explainOn bool
+
 // benchEntry is one machine-comparable measurement, in the shape of a
 // `go test -bench` result plus the solver counters (BENCH_*.json style).
 type benchEntry struct {
@@ -52,13 +56,18 @@ type benchEntry struct {
 	ResultPairs     int    `json:"result_pairs"`
 	Bytes           int64  `json:"bytes"`
 	SolveNS         int64  `json:"solve_ns"`
+	// Populated under -explain: total match attempts and the hottest
+	// automaton state by visit count.
+	MatchAttempts  int64  `json:"match_attempts,omitempty"`
+	HotState       string `json:"hot_state,omitempty"`
+	HotStateVisits int64  `json:"hot_state_visits,omitempty"`
 }
 
 var benchEntries []benchEntry
 
 // record appends one bench entry; run() calls it for every measured query.
 func record(name string, res *core.Result, dt time.Duration) {
-	benchEntries = append(benchEntries, benchEntry{
+	e := benchEntry{
 		Name:            name,
 		NsPerOp:         dt.Nanoseconds(),
 		WorklistInserts: res.Stats.WorklistInserts,
@@ -67,7 +76,19 @@ func record(name string, res *core.Result, dt time.Duration) {
 		ResultPairs:     res.Stats.ResultPairs,
 		Bytes:           res.Stats.Bytes,
 		SolveNS:         res.Stats.Phases.Solve.Wall.Nanoseconds(),
-	})
+	}
+	if ex := res.Explain; ex != nil {
+		e.MatchAttempts = ex.Totals.Attempts
+		if top := ex.TopStates(1); len(top) > 0 {
+			if top[0].Bad {
+				e.HotState = "bad"
+			} else {
+				e.HotState = fmt.Sprintf("s%d", top[0].State)
+			}
+			e.HotStateVisits = top[0].Visits
+		}
+	}
+	benchEntries = append(benchEntries, e)
 }
 
 func main() {
@@ -80,9 +101,11 @@ func main() {
 		maxCost   = flag.Float64("enumcost", 2e7, "run enumeration only when substs×edges is below this (n/d otherwise, like the paper's 180 s limit)")
 		httpAddr  = flag.String("http", "", "serve /metrics, /debug/vars, and /debug/pprof on this address during the run")
 		benchJSON = flag.String("benchjson", "", "write a BENCH_*.json-compatible summary of every measured query to this file")
+		explain   = flag.Bool("explain", false, "collect execution profiles; bench entries gain match_attempts and hot_state fields")
 	)
 	flag.Parse()
 	workerCount = *workers
+	explainOn = *explain
 
 	if *httpAddr != "" {
 		srv, err := obs.Serve(*httpAddr, nil)
@@ -151,6 +174,7 @@ func main() {
 // run executes one query and returns the result with wall-clock time.
 func run(g *graph.Graph, start int32, pat string, opts core.Options) (*core.Result, time.Duration) {
 	opts.Gauges = liveGauges
+	opts.Explain = explainOn
 	if opts.Workers == 0 {
 		opts.Workers = workerCount
 	}

@@ -16,7 +16,8 @@
 // /debug/vars, and /debug/pprof during the run; -trace records a Chrome
 // trace_event file for chrome://tracing; -events streams NDJSON trace
 // events; -slow logs slow queries; -stats selects text, json, or csv run
-// statistics.
+// statistics; -explain prints a per-state/per-label execution profile as
+// text, JSON, or an annotated Graphviz heat-map of the query automaton.
 package main
 
 import (
@@ -48,6 +49,7 @@ func main() {
 		traceOut  = flag.String("trace", "", "write a Chrome trace_event JSON file (load in chrome://tracing)")
 		eventsOut = flag.String("events", "", "stream structured trace events as NDJSON to this file (- for stderr)")
 		slow      = flag.Duration("slow", 0, "log queries at or above this duration as NDJSON to stderr")
+		explain   = flag.String("explain", "", "print an execution profile instead of answers: text|json|dot")
 		jsonOut   = flag.Bool("json", false, "emit answers as JSON")
 		dotOut    = flag.Bool("dot", false, "emit the graph as Graphviz DOT with answers highlighted, instead of listing answers")
 		witness   = flag.Bool("witness", false, "attach a witnessing path to each existential answer")
@@ -126,6 +128,12 @@ func main() {
 	}
 	if *slow > 0 {
 		opts.SlowLog = rpq.NewSlowLog(os.Stderr, *slow)
+	}
+	switch *explain {
+	case "", "text", "json", "dot":
+		opts.Explain = *explain != ""
+	default:
+		fail("unknown -explain format %q (want text, json, or dot)", *explain)
 	}
 
 	switch *algo {
@@ -212,6 +220,31 @@ func main() {
 		}
 	default:
 		fail("one of -pattern, -analysis, or -violations is required")
+	}
+
+	if *explain != "" {
+		if res.Explain == nil {
+			fail("no execution profile collected")
+		}
+		if err := res.Explain.Consistent(&res.Stats); err != nil {
+			fmt.Fprintf(os.Stderr, "rpq: explain consistency: %v\n", err)
+		}
+		switch *explain {
+		case "text":
+			fmt.Print(res.Explain.Format())
+		case "json":
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(res.Explain); err != nil {
+				fail("%v", err)
+			}
+		case "dot":
+			fmt.Print(res.Explain.DOT())
+		}
+		if *statsFmt != "" {
+			printStats(*statsFmt, res)
+		}
+		return
 	}
 
 	switch {

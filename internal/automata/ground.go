@@ -20,6 +20,11 @@ type GroundDFA struct {
 	// has no transition (incomplete; corresponds to badstate).
 	Trans      [][]int32
 	NumLetters int
+	// Sets[state] is the sorted set of NFA states the subset construction
+	// merged into this DFA state. DeterminizeGround populates it so the
+	// explain profiler can attribute ground-DFA visits back to pattern NFA
+	// states; Minimize does not maintain it (the output's Sets is nil).
+	Sets [][]int32
 }
 
 // Step returns the successor of state on letter, or -1.
@@ -107,6 +112,7 @@ func DeterminizeGround(n *NFA, alphabet []*label.CTerm, subst []int32) *GroundDF
 		}
 	}
 	d.NumStates = len(sets)
+	d.Sets = sets
 	return d
 }
 

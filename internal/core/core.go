@@ -141,6 +141,12 @@ type Options struct {
 	// few hundred worklist pops, for the /metrics endpoint to expose
 	// while a query runs.
 	Gauges *obs.SolverGauges
+	// Explain collects a per-query execution profile (per-state visit
+	// counts, per-transition match attempt/hit/extension counters,
+	// per-edge-label match histograms, table growth and worklist depth
+	// curves, per-worker summaries) into Result.Explain. Disabled it costs
+	// one nil check per counted event; see explain.go.
+	Explain bool
 }
 
 // Stats instruments a run with the quantities reported in the paper's
@@ -237,10 +243,12 @@ type Pair struct {
 }
 
 // Result is a query result: answer pairs plus run statistics. Pairs are
-// sorted by vertex, then substitution, for deterministic output.
+// sorted by vertex, then substitution, for deterministic output. Explain is
+// non-nil only when Options.Explain was set.
 type Result struct {
-	Pairs []Pair
-	Stats Stats
+	Pairs   []Pair
+	Stats   Stats
+	Explain *Explain
 }
 
 // Format renders the result with names resolved against the query.

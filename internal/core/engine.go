@@ -20,6 +20,11 @@ type engine struct {
 	stats *Stats
 	in    instr
 
+	// ex collects the per-state/per-transition/per-label execution profile
+	// when Options.Explain is set; nil otherwise, so every counting site
+	// pays one nil check when disabled.
+	ex *explainCollector
+
 	// memo is the substitution map M_s of Section 3: match results cached
 	// by (edge label id, transition label id). Entry nil = not yet
 	// computed; entries are shared *label.Match values.
@@ -60,10 +65,25 @@ func newEngineTable(g *graph.Graph, q *Query, auto *automata.NFA, opts Options, 
 		in:    in,
 		buf1:  subst.New(q.Pars()),
 	}
+	if opts.Explain {
+		e.ex = newExplainCollector(auto, g.NumLabels())
+	}
 	if opts.Workers <= 1 {
-		// The growth-hook closure mutates unguarded state; it is installed
-		// only for sequential runs.
-		e.in.growthHookFor(e.table)
+		// The growth-hook closures mutate unguarded state; they are
+		// installed only for sequential runs.
+		traceHook := e.in.growthHook()
+		var exHook func(int, int64)
+		if e.ex != nil {
+			exHook = e.ex.tableGrowth()
+		}
+		switch {
+		case traceHook != nil && exHook != nil:
+			e.table.SetOnGrow(func(n int, b int64) { traceHook(n, b); exHook(n, b) })
+		case traceHook != nil:
+			e.table.SetOnGrow(traceHook)
+		case exHook != nil:
+			e.table.SetOnGrow(exHook)
+		}
 	}
 	if opts.Algo == AlgoMemo || opts.Algo == AlgoPrecomp {
 		e.memo = make([][]*label.Match, g.NumLabels())
@@ -92,6 +112,9 @@ func (e *engine) fork() *engine {
 		w.memo = make([][]*label.Match, e.g.NumLabels())
 		w.memoBytes = int64(e.g.NumLabels()) * 24
 	}
+	if e.ex != nil {
+		w.ex = e.ex.fork()
+	}
 	return w
 }
 
@@ -115,6 +138,9 @@ func (e *engine) match(tl *label.CTerm, tlID int32, el *label.CTerm, elID int32)
 		}
 		if m := row[tlID]; m != nil {
 			e.stats.MatchCacheHits++
+			if e.ex != nil {
+				e.ex.attempt(m.OK)
+			}
 			if !m.OK {
 				return nil
 			}
@@ -125,6 +151,9 @@ func (e *engine) match(tl *label.CTerm, tlID int32, el *label.CTerm, elID int32)
 		m := label.MatchAD(tl, el)
 		row[tlID] = &m
 		e.memoBytes += 48
+		if e.ex != nil {
+			e.ex.attempt(m.OK)
+		}
 		if !m.OK {
 			return nil
 		}
@@ -132,6 +161,9 @@ func (e *engine) match(tl *label.CTerm, tlID int32, el *label.CTerm, elID int32)
 	}
 	e.stats.MatchCalls++
 	m := label.MatchAD(tl, el)
+	if e.ex != nil {
+		e.ex.attempt(m.OK)
+	}
 	if !m.OK {
 		return nil
 	}
@@ -150,7 +182,14 @@ func (e *engine) forEachMatch(tl *label.CTerm, tlID int32, el *label.CTerm, elID
 		// the label's parameters and test the full match relation.
 		return subst.ForEachExtension(th, tl.Params(), e.doms, func(th2 subst.Subst) bool {
 			e.stats.MatchCalls++
-			if label.MatchGround(tl, el, th2) {
+			ok := label.MatchGround(tl, el, th2)
+			if e.ex != nil {
+				e.ex.attempt(ok)
+			}
+			if ok {
+				if e.ex != nil {
+					e.ex.extend()
+				}
 				return emit(th2)
 			}
 			return true
@@ -174,6 +213,9 @@ func (e *engine) applyMatch(m *label.Match, th subst.Subst, emit func(subst.Subs
 		return true
 	}
 	if len(m.Disagrees) == 0 {
+		if e.ex != nil {
+			e.ex.extend()
+		}
 		return emit(e.buf1)
 	}
 	return subst.ForEachExtension(e.buf1, m.DisagreeParams(), e.doms, func(th2 subst.Subst) bool {
@@ -182,6 +224,9 @@ func (e *engine) applyMatch(m *label.Match, th subst.Subst, emit func(subst.Subs
 			if !subst.Contradicts(th2, d) {
 				return true
 			}
+		}
+		if e.ex != nil {
+			e.ex.extend()
 		}
 		return emit(th2)
 	})
@@ -192,7 +237,14 @@ func (e *engine) applyMatch(m *label.Match, th subst.Subst, emit func(subst.Subs
 func (e *engine) forEachGeneric(tl, el *label.CTerm, th subst.Subst, emit func(subst.Subst) bool) bool {
 	return subst.ForEachExtension(th, tl.Params(), e.doms, func(th2 subst.Subst) bool {
 		e.stats.MatchCalls++
-		if label.MatchGround(tl, el, th2) {
+		ok := label.MatchGround(tl, el, th2)
+		if e.ex != nil {
+			e.ex.attempt(ok)
+		}
+		if ok {
+			if e.ex != nil {
+				e.ex.extend()
+			}
 			return emit(th2)
 		}
 		return true
@@ -209,7 +261,11 @@ func (e *engine) possiblyMatches(tl *label.CTerm, tlID int32, el *label.CTerm, e
 		empty := subst.New(e.q.Pars())
 		subst.ForEachExtension(empty, tl.Params(), e.doms, func(th subst.Subst) bool {
 			e.stats.MatchCalls++
-			if label.MatchGround(tl, el, th) {
+			ok := label.MatchGround(tl, el, th)
+			if e.ex != nil {
+				e.ex.attempt(ok)
+			}
+			if ok {
 				found = true
 				return false
 			}

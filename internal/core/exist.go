@@ -60,6 +60,10 @@ func Exist(g *graph.Graph, v0 int32, q *Query, opts Options) (*Result, error) {
 		res, err = existWorklist(g, v0, q, opts)
 	}
 	if err != nil {
+		// Close the phase and flush buffered trace events so a failing run
+		// still yields a complete, parseable trace.
+		in.phaseEnd("solve", t0)
+		in.flush()
 		return nil, err
 	}
 	res.Stats.Phases.Solve.Wall = in.phaseEnd("solve", t0)
@@ -80,6 +84,11 @@ type mtsEntry struct {
 	m      *label.Match // nil for generic labels
 	tl     *label.CTerm
 	el     *label.CTerm
+	// ti/elID attribute the entry's solve-time work to the originating
+	// transition and edge label in the explain profile; ti is meaningful
+	// only when explaining.
+	ti   int32
+	elID int32
 }
 
 // buildMTS precomputes the target-and-substitution map M_ts (pseudo-code
@@ -100,13 +109,18 @@ func buildMTS(e *engine, v0 int32) ([][]mtsEntry, int64) {
 		pw = pw[:len(pw)-1]
 		v, s := unpackPair(pair, states)
 		for _, ge := range g.Out(v) {
-			for _, tr := range nfa.Trans[s] {
+			for i, tr := range nfa.Trans[s] {
 				tlID := nfa.LabelID[tr.Label.Key()]
+				var ti int32
+				if e.ex != nil {
+					ti = e.ex.ti(s, i)
+					e.ex.setCur(ti, ge.LabelID)
+				}
 				m := e.possiblyMatches(tr.Label, tlID, ge.Label, ge.LabelID)
 				if m == nil {
 					continue
 				}
-				entry := mtsEntry{v1: ge.To, s1: tr.To, tl: tr.Label, el: ge.Label}
+				entry := mtsEntry{v1: ge.To, s1: tr.To, tl: tr.Label, el: ge.Label, ti: ti, elID: ge.LabelID}
 				if tr.Label.ADCompatible() {
 					entry.m = m
 				}
@@ -240,6 +254,9 @@ func existWorklist(g *graph.Graph, v0 int32, q *Query, opts Options) (*Result, e
 	// processTriple is the body of the main worklist loop, pseudo-code
 	// (2)/(4): record final-state answers and expand successors.
 	processTriple := func(t triple) {
+		if e.ex != nil {
+			e.ex.visit(t.s)
+		}
 		if nfa.Final[t.s] {
 			record(t)
 		}
@@ -247,6 +264,9 @@ func existWorklist(g *graph.Graph, v0 int32, q *Query, opts Options) (*Result, e
 		if opts.Algo == AlgoPrecomp {
 			for i := range mts[int(t.v)*states+int(t.s)] {
 				entry := &mts[int(t.v)*states+int(t.s)][i]
+				if e.ex != nil {
+					e.ex.setCur(entry.ti, entry.elID)
+				}
 				emit := func(th2 subst.Subst) bool {
 					push(entry.v1, entry.s1, th2, t, entry.el, t.v)
 					return true
@@ -260,9 +280,12 @@ func existWorklist(g *graph.Graph, v0 int32, q *Query, opts Options) (*Result, e
 			return
 		}
 		for _, ge := range g.Out(t.v) {
-			for _, tr := range nfa.Trans[t.s] {
+			for i, tr := range nfa.Trans[t.s] {
 				tlID := nfa.LabelID[tr.Label.Key()]
 				to := tr.To
+				if e.ex != nil {
+					e.ex.setCur(e.ex.ti(t.s, i), ge.LabelID)
+				}
 				e.forEachMatch(tr.Label, tlID, ge.Label, ge.LabelID, th, func(th2 subst.Subst) bool {
 					push(ge.To, to, th2, t, ge.Label, t.v)
 					return true
@@ -279,6 +302,9 @@ func existWorklist(g *graph.Graph, v0 int32, q *Query, opts Options) (*Result, e
 			buckets[bi] = buckets[bi][:len(buckets[bi])-1]
 			processTriple(t)
 			e.in.highWater(len(buckets[bi]), &nextHW)
+			if e.ex != nil {
+				e.ex.pop(len(buckets[bi]))
+			}
 			if pops++; e.in.gauges != nil && pops&sampleMask == 0 {
 				e.sample(len(buckets[bi]), seen.Len(), seen.Bytes())
 			}
@@ -315,7 +341,11 @@ func existWorklist(g *graph.Graph, v0 int32, q *Query, opts Options) (*Result, e
 		e.sample(0, seen.Len(), seen.Bytes())
 	}
 	sortPairs(pairs)
-	return &Result{Pairs: pairs, Stats: stats}, nil
+	res := &Result{Pairs: pairs, Stats: stats}
+	if e.ex != nil {
+		res.Explain = e.ex.report(q, g, opts.Algo, "nfa")
+	}
+	return res, nil
 }
 
 // enumState is per-goroutine scratch for the enumeration algorithm's ground
@@ -369,8 +399,9 @@ func (es *enumState) reset() {
 // run instantiates the transition labels under th and performs the ground
 // product reachability from ⟨v0, start⟩, marking final-state vertices in
 // resHere. It updates stats.WorklistInserts/MatchCalls/PeakTriples (all
-// deterministic: the pass depends only on th).
-func (es *enumState) run(g *graph.Graph, v0 int32, nfa *automata.NFA, th subst.Subst, resHere map[int32]bool, stats *Stats) {
+// deterministic: the pass depends only on th). ex, when non-nil, receives
+// the per-state/per-transition/per-label profile of the pass.
+func (es *enumState) run(g *graph.Graph, v0 int32, nfa *automata.NFA, th subst.Subst, resHere map[int32]bool, stats *Stats, ex *explainCollector) {
 	for i, tl := range nfa.Labels {
 		if tl.HasParams() {
 			es.inst[i], _ = tl.Instantiate(th)
@@ -390,13 +421,25 @@ func (es *enumState) run(g *graph.Graph, v0 int32, nfa *automata.NFA, th subst.S
 		pair := es.wl[len(es.wl)-1]
 		es.wl = es.wl[:len(es.wl)-1]
 		v, s := unpackPair(pair, states)
+		if ex != nil {
+			ex.visit(s)
+			ex.pop(len(es.wl))
+		}
 		if nfa.Final[s] {
 			resHere[v] = true
 		}
 		for _, ge := range g.Out(v) {
-			for _, tr := range nfa.Trans[s] {
+			for i, tr := range nfa.Trans[s] {
 				stats.MatchCalls++
-				if !label.MatchGround(es.inst[nfa.LabelID[tr.Label.Key()]], ge.Label, nil) {
+				ok := label.MatchGround(es.inst[nfa.LabelID[tr.Label.Key()]], ge.Label, nil)
+				if ex != nil {
+					ex.setCur(ex.ti(s, i), ge.LabelID)
+					ex.attempt(ok)
+					if ok {
+						ex.extend()
+					}
+				}
+				if !ok {
 					continue
 				}
 				np := packPair(ge.To, tr.To, states)
@@ -435,6 +478,10 @@ func existEnum(g *graph.Graph, v0 int32, q *Query, opts Options) (*Result, error
 	if err != nil {
 		return nil, err
 	}
+	var ex *explainCollector
+	if opts.Explain {
+		ex = newExplainCollector(nfa, g.NumLabels())
+	}
 	var pairs []Pair
 	var maxBytes int64
 
@@ -446,7 +493,7 @@ func existEnum(g *graph.Graph, v0 int32, q *Query, opts Options) (*Result, error
 			in.gauges.Sample(-1, int64(stats.WorklistInserts), -1, maxBytes)
 		}
 		resHere := map[int32]bool{}
-		es.run(g, v0, nfa, th, resHere, &stats)
+		es.run(g, v0, nfa, th, resHere, &stats, ex)
 		for v := range resHere {
 			pairs = append(pairs, Pair{Vertex: v, Subst: th.Clone()})
 		}
@@ -461,5 +508,10 @@ func existEnum(g *graph.Graph, v0 int32, q *Query, opts Options) (*Result, error
 	stats.ResultPairs = len(pairs)
 	stats.Bytes = maxBytes + pairsBytes(len(pairs), q.Pars())
 	sortPairs(pairs)
-	return &Result{Pairs: pairs, Stats: stats}, nil
+	res := &Result{Pairs: pairs, Stats: stats}
+	if ex != nil {
+		ex.groundRuns = enumerated
+		res.Explain = ex.report(q, g, opts.Algo, "nfa")
+	}
+	return res, nil
 }

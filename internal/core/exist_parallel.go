@@ -93,6 +93,7 @@ type psolver struct {
 	compsAtLevel [][]int32
 
 	gauges *obs.SolverGauges
+	in     instr
 }
 
 // pworker is one solver goroutine with its owned shard of the reach set.
@@ -124,6 +125,14 @@ type pworker struct {
 	steals    int64
 	batches   int64
 	batchMsgs int64
+	processed int64
+
+	// timing turns on busy-time measurement for the worker timeline (span
+	// events and the explain profile's per-worker busy totals); set when
+	// either a tracer or Explain is active so the disabled path never reads
+	// the clock.
+	timing bool
+	busy   time.Duration
 
 	perLocal []int32 // live triples per local vertex (SCC release accounting)
 
@@ -161,6 +170,7 @@ func existParallel(g *graph.Graph, v0 int32, q *Query, opts Options) (*Result, e
 	s := &psolver{
 		g: g, q: q, nfa: nfa, opts: opts, states: states,
 		done: make(chan struct{}), gauges: opts.Gauges, scc: opts.SCCOrder,
+		in: newInstr(opts),
 	}
 
 	// Ownership and the global→local vertex remap.
@@ -216,6 +226,7 @@ func existParallel(g *graph.Graph, v0 int32, q *Query, opts Options) (*Result, e
 			out:     make([][]pushMsg, W),
 			resSeen: map[int64]bool{},
 			gauges:  opts.Gauges.Worker(i),
+			timing:  opts.Explain || s.in.on,
 		}
 		if opts.Witnesses {
 			w.parents = map[triple]parentStep{}
@@ -274,6 +285,7 @@ func existParallel(g *graph.Graph, v0 int32, q *Query, opts Options) (*Result, e
 	var pairs []Pair
 	var origins []triple
 	var seenBytes, memoBytes int64
+	var profiles []WorkerProfile
 	for _, w := range s.workers {
 		pairs = append(pairs, w.pairs...)
 		origins = append(origins, w.origins...)
@@ -289,6 +301,13 @@ func existParallel(g *graph.Graph, v0 int32, q *Query, opts Options) (*Result, e
 		stats.MatchCacheHits += w.e.stats.MatchCacheHits
 		stats.MatchCacheMisses += w.e.stats.MatchCacheMisses
 		stats.MergeCalls += w.e.stats.MergeCalls
+		if master.ex != nil {
+			master.ex.merge(w.e.ex)
+			profiles = append(profiles, WorkerProfile{
+				ID: w.id, Processed: w.processed, Steals: w.steals,
+				Batches: w.batches, BatchMsgs: w.batchMsgs, Busy: w.busy,
+			})
+		}
 	}
 	if opts.Witnesses {
 		attachWitnesses(pairs, origins, func(t triple) (parentStep, bool) {
@@ -303,8 +322,17 @@ func existParallel(g *graph.Graph, v0 int32, q *Query, opts Options) (*Result, e
 	if s.gauges != nil {
 		s.gauges.Sample(0, int64(stats.ReachSize), int64(stats.Substs), seenBytes+table.Bytes())
 	}
+	// Drop per-worker gauges beyond this run's width so repeated runs with
+	// fewer workers don't leave stale rpq_worker_<i>_* metrics exposed.
+	opts.Gauges.ReleaseWorkers(W)
 	sortPairs(pairs)
-	return &Result{Pairs: pairs, Stats: stats}, nil
+	res := &Result{Pairs: pairs, Stats: stats}
+	if master.ex != nil {
+		rep := master.ex.report(q, g, opts.Algo, "nfa")
+		rep.Workers = profiles
+		res.Explain = rep
+	}
+	return res, nil
 }
 
 // admit records a triple on its owner (always the receiver): dedup against
@@ -410,11 +438,18 @@ func (w *pworker) flushAll() {
 // through the sharded router instead of a single worklist.
 func (w *pworker) process(t triple) {
 	s := w.s
+	w.processed++
+	if w.e.ex != nil {
+		w.e.ex.visit(t.s)
+	}
 	th := w.e.table.Get(t.th)
 	if s.mts != nil {
 		base := int(t.v)*s.states + int(t.s)
 		for i := range s.mts[base] {
 			entry := &s.mts[base][i]
+			if w.e.ex != nil {
+				w.e.ex.setCur(entry.ti, entry.elID)
+			}
 			emit := func(th2 subst.Subst) bool {
 				w.push(entry.v1, entry.s1, th2, t, entry.el, t.v)
 				return true
@@ -428,9 +463,12 @@ func (w *pworker) process(t triple) {
 	} else {
 		nfa := s.nfa
 		for _, ge := range s.g.Out(t.v) {
-			for _, tr := range nfa.Trans[t.s] {
+			for i, tr := range nfa.Trans[t.s] {
 				tlID := nfa.LabelID[tr.Label.Key()]
 				to, dst, lbl := tr.To, ge.To, ge.Label
+				if w.e.ex != nil {
+					w.e.ex.setCur(w.e.ex.ti(t.s, i), ge.LabelID)
+				}
 				w.e.forEachMatch(tr.Label, tlID, ge.Label, ge.LabelID, th, func(th2 subst.Subst) bool {
 					w.push(dst, to, th2, t, lbl, t.v)
 					return true
@@ -476,6 +514,7 @@ func (w *pworker) steal() (triple, bool) {
 		v.queue = append(v.queue[:0], v.queue[take:]...)
 		v.qmu.Unlock()
 		w.steals += int64(take)
+		w.s.in.workerCounter(w.id, "steals", w.steals)
 		if len(got) > 1 {
 			w.qmu.Lock()
 			w.queue = append(w.queue, got[1:]...)
@@ -545,6 +584,10 @@ func (w *pworker) runPlain(wg *sync.WaitGroup) {
 	backoff := minBackoff
 	timer := time.NewTimer(time.Hour)
 	defer timer.Stop()
+	// Busy bursts: the stretch from the first processed triple to the next
+	// idle transition becomes one span on this worker's timeline lane.
+	var burst time.Time
+	inBurst := false
 	for {
 		w.drainInbox()
 		t, ok := w.pop()
@@ -552,10 +595,20 @@ func (w *pworker) runPlain(wg *sync.WaitGroup) {
 			t, ok = w.steal()
 		}
 		if ok {
+			if w.timing && !inBurst {
+				burst = time.Now()
+				inBurst = true
+			}
 			w.process(t)
 			w.sampleGauges()
 			backoff = minBackoff
 			continue
+		}
+		if inBurst {
+			d := time.Since(burst)
+			w.busy += d
+			w.s.in.workerSpan(w.id, "busy", d)
+			inBurst = false
 		}
 		w.flushAll()
 		if !timer.Stop() {
@@ -583,6 +636,10 @@ func (w *pworker) runPlain(wg *sync.WaitGroup) {
 func (w *pworker) runSCC(wg *sync.WaitGroup, levelCh <-chan int, ack chan<- struct{}) {
 	defer wg.Done()
 	for l := range levelCh {
+		var t0 time.Time
+		if w.timing {
+			t0 = time.Now()
+		}
 		w.drainDeferred()
 		for _, m := range w.byLevel[l] {
 			w.admit(m, false)
@@ -598,6 +655,11 @@ func (w *pworker) runSCC(wg *sync.WaitGroup, levelCh <-chan int, ack chan<- stru
 		}
 		w.flushAll()
 		w.releaseLevel(l)
+		if w.timing {
+			d := time.Since(t0)
+			w.busy += d
+			w.s.in.workerSpan(w.id, "level", d)
+		}
 		ack <- struct{}{}
 	}
 }
@@ -657,8 +719,17 @@ func existEnumParallel(g *graph.Graph, v0 int32, q *Query, opts Options) (*Resul
 		pairs    []Pair
 		stats    Stats
 		maxBytes int64
+		busy     time.Duration
 	}
 	results := make([]wres, W)
+	var exBase *explainCollector
+	exW := make([]*explainCollector, W)
+	if opts.Explain {
+		exBase = newExplainCollector(nfa, g.NumLabels())
+		for i := range exW {
+			exW[i] = exBase.fork()
+		}
+	}
 
 	tEnum := in.phaseBegin("enumerate")
 	var wg sync.WaitGroup
@@ -669,15 +740,22 @@ func existEnumParallel(g *graph.Graph, v0 int32, q *Query, opts Options) (*Resul
 			r := &results[i]
 			resHere := map[int32]bool{}
 			for batch := range work {
+				var t0 time.Time
+				if exBase != nil {
+					t0 = time.Now()
+				}
 				for _, th := range batch {
 					clear(resHere)
-					es.run(g, v0, nfa, th, resHere, &r.stats)
+					es.run(g, v0, nfa, th, resHere, &r.stats, exW[i])
 					for v := range resHere {
 						r.pairs = append(r.pairs, Pair{Vertex: v, Subst: th})
 					}
 					if b := es.bytes() + int64(len(resHere))*16; b > r.maxBytes {
 						r.maxBytes = b
 					}
+				}
+				if exBase != nil {
+					r.busy += time.Since(t0)
 				}
 			}
 		}(i, states[i])
@@ -704,6 +782,7 @@ func existEnumParallel(g *graph.Graph, v0 int32, q *Query, opts Options) (*Resul
 
 	var pairs []Pair
 	var maxBytes int64
+	var profiles []WorkerProfile
 	for i := range results {
 		r := &results[i]
 		pairs = append(pairs, r.pairs...)
@@ -713,10 +792,23 @@ func existEnumParallel(g *graph.Graph, v0 int32, q *Query, opts Options) (*Resul
 			stats.PeakTriples = r.stats.PeakTriples
 		}
 		maxBytes += r.maxBytes
+		if exBase != nil {
+			exBase.merge(exW[i])
+			profiles = append(profiles, WorkerProfile{
+				ID: i, Processed: int64(r.stats.WorklistInserts), Busy: r.busy,
+			})
+		}
 	}
 	stats.ReachSize = stats.WorklistInserts
 	stats.ResultPairs = len(pairs)
 	stats.Bytes = maxBytes + pairsBytes(len(pairs), q.Pars())
 	sortPairs(pairs)
-	return &Result{Pairs: pairs, Stats: stats}, nil
+	res := &Result{Pairs: pairs, Stats: stats}
+	if exBase != nil {
+		exBase.groundRuns = enumerated
+		rep := exBase.report(q, g, opts.Algo, "nfa")
+		rep.Workers = profiles
+		res.Explain = rep
+	}
+	return res, nil
 }

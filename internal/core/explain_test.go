@@ -1,0 +1,321 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os/exec"
+	"strings"
+	"testing"
+
+	"rpq/internal/graph"
+	"rpq/internal/obs"
+	"rpq/internal/pattern"
+	"rpq/internal/subst"
+)
+
+// explainFor runs one existential query with profiling on and checks the
+// profile's internal consistency against the run's stats.
+func explainFor(t *testing.T, wl parWorkload, q *Query, opts Options) *Explain {
+	t.Helper()
+	opts.Explain = true
+	res, err := Exist(wl.g, wl.start, q, opts)
+	if err != nil {
+		t.Fatalf("%v: %v", opts.Algo, err)
+	}
+	if res.Explain == nil {
+		t.Fatalf("%v: Explain nil with Options.Explain set", opts.Algo)
+	}
+	if err := res.Explain.Consistent(&res.Stats); err != nil {
+		t.Fatalf("%v: %v", opts.Algo, err)
+	}
+	return res.Explain
+}
+
+// sameCounters requires two profiles over the same automaton to agree on
+// every deterministic counter: totals, per-state visits, per-transition
+// attempts/hits/extensions, and per-label histograms.
+func sameCounters(t *testing.T, name string, a, b *Explain) {
+	t.Helper()
+	if a.Totals != b.Totals {
+		t.Errorf("%s: totals %+v vs %+v", name, a.Totals, b.Totals)
+	}
+	if len(a.States) != len(b.States) {
+		t.Fatalf("%s: %d vs %d state profiles", name, len(a.States), len(b.States))
+	}
+	for i := range a.States {
+		if a.States[i] != b.States[i] {
+			t.Errorf("%s: state %d: %+v vs %+v", name, a.States[i].State, a.States[i], b.States[i])
+		}
+	}
+	if len(a.Transitions) != len(b.Transitions) {
+		t.Fatalf("%s: %d vs %d transition profiles", name, len(a.Transitions), len(b.Transitions))
+	}
+	for i := range a.Transitions {
+		if a.Transitions[i] != b.Transitions[i] {
+			t.Errorf("%s: transition %d: %+v vs %+v", name, i, a.Transitions[i], b.Transitions[i])
+		}
+	}
+	if len(a.Labels) != len(b.Labels) {
+		t.Fatalf("%s: %d vs %d label profiles", name, len(a.Labels), len(b.Labels))
+	}
+	for i := range a.Labels {
+		if a.Labels[i] != b.Labels[i] {
+			t.Errorf("%s: label %q: %+v vs %+v", name, a.Labels[i].Label, a.Labels[i], b.Labels[i])
+		}
+	}
+}
+
+// TestExplainParityAcrossVariants checks the cross-variant invariants on the
+// randomized corpus: basic, memo, and precomputation pop the same triples
+// and extend the same edges (visits and extensions equal); basic and memo
+// attempt the same matches with the same outcomes (attempts and hits equal —
+// memoization changes who answers, not what is asked).
+func TestExplainParityAcrossVariants(t *testing.T) {
+	for _, wl := range parCorpus(t) {
+		t.Run(wl.name, func(t *testing.T) {
+			q := MustCompile(pattern.MustParse(wl.pat), wl.g.U)
+			basic := explainFor(t, wl, q, Options{Algo: AlgoBasic})
+			memo := explainFor(t, wl, q, Options{Algo: AlgoMemo})
+			precomp := explainFor(t, wl, q, Options{Algo: AlgoPrecomp})
+			explainFor(t, wl, q, Options{Algo: AlgoEnum}) // consistency only
+
+			sameCounters(t, "basic-vs-memo", basic, memo)
+			if basic.Totals.Visits != precomp.Totals.Visits {
+				t.Errorf("visits: basic %d vs precomp %d", basic.Totals.Visits, precomp.Totals.Visits)
+			}
+			if basic.Totals.Extensions != precomp.Totals.Extensions {
+				t.Errorf("extensions: basic %d vs precomp %d", basic.Totals.Extensions, precomp.Totals.Extensions)
+			}
+			for i := range basic.States {
+				if basic.States[i].Visits != precomp.States[i].Visits {
+					t.Errorf("state %d visits: basic %d vs precomp %d",
+						basic.States[i].State, basic.States[i].Visits, precomp.States[i].Visits)
+				}
+			}
+			for i := range basic.Transitions {
+				if basic.Transitions[i].Extensions != precomp.Transitions[i].Extensions {
+					t.Errorf("transition %d extensions: basic %d vs precomp %d",
+						i, basic.Transitions[i].Extensions, precomp.Transitions[i].Extensions)
+				}
+			}
+		})
+	}
+}
+
+// TestExplainSeqParEqual requires the parallel solver's merged profile to
+// match the sequential one exactly — the processed triple set, match
+// attempts, and their outcomes are scheduling-independent — and the worker
+// timelines to account for every pop.
+func TestExplainSeqParEqual(t *testing.T) {
+	for _, wl := range parCorpus(t) {
+		t.Run(wl.name, func(t *testing.T) {
+			q := MustCompile(pattern.MustParse(wl.pat), wl.g.U)
+			for _, algo := range []Algo{AlgoBasic, AlgoMemo, AlgoPrecomp, AlgoEnum} {
+				for _, tk := range []subst.TableKind{subst.Hash, subst.Nested} {
+					seq := explainFor(t, wl, q, Options{Algo: algo, Table: tk})
+					par := explainFor(t, wl, q, Options{Algo: algo, Table: tk, Workers: 4})
+					name := fmt.Sprintf("%v/%v", algo, tk)
+					sameCounters(t, name, seq, par)
+					if len(par.Workers) == 0 {
+						t.Errorf("%s: parallel profile has no worker timelines", name)
+					}
+					var processed int64
+					for _, w := range par.Workers {
+						processed += w.Processed
+					}
+					if algo != AlgoEnum && processed != par.Totals.Visits {
+						t.Errorf("%s: workers processed %d triples, profile visited %d",
+							name, processed, par.Totals.Visits)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestExplainUniversal checks profile consistency for the universal
+// algorithms: the direct algorithm on a deterministic chain, and
+// enumeration/hybrid (with their ground passes) on the available-expressions
+// graph.
+func TestExplainUniversal(t *testing.T) {
+	chain := graph.MustReadString(`
+start v0
+edge v0 def(a) v1
+edge v1 def(a) v2
+`)
+	cq := MustCompile(pattern.MustParse("def(x)*"), chain.U)
+	for _, algo := range []Algo{AlgoBasic, AlgoMemo, AlgoPrecomp} {
+		res, err := Univ(chain, chain.Start(), cq, Options{Algo: algo, Explain: true})
+		if err != nil {
+			t.Fatalf("%v: %v", algo, err)
+		}
+		if res.Explain == nil {
+			t.Fatalf("%v: Explain nil", algo)
+		}
+		if res.Explain.Automaton != "dfa" {
+			t.Errorf("%v: automaton %q, want dfa", algo, res.Explain.Automaton)
+		}
+		if err := res.Explain.Consistent(&res.Stats); err != nil {
+			t.Errorf("%v: %v", algo, err)
+		}
+	}
+
+	avail := graph.MustReadString(`
+start s
+edge s exp(a,plus,b) p1
+edge s exp(a,plus,b) p2
+edge p1 def(c) m
+edge p2 def(d) m
+edge m def(a) k
+`)
+	aq := MustCompile(pattern.MustParse("_* exp(x,op,y) (!(def(x)|def(y)))*"), avail.U)
+	for _, algo := range []Algo{AlgoEnum, AlgoHybrid} {
+		res, err := Univ(avail, avail.Start(), aq, Options{Algo: algo, Explain: true})
+		if err != nil {
+			t.Fatalf("%v: %v", algo, err)
+		}
+		ex := res.Explain
+		if ex == nil {
+			t.Fatalf("%v: Explain nil", algo)
+		}
+		if err := ex.Consistent(&res.Stats); err != nil {
+			t.Errorf("%v: %v", algo, err)
+		}
+		if ex.GroundRuns == 0 {
+			t.Errorf("%v: no ground-pass runs recorded", algo)
+		}
+		if ex.Totals.GroundPops == 0 {
+			t.Errorf("%v: no ground-pass pops recorded", algo)
+		}
+		if algo == AlgoHybrid && ex.Totals.Attempts == 0 {
+			t.Errorf("hybrid: inner existential profile not folded in (no attempts)")
+		}
+	}
+}
+
+// TestExplainOffLeavesResultBare guards the disabled path: no profile, no
+// collector allocations visible to the caller.
+func TestExplainOffLeavesResultBare(t *testing.T) {
+	wl := parCorpus(t)[0]
+	q := MustCompile(pattern.MustParse(wl.pat), wl.g.U)
+	res, err := Exist(wl.g, wl.start, q, Options{Algo: AlgoMemo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Explain != nil {
+		t.Fatal("Explain non-nil without Options.Explain")
+	}
+}
+
+// TestExplainReportShapes exercises the three renderings: the text report,
+// the JSON encoding, and the annotated DOT (validated with graphviz when the
+// dot binary is installed).
+func TestExplainReportShapes(t *testing.T) {
+	wl := parCorpus(t)[3] // hand graph: tiny, stable
+	q := MustCompile(pattern.MustParse(wl.pat), wl.g.U)
+	ex := explainFor(t, wl, q, Options{Algo: AlgoMemo})
+
+	text := ex.Format()
+	for _, want := range []string{"query profile:", "states:", "transitions:", "edge labels:"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("text report missing %q:\n%s", want, text)
+		}
+	}
+
+	b, err := json.Marshal(ex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var round Explain
+	if err := json.Unmarshal(b, &round); err != nil {
+		t.Fatal(err)
+	}
+	if round.Totals != ex.Totals {
+		t.Errorf("JSON round-trip changed totals: %+v vs %+v", round.Totals, ex.Totals)
+	}
+
+	dot := ex.DOT()
+	for _, want := range []string{"digraph explain", "__start", "fillcolor", "penwidth"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+	if path, err := exec.LookPath("dot"); err == nil {
+		cmd := exec.Command(path, "-Tsvg", "-o", "/dev/null")
+		cmd.Stdin = strings.NewReader(dot)
+		var stderr bytes.Buffer
+		cmd.Stderr = &stderr
+		if err := cmd.Run(); err != nil {
+			t.Errorf("graphviz rejected the DOT: %v\n%s", err, stderr.String())
+		}
+	} else {
+		t.Log("graphviz not installed; skipping render check")
+	}
+}
+
+// TestExplainCurvesSequential checks that sequential profiles carry the
+// table-occupancy and worklist-depth curves.
+func TestExplainCurvesSequential(t *testing.T) {
+	wl := parCorpus(t)[0]
+	q := MustCompile(pattern.MustParse(wl.pat), wl.g.U)
+	ex := explainFor(t, wl, q, Options{Algo: AlgoMemo})
+	if len(ex.DepthSamples) == 0 {
+		t.Error("no worklist depth samples on a sequential run")
+	}
+	if len(ex.TableCurve) == 0 {
+		t.Error("no table-occupancy samples on a sequential run")
+	}
+}
+
+// TestChromeTraceFlushedOnError is the error-path flush guarantee: a solver
+// run that fails (here: the universal determinism check) must still leave
+// the buffered Chrome trace events on the underlying writer, so the partial
+// trace loads in chrome://tracing. Chrome's trace format accepts an
+// unterminated JSON array; for strictness the test closes it by hand.
+func TestChromeTraceFlushedOnError(t *testing.T) {
+	g := graph.MustReadString("start s\nedge s exp(a,plus,b) v1\n")
+	q := MustCompile(pattern.MustParse("_* exp(x,op,y) (!(def(x)|def(y)))*"), g.U)
+	var buf bytes.Buffer
+	sink := obs.NewChromeSink(&buf)
+	_, err := Univ(g, g.Start(), q, Options{Tracer: sink})
+	if err != ErrNondeterministic {
+		t.Fatalf("err = %v, want ErrNondeterministic", err)
+	}
+	got := buf.String()
+	if !strings.Contains(got, `"solve"`) {
+		t.Fatalf("trace buffer not flushed on error path:\n%q", got)
+	}
+	// Terminate the array the way Close would and require valid JSON.
+	var events []map[string]any
+	if err := json.Unmarshal([]byte(strings.TrimRight(strings.TrimSpace(got), ",")+"\n]"), &events); err != nil {
+		t.Fatalf("flushed trace is not parseable: %v\n%s", err, got)
+	}
+	if len(events) == 0 {
+		t.Fatal("no events in flushed trace")
+	}
+}
+
+// TestParallelReleasesWorkerGauges runs the parallel solver at four workers
+// and then at two on the same gauge set: the second run must leave no
+// rpq_worker_2_*/rpq_worker_3_* gauges registered.
+func TestParallelReleasesWorkerGauges(t *testing.T) {
+	wl := parCorpus(t)[0]
+	q := MustCompile(pattern.MustParse(wl.pat), wl.g.U)
+	reg := obs.NewRegistry()
+	gauges := obs.NewSolverGauges(reg)
+	for _, workers := range []int{4, 2} {
+		if _, err := Exist(wl.g, wl.start, q, Options{Algo: AlgoMemo, Workers: workers, Gauges: gauges}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+	}
+	snap := reg.Snapshot()
+	for name := range snap {
+		if strings.HasPrefix(name, "rpq_worker_2_") || strings.HasPrefix(name, "rpq_worker_3_") {
+			t.Errorf("stale gauge %s after re-running with fewer workers", name)
+		}
+	}
+	if _, ok := snap["rpq_worker_1_queue_depth"]; !ok {
+		t.Errorf("active worker gauges missing from snapshot: %v", snap)
+	}
+}

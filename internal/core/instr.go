@@ -26,23 +26,49 @@ func newInstr(opts Options) instr {
 // worklist pops. A power of two minus one, so the test is a single AND.
 const sampleMask = 255
 
-// growthHookFor installs a table-growth tracer on tbl emitting snapshots at
-// power-of-two sizes (bounded event volume on any run).
-func (in instr) growthHookFor(tbl interface {
-	SetOnGrow(func(n int, bytes int64))
-}) {
+// growthHook returns a table-growth tracer callback emitting snapshots at
+// power-of-two sizes (bounded event volume on any run), or nil when tracing
+// is off. The caller installs it — possibly chained with the explain
+// collector's curve sampler — via SetOnGrow.
+func (in instr) growthHook() func(n int, bytes int64) {
 	if !in.on {
-		return
+		return nil
 	}
 	next := 64
 	in.t.Emit(obs.Ev(obs.KTableGrowth, "substs", 0))
-	tbl.SetOnGrow(func(n int, bytes int64) {
+	return func(n int, bytes int64) {
 		if n >= next {
 			next *= 2
 			in.t.Emit(obs.Ev(obs.KTableGrowth, "substs", int64(n)))
 			in.t.Emit(obs.Ev(obs.KTableGrowth, "subst_bytes", bytes))
 		}
-	})
+	}
+}
+
+// flush pushes buffered trace events to disk; used on solver error paths so
+// a failing run still yields a complete (parseable) trace.
+func (in instr) flush() {
+	if in.on {
+		obs.Flush(in.t)
+	}
+}
+
+// workerSpan emits a completed span on parallel worker id's timeline lane.
+func (in instr) workerSpan(id int, name string, d time.Duration) {
+	if in.on {
+		ev := obs.SpanEv(obs.KSpan, name, d)
+		ev.Worker = id + 1
+		in.t.Emit(ev)
+	}
+}
+
+// workerCounter emits a counter on parallel worker id's timeline lane.
+func (in instr) workerCounter(id int, name string, v int64) {
+	if in.on {
+		ev := obs.Ev(obs.KCounter, name, v)
+		ev.Worker = id + 1
+		in.t.Emit(ev)
+	}
 }
 
 // phaseBegin emits the begin event and returns the phase start time.

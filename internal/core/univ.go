@@ -42,6 +42,10 @@ func Univ(g *graph.Graph, v0 int32, q *Query, opts Options) (*Result, error) {
 		return nil, fmt.Errorf("core: unknown algorithm %v", opts.Algo)
 	}
 	if err != nil {
+		// Close the phase and flush buffered trace events so a failing run
+		// (e.g. a determinism-check abort) still yields a parseable trace.
+		in.phaseEnd("solve", t0)
+		in.flush()
 		return nil, err
 	}
 	res.Stats.Phases.Solve.Wall = in.phaseEnd("solve", t0)
@@ -59,6 +63,9 @@ type dsEntry struct {
 	s1 int32
 	m  *label.Match // nil for generic labels
 	tl *label.CTerm
+	// ti attributes the entry's solve-time work to the originating DFA
+	// transition in the explain profile; meaningful only when explaining.
+	ti int32
 }
 
 // univWorklist is pseudo-code (6) with the memoization/precomputation
@@ -123,13 +130,18 @@ func univWorklist(g *graph.Graph, v0 int32, q *Query, opts Options) (*Result, er
 		}
 		if row[s] == nil {
 			entries := []dsEntry{}
-			for _, tr := range dfa.Trans[s] {
+			for i, tr := range dfa.Trans[s] {
 				tlID := dfa.LabelID[tr.Label.Key()]
+				var ti int32
+				if e.ex != nil {
+					ti = e.ex.ti(s, i)
+					e.ex.setCur(ti, elID)
+				}
 				m := e.possiblyMatches(tr.Label, tlID, el, elID)
 				if m == nil {
 					continue
 				}
-				de := dsEntry{s1: tr.To, tl: tr.Label}
+				de := dsEntry{s1: tr.To, tl: tr.Label, ti: ti}
 				if tr.Label.ADCompatible() {
 					de.m = m
 				}
@@ -152,6 +164,10 @@ func univWorklist(g *graph.Graph, v0 int32, q *Query, opts Options) (*Result, er
 		t := work[len(work)-1]
 		work = work[:len(work)-1]
 		e.in.highWater(len(work), &nextHW)
+		if e.ex != nil {
+			e.ex.visit(t.s)
+			e.ex.pop(len(work))
+		}
 		if pops++; e.in.gauges != nil && pops&sampleMask == 0 {
 			e.sample(len(work), seen.Len(), seen.Bytes())
 		}
@@ -185,6 +201,9 @@ func univWorklist(g *graph.Graph, v0 int32, q *Query, opts Options) (*Result, er
 				if opts.Algo == AlgoPrecomp {
 					for _, de := range lookupDS(ge.Label, ge.LabelID, t.s) {
 						curTarget = de.s1
+						if e.ex != nil {
+							e.ex.setCur(de.ti, ge.LabelID)
+						}
 						if de.m != nil {
 							ok = e.applyMatch(de.m, th, emit)
 						} else {
@@ -195,9 +214,12 @@ func univWorklist(g *graph.Graph, v0 int32, q *Query, opts Options) (*Result, er
 						}
 					}
 				} else {
-					for _, tr := range dfa.Trans[t.s] {
+					for i, tr := range dfa.Trans[t.s] {
 						tlID := dfa.LabelID[tr.Label.Key()]
 						curTarget = tr.To
+						if e.ex != nil {
+							e.ex.setCur(e.ex.ti(t.s, i), ge.LabelID)
+						}
 						ok = e.forEachMatch(tr.Label, tlID, ge.Label, ge.LabelID, th, emit)
 						if !ok {
 							break
@@ -268,5 +290,9 @@ func univWorklist(g *graph.Graph, v0 int32, q *Query, opts Options) (*Result, er
 		e.sample(0, seen.Len(), seen.Bytes())
 	}
 	sortPairs(pairs)
-	return &Result{Pairs: pairs, Stats: stats}, nil
+	res := &Result{Pairs: pairs, Stats: stats}
+	if e.ex != nil {
+		res.Explain = e.ex.report(q, g, opts.Algo, "dfa")
+	}
+	return res, nil
 }

@@ -11,11 +11,21 @@ import (
 // alphabet, so determinism holds by construction and a single product
 // reachability pass suffices. Returns the vertices v (reachable from v0)
 // such that every path from v0 to v is accepted.
-func groundUniv(g *graph.Graph, v0 int32, q *Query, th subst.Subst, stats *Stats) []int32 {
+//
+// When ex is non-nil, each ground-DFA pop is attributed back to the NFA
+// states of its subset (d.Sets), so the enumeration/hybrid profiles live in
+// the same state space as the other variants; per-transition counters stay
+// zero (the match work happened inside DeterminizeGround), and the label
+// histogram records one attempt per scanned edge with a hit when the step
+// stays out of the badstate.
+func groundUniv(g *graph.Graph, v0 int32, q *Query, th subst.Subst, stats *Stats, ex *explainCollector) []int32 {
 	d := automata.DeterminizeGround(q.NFA, g.Labels(), th)
 	states := int32(d.NumStates)
 	bad := states
 	stride := int(states) + 1
+	if ex != nil {
+		ex.groundRuns++
+	}
 
 	// allFinal: 0 unseen, 1 every visited automaton state final, 2 broken.
 	allFinal := make([]int8, g.NumVertices())
@@ -27,6 +37,17 @@ func groundUniv(g *graph.Graph, v0 int32, q *Query, th subst.Subst, stats *Stats
 		pair := wl[len(wl)-1]
 		wl = wl[:len(wl)-1]
 		v, qs := unpackPair(pair, stride)
+		if ex != nil {
+			ex.groundPop()
+			ex.pop(len(wl))
+			if qs == bad {
+				ex.visit(int32(q.NFA.NumStates))
+			} else {
+				for _, ns := range d.Sets[qs] {
+					ex.visit(ns)
+				}
+			}
+		}
 		fin := qs != bad && d.Final[qs]
 		switch {
 		case allFinal[v] == 0:
@@ -43,6 +64,10 @@ func groundUniv(g *graph.Graph, v0 int32, q *Query, th subst.Subst, stats *Stats
 			if qs != bad {
 				if t := d.Step(qs, ge.LabelID); t >= 0 {
 					next = t
+				}
+				if ex != nil {
+					ex.setCur(-1, ge.LabelID)
+					ex.attempt(next != bad)
 				}
 			}
 			np := packPair(ge.To, next, stride)
@@ -76,6 +101,10 @@ func univEnum(g *graph.Graph, v0 int32, q *Query, opts Options) (*Result, error)
 	doms := ComputeDomains(q, g, opts.Domains)
 	stats.Phases.Domains.Wall = in.phaseEnd("domains", tDoms)
 	stats.EnumSubsts = doms.Count()
+	var ex *explainCollector
+	if opts.Explain {
+		ex = newExplainCollector(q.NFA, g.NumLabels())
+	}
 	var pairs []Pair
 	enumerated := 0
 	tEnum := in.phaseBegin("enumerate")
@@ -84,7 +113,7 @@ func univEnum(g *graph.Graph, v0 int32, q *Query, opts Options) (*Result, error)
 			in.gauges.EnumSubsts.Set(int64(enumerated))
 			in.gauges.Sample(-1, int64(stats.WorklistInserts), -1, stats.Bytes)
 		}
-		for _, v := range groundUniv(g, v0, q, th, &stats) {
+		for _, v := range groundUniv(g, v0, q, th, &stats, ex) {
 			pairs = append(pairs, Pair{Vertex: v, Subst: th.Clone()})
 		}
 		return true
@@ -94,7 +123,11 @@ func univEnum(g *graph.Graph, v0 int32, q *Query, opts Options) (*Result, error)
 	stats.ReachSize = stats.WorklistInserts
 	stats.Bytes += pairsBytes(len(pairs), q.Pars())
 	sortPairs(pairs)
-	return &Result{Pairs: pairs, Stats: stats}, nil
+	res := &Result{Pairs: pairs, Stats: stats}
+	if ex != nil {
+		res.Explain = ex.report(q, g, opts.Algo, "nfa")
+	}
+	return res, nil
 }
 
 // univHybrid refines enumeration (Section 4): an existential query first
@@ -143,6 +176,12 @@ func univHybrid(g *graph.Graph, v0 int32, q *Query, opts Options) (*Result, erro
 		})
 	}
 	stats.EnumSubsts = len(order)
+	// gc profiles the ground passes; the inner existential profile (same NFA
+	// state space) is absorbed into its report below.
+	var gc *explainCollector
+	if opts.Explain {
+		gc = newExplainCollector(q.NFA, g.NumLabels())
+	}
 	var pairs []Pair
 	tEnum := in.phaseBegin("enumerate")
 	for i, key := range order {
@@ -151,7 +190,7 @@ func univHybrid(g *graph.Graph, v0 int32, q *Query, opts Options) (*Result, erro
 			in.gauges.Sample(-1, int64(stats.WorklistInserts), int64(cand.Len()), stats.Bytes)
 		}
 		th := cand.Get(key)
-		for _, v := range groundUniv(g, v0, q, th, &stats) {
+		for _, v := range groundUniv(g, v0, q, th, &stats, gc) {
 			pairs = append(pairs, Pair{Vertex: v, Subst: th.Clone()})
 		}
 	}
@@ -160,5 +199,11 @@ func univHybrid(g *graph.Graph, v0 int32, q *Query, opts Options) (*Result, erro
 	stats.ReachSize = stats.WorklistInserts
 	stats.Bytes += cand.Bytes() + pairsBytes(len(pairs), q.Pars())
 	sortPairs(pairs)
-	return &Result{Pairs: pairs, Stats: stats}, nil
+	res := &Result{Pairs: pairs, Stats: stats}
+	if gc != nil {
+		rep := gc.report(q, g, opts.Algo, "nfa")
+		rep.absorb(ex.Explain)
+		res.Explain = rep
+	}
+	return res, nil
 }

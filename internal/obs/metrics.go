@@ -57,6 +57,29 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 	return g
 }
 
+// Unregister removes the gauge registered under name, so it disappears from
+// Snapshot and the Prometheus exposition. Holders of the *Gauge can keep
+// updating it harmlessly; re-registering the name creates a fresh gauge.
+// Reports whether the name was registered.
+func (r *Registry) Unregister(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.gauges[name]
+	delete(r.gauges, name)
+	delete(r.help, name)
+	return ok
+}
+
+// Reset removes every registered gauge — long-lived server processes call
+// it between runs so per-run metrics (e.g. per-worker gauges) don't
+// accumulate indefinitely.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gauges = map[string]*Gauge{}
+	r.help = map[string]string{}
+}
+
 // Snapshot returns the current name → value map, for expvar publication.
 func (r *Registry) Snapshot() map[string]int64 {
 	r.mu.Lock()
@@ -152,6 +175,33 @@ func (s *SolverGauges) Worker(i int) *WorkerGauges {
 	}
 	s.workers[i] = wg
 	return wg
+}
+
+// ReleaseWorkers unregisters the rpq_worker_<i>_* gauges of workers with
+// index >= active. The parallel solvers call it at the end of a run with
+// the run's worker count, so a long-lived process that re-runs with fewer
+// workers does not keep exposing stale gauges from earlier, wider runs.
+func (s *SolverGauges) ReleaseWorkers(active int) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r := s.reg
+	if r == nil {
+		r = Default()
+	}
+	for i, wg := range s.workers {
+		if i < active || wg == nil {
+			continue
+		}
+		p := fmt.Sprintf("rpq_worker_%d_", i)
+		r.Unregister(p + "queue_depth")
+		r.Unregister(p + "steals_total")
+		r.Unregister(p + "batches_total")
+		r.Unregister(p + "batched_msgs_total")
+		delete(s.workers, i)
+	}
 }
 
 // NewSolverGauges registers the solver gauge set in r (the default registry

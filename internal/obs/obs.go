@@ -71,6 +71,10 @@ type Event struct {
 	Value int64
 	// Dur is the span duration for KPhaseEnd/KSpan.
 	Dur time.Duration
+	// Worker identifies the emitting solver thread: 0 is the coordinator
+	// (or a sequential run), i > 0 is parallel worker i-1. ChromeSink maps
+	// it to the trace's tid so per-worker timelines render as lanes.
+	Worker int
 }
 
 // Tracer receives events. Implementations must be safe for concurrent use;
@@ -101,6 +105,27 @@ func Ev(k Kind, name string, value int64) Event {
 // SpanEv builds a completed-span event.
 func SpanEv(k Kind, name string, d time.Duration) Event {
 	return Event{Time: time.Now(), Kind: k, Name: name, Dur: d}
+}
+
+// Flusher is implemented by sinks that buffer events (ChromeSink). Solvers
+// call Flush on error paths so a failing run still yields a complete trace
+// file; Close also flushes.
+type Flusher interface {
+	Flush() error
+}
+
+// Flush flushes t if it (or, for a Multi, any member) buffers events.
+func Flush(t Tracer) {
+	switch s := t.(type) {
+	case Flusher:
+		s.Flush()
+	case Multi:
+		for _, m := range s {
+			if m != nil {
+				Flush(m)
+			}
+		}
+	}
 }
 
 // Multi fans events out to several tracers; Enabled when any is.

@@ -276,3 +276,112 @@ func TestWorkerGauges(t *testing.T) {
 		t.Fatal("nil SolverGauges.Worker != nil")
 	}
 }
+
+func TestRegistryUnregisterAndReset(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("a", "first").Set(1)
+	r.Gauge("b", "second").Set(2)
+	if !r.Unregister("a") {
+		t.Fatal("Unregister(a) = false for a registered gauge")
+	}
+	if r.Unregister("a") {
+		t.Fatal("Unregister(a) = true for an already-removed gauge")
+	}
+	snap := r.Snapshot()
+	if _, ok := snap["a"]; ok {
+		t.Fatalf("unregistered gauge still in snapshot: %v", snap)
+	}
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	if strings.Contains(buf.String(), "a ") {
+		t.Fatalf("unregistered gauge still exposed:\n%s", buf.String())
+	}
+	// A held pointer keeps working; re-registration yields a fresh gauge.
+	old := r.Gauge("b", "")
+	r.Unregister("b")
+	old.Set(9)
+	if fresh := r.Gauge("b", "second again"); fresh == old || fresh.Value() != 0 {
+		t.Fatal("re-registration did not create a fresh gauge")
+	}
+	r.Reset()
+	if len(r.Snapshot()) != 0 {
+		t.Fatalf("Reset left gauges: %v", r.Snapshot())
+	}
+}
+
+// TestReleaseWorkers is the stale-gauge guard: a run with four workers
+// followed by a run with two must not keep exposing rpq_worker_2_* and
+// rpq_worker_3_* gauges.
+func TestReleaseWorkers(t *testing.T) {
+	r := NewRegistry()
+	sg := NewSolverGauges(r)
+	for i := 0; i < 4; i++ {
+		sg.Worker(i).QueueDepth.Set(int64(i))
+	}
+	// End of the 4-worker run, then a 2-worker run.
+	sg.ReleaseWorkers(4)
+	if _, ok := r.Snapshot()["rpq_worker_3_queue_depth"]; !ok {
+		t.Fatal("ReleaseWorkers(4) removed an active worker's gauges")
+	}
+	for i := 0; i < 2; i++ {
+		sg.Worker(i).QueueDepth.Set(int64(10 + i))
+	}
+	sg.ReleaseWorkers(2)
+	snap := r.Snapshot()
+	for _, name := range []string{
+		"rpq_worker_2_queue_depth", "rpq_worker_2_steals_total",
+		"rpq_worker_2_batches_total", "rpq_worker_2_batched_msgs_total",
+		"rpq_worker_3_queue_depth",
+	} {
+		if _, ok := snap[name]; ok {
+			t.Errorf("stale gauge %s survived ReleaseWorkers(2)", name)
+		}
+	}
+	if snap["rpq_worker_0_queue_depth"] != 10 || snap["rpq_worker_1_queue_depth"] != 11 {
+		t.Fatalf("active worker gauges damaged: %v", snap)
+	}
+	// Workers 2/3 re-register cleanly on the next wide run.
+	sg.Worker(2).QueueDepth.Set(22)
+	if r.Snapshot()["rpq_worker_2_queue_depth"] != 22 {
+		t.Fatal("worker 2 did not re-register after release")
+	}
+	// Nil receiver stays safe.
+	var none *SolverGauges
+	none.ReleaseWorkers(1)
+}
+
+func TestChromeSinkFlushMidStream(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewChromeSink(&buf)
+	s.Emit(Event{Time: time.Now(), Kind: KPhaseBegin, Name: "solve"})
+	// Buffered: nothing reaches the writer until Flush.
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"solve"`) {
+		t.Fatalf("Flush did not push buffered events:\n%q", buf.String())
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var evs []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &evs); err != nil {
+		t.Fatalf("trace after flush+close invalid: %v\n%s", err, buf.String())
+	}
+}
+
+func TestFlushHelperRecursesMulti(t *testing.T) {
+	var b1, b2 bytes.Buffer
+	c1, c2 := NewChromeSink(&b1), NewChromeSink(&b2)
+	m := Multi{NewRingSink(4), Multi{c1}, c2}
+	m.Emit(Event{Time: time.Now(), Kind: KPhaseBegin, Name: "solve"})
+	Flush(m)
+	for i, b := range []*bytes.Buffer{&b1, &b2} {
+		if !strings.Contains(b.String(), `"solve"`) {
+			t.Errorf("Flush(Multi) missed nested sink %d:\n%q", i, b.String())
+		}
+	}
+	// Non-flusher tracers are a no-op, not a panic.
+	Flush(NewRingSink(1))
+	Flush(nil)
+}

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"bufio"
 	"fmt"
 	"io"
 	"strconv"
@@ -44,6 +45,10 @@ func (s *NDJSONSink) Emit(e Event) {
 		buf = append(buf, `,"dur_us":`...)
 		buf = strconv.AppendInt(buf, e.Dur.Microseconds(), 10)
 	}
+	if e.Worker != 0 {
+		buf = append(buf, `,"worker":`...)
+		buf = strconv.AppendInt(buf, int64(e.Worker-1), 10)
+	}
 	buf = append(buf, '}', '\n')
 	s.mu.Lock()
 	s.w.Write(buf)
@@ -53,20 +58,26 @@ func (s *NDJSONSink) Emit(e Event) {
 // ChromeSink writes the Chrome trace_event JSON array format, loadable in
 // chrome://tracing or https://ui.perfetto.dev. Phases become duration
 // events ("B"/"E"), retrospective spans become complete events ("X"), and
-// counters/high-water marks become counter events ("C"). Close writes the
-// closing bracket; the format tolerates a missing one, so a crashed run's
-// trace still loads.
+// counters/high-water marks become counter events ("C"). Events carrying a
+// Worker id render on their own tid lane (tid 1 = coordinator, tid i+2 =
+// worker i), so parallel imbalance and steal storms are visible as gaps and
+// bursts per lane.
+//
+// Writes are buffered; Close writes the closing bracket and flushes. Flush
+// pushes buffered events without closing — solvers call it on error paths —
+// and the format tolerates a missing closing bracket, so even a crashed
+// run's trace still loads.
 type ChromeSink struct {
 	mu    sync.Mutex
-	w     io.Writer
+	w     *bufio.Writer
 	first bool
 	pid   int
 }
 
 // NewChromeSink returns a sink writing trace_event JSON to w.
 func NewChromeSink(w io.Writer) *ChromeSink {
-	s := &ChromeSink{w: w, first: true, pid: 1}
-	io.WriteString(w, "[\n")
+	s := &ChromeSink{w: bufio.NewWriter(w), first: true, pid: 1}
+	io.WriteString(s.w, "[\n")
 	return s
 }
 
@@ -78,19 +89,20 @@ func (s *ChromeSink) Emit(e Event) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	ts := e.Time.UnixMicro()
+	tid := e.Worker + 1
 	var line string
 	switch e.Kind {
 	case KPhaseBegin:
-		line = fmt.Sprintf(`{"name":%q,"ph":"B","ts":%d,"pid":%d,"tid":1}`, e.Name, ts, s.pid)
+		line = fmt.Sprintf(`{"name":%q,"ph":"B","ts":%d,"pid":%d,"tid":%d}`, e.Name, ts, s.pid, tid)
 	case KPhaseEnd:
-		line = fmt.Sprintf(`{"name":%q,"ph":"E","ts":%d,"pid":%d,"tid":1}`, e.Name, ts, s.pid)
+		line = fmt.Sprintf(`{"name":%q,"ph":"E","ts":%d,"pid":%d,"tid":%d}`, e.Name, ts, s.pid, tid)
 	case KSpan:
 		// Complete event: ts is the start, dur the length.
-		line = fmt.Sprintf(`{"name":%q,"ph":"X","ts":%d,"dur":%d,"pid":%d,"tid":1}`,
-			e.Name, ts-e.Dur.Microseconds(), e.Dur.Microseconds(), s.pid)
+		line = fmt.Sprintf(`{"name":%q,"ph":"X","ts":%d,"dur":%d,"pid":%d,"tid":%d}`,
+			e.Name, ts-e.Dur.Microseconds(), e.Dur.Microseconds(), s.pid, tid)
 	case KCounter, KHighWater, KTableGrowth:
-		line = fmt.Sprintf(`{"name":%q,"ph":"C","ts":%d,"pid":%d,"args":{"value":%d}}`,
-			e.Name, ts, s.pid, e.Value)
+		line = fmt.Sprintf(`{"name":%q,"ph":"C","ts":%d,"pid":%d,"tid":%d,"args":{"value":%d}}`,
+			e.Name, ts, s.pid, tid, e.Value)
 	default:
 		return
 	}
@@ -101,12 +113,22 @@ func (s *ChromeSink) Emit(e Event) {
 	io.WriteString(s.w, line)
 }
 
-// Close terminates the JSON array.
+// Flush implements Flusher: buffered events reach the underlying writer
+// without terminating the array.
+func (s *ChromeSink) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Flush()
+}
+
+// Close terminates the JSON array and flushes.
 func (s *ChromeSink) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	_, err := io.WriteString(s.w, "\n]\n")
-	return err
+	if _, err := io.WriteString(s.w, "\n]\n"); err != nil {
+		return err
+	}
+	return s.w.Flush()
 }
 
 // FormatEvents renders events as an aligned human-readable table, relative
@@ -125,6 +147,9 @@ func FormatEvents(evs []Event) string {
 		}
 		if e.Value != 0 {
 			out += fmt.Sprintf(" value=%d", e.Value)
+		}
+		if e.Worker != 0 {
+			out += fmt.Sprintf(" worker=%d", e.Worker-1)
 		}
 		out += "\n"
 	}

@@ -24,27 +24,54 @@ func NewSlowLog(w io.Writer, threshold time.Duration) *SlowLog {
 
 // slowRecord is the NDJSON schema of one slow-query entry.
 type slowRecord struct {
-	TS      string `json:"ts"`
-	Query   string `json:"query"`
-	Kind    string `json:"kind"`
+	TS      string  `json:"ts"`
+	Query   string  `json:"query"`
+	Kind    string  `json:"kind"`
 	DurMS   float64 `json:"dur_ms"`
-	Answers int    `json:"answers"`
-	Stats   any    `json:"stats,omitempty"`
+	Answers int     `json:"answers"`
+	Workers int     `json:"workers,omitempty"`
+	Table   string  `json:"table,omitempty"`
+	// HotStates holds the top few hottest automaton states by visit count
+	// when the run carried an explain profile, so a slow entry localizes
+	// its cost without a rerun.
+	HotStates any `json:"hot_states,omitempty"`
+	Stats     any `json:"stats,omitempty"`
+}
+
+// SlowDetail is the optional execution context of a slow-query entry.
+type SlowDetail struct {
+	// Workers is the solver's worker count (0/1 = sequential).
+	Workers int
+	// Table names the substitution-table representation ("hash"/"nested").
+	Table string
+	// HotStates is any JSON-marshallable ranking of the hottest automaton
+	// states (typically the explain profile's top 3 by visits).
+	HotStates any
 }
 
 // Observe records the query if it was slow; it reports whether it did.
 // stats may be any JSON-marshallable value (typically core.Stats).
 func (l *SlowLog) Observe(kind, query string, d time.Duration, answers int, stats any) bool {
+	return l.ObserveDetail(kind, query, d, answers, stats, SlowDetail{})
+}
+
+// ObserveDetail is Observe with execution context: worker count, table
+// representation, and — when an explain profile was collected — the hottest
+// automaton states.
+func (l *SlowLog) ObserveDetail(kind, query string, d time.Duration, answers int, stats any, detail SlowDetail) bool {
 	if l == nil || d < l.threshold {
 		return false
 	}
 	rec := slowRecord{
-		TS:      time.Now().UTC().Format(time.RFC3339Nano),
-		Query:   query,
-		Kind:    kind,
-		DurMS:   float64(d.Microseconds()) / 1000,
-		Answers: answers,
-		Stats:   stats,
+		TS:        time.Now().UTC().Format(time.RFC3339Nano),
+		Query:     query,
+		Kind:      kind,
+		DurMS:     float64(d.Microseconds()) / 1000,
+		Answers:   answers,
+		Workers:   detail.Workers,
+		Table:     detail.Table,
+		HotStates: detail.HotStates,
+		Stats:     stats,
 	}
 	b, err := json.Marshal(rec)
 	if err != nil {

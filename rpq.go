@@ -244,6 +244,17 @@ const (
 	NestedArrays
 )
 
+// String names the representation ("hash" or "nested").
+func (t TableKind) String() string {
+	switch t {
+	case Hashing:
+		return "hash"
+	case NestedArrays:
+		return "nested"
+	}
+	return fmt.Sprintf("TableKind(%d)", int(t))
+}
+
 // Completion selects how universal queries treat automaton states with no
 // matching transition (the prior-work baseline comparison; existential
 // queries ignore it).
@@ -318,6 +329,13 @@ type Options struct {
 	// SlowLog, when non-nil, records queries whose wall-clock time
 	// reaches its threshold as NDJSON (one record per slow query).
 	SlowLog *SlowLog
+	// Explain collects a per-query execution profile — per-state visit
+	// counts, per-transition match attempts/hits/extensions, per-edge-label
+	// histograms, table-occupancy and worklist-depth curves, and (parallel
+	// runs) per-worker timelines — returned in Result.Explain. Costs one
+	// branch per counter site when off; expect a few percent overhead when
+	// on.
+	Explain bool
 }
 
 // Stats reports the instrumentation of a run; see core.Stats for the
@@ -331,6 +349,27 @@ type PhaseTimings = core.PhaseTimings
 // PhaseStat is one phase's wall-clock (and, under tracing, allocation)
 // cost.
 type PhaseStat = core.PhaseStat
+
+// Explain is the per-query execution profile collected under
+// Options.Explain: EXPLAIN/ANALYZE for a parametric regular path query. It
+// marshals to JSON; Format renders a text report and DOT an annotated
+// heat-map of the query automaton.
+type Explain = core.Explain
+
+// StateProfile is one automaton state's profile within an Explain report.
+type StateProfile = core.StateProfile
+
+// TransProfile is one automaton transition's profile within an Explain
+// report.
+type TransProfile = core.TransProfile
+
+// LabelProfile is one graph edge label's match histogram within an Explain
+// report.
+type LabelProfile = core.LabelProfile
+
+// WorkerProfile is one parallel-solver worker's timeline summary within an
+// Explain report.
+type WorkerProfile = core.WorkerProfile
 
 // ---- Observability ----
 //
@@ -403,7 +442,11 @@ func observe(opts *Options, kind, query string, t0 time.Time, res *Result) {
 	if opts.Gauges != nil {
 		opts.Gauges.Queries.Add(1)
 	}
-	if res != nil && opts.SlowLog.Observe(kind, query, d, len(res.Answers), res.Stats) {
+	detail := obs.SlowDetail{Workers: opts.Workers, Table: opts.Table.String()}
+	if res != nil && res.Explain != nil {
+		detail.HotStates = res.Explain.TopStates(3)
+	}
+	if res != nil && opts.SlowLog.ObserveDetail(kind, query, d, len(res.Answers), res.Stats, detail) {
 		if opts.Gauges != nil {
 			opts.Gauges.SlowQueries.Add(1)
 		}
@@ -455,6 +498,9 @@ func (a Answer) String() string {
 type Result struct {
 	Answers []Answer
 	Stats   Stats
+	// Explain carries the execution profile when Options.Explain was set;
+	// nil otherwise.
+	Explain *Explain
 }
 
 // Filter returns a result restricted to the answers keep accepts; Stats are
@@ -515,6 +561,7 @@ func (g *Graph) resolve(opts *Options, universal bool) (*graph.Graph, int32, cor
 		Workers:    opts.Workers,
 		Tracer:     opts.Tracer,
 		Gauges:     opts.Gauges,
+		Explain:    opts.Explain,
 	}
 	switch opts.Algorithm {
 	case Auto:
@@ -540,7 +587,7 @@ func (g *Graph) resolve(opts *Options, universal bool) (*graph.Graph, int32, cor
 }
 
 func (g *Graph) convert(ig *graph.Graph, q *core.Query, res *core.Result) *Result {
-	out := &Result{Stats: res.Stats}
+	out := &Result{Stats: res.Stats, Explain: res.Explain}
 	for _, p := range res.Pairs {
 		a := Answer{Vertex: ig.VertexName(p.Vertex)}
 		for i, v := range p.Subst {

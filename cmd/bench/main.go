@@ -25,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"time"
 
@@ -41,11 +42,19 @@ import (
 // validation instead of producing spurious diffs.
 const schemaVersion = "rpq-bench/1"
 
-// benchReport is the top-level JSON document.
+// repTimeout is the -timeout flag: the per-rep wall-clock bound threaded
+// into every scenario's Options.Deadline (0 = unbounded).
+var repTimeout time.Duration
+
+// benchReport is the top-level JSON document. The environment fields record
+// where a report was produced — timing comparisons across reports are only
+// meaningful when they match; the deterministic counters compare regardless.
 type benchReport struct {
-	Schema    string           `json:"schema"`
-	GoVersion string           `json:"go_version,omitempty"`
-	Scenarios []scenarioResult `json:"scenarios"`
+	Schema     string           `json:"schema"`
+	GoVersion  string           `json:"go_version,omitempty"`
+	GOMAXPROCS int              `json:"gomaxprocs,omitempty"`
+	NumCPU     int              `json:"num_cpu,omitempty"`
+	Scenarios  []scenarioResult `json:"scenarios"`
 }
 
 // scenarioResult is one scenario's measurement: identity, median timing, and
@@ -167,8 +176,10 @@ func main() {
 		validateF = flag.String("validate", "", "schema-check this report file and exit")
 		threshold = flag.Float64("threshold", 0, "max ns_per_op ratio vs. baseline (e.g. 1.3); 0 compares counters only")
 		list      = flag.Bool("list", false, "print the scenario matrix and exit")
+		timeout   = flag.Duration("timeout", 0, "per-rep wall-clock bound; a scenario exceeding it fails the run")
 	)
 	flag.Parse()
+	repTimeout = *timeout
 
 	if *validateF != "" {
 		rep, err := loadReport(*validateF)
@@ -254,7 +265,12 @@ func main() {
 // runAll measures every scenario with n timed reps each.
 func runAll(n int) *benchReport {
 	wls := buildWorkloads()
-	rep := &benchReport{Schema: schemaVersion}
+	rep := &benchReport{
+		Schema:     schemaVersion,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
 	for _, sc := range scenarios() {
 		wl, ok := wls[sc.workload]
 		if !ok {
@@ -271,10 +287,11 @@ func runAll(n int) *benchReport {
 func runScenario(sc scenario, wl workloadGraph, n int) scenarioResult {
 	q := core.MustCompile(pattern.MustParse(sc.pat), wl.g.U)
 	opts := core.Options{
-		Algo:    sc.algo,
-		Table:   sc.table,
-		Workers: sc.workers,
-		Explain: true,
+		Algo:     sc.algo,
+		Table:    sc.table,
+		Workers:  sc.workers,
+		Explain:  true,
+		Deadline: repTimeout,
 	}
 	var (
 		ns      = make([]int64, 0, n)

@@ -16,6 +16,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -40,6 +41,10 @@ var section string
 // workerCount is the -workers flag: goroutines for every measured
 // existential query (<=1 sequential).
 var workerCount int
+
+// queryTimeout is the -timeout flag: the per-query wall-clock bound; a
+// measured query exceeding it aborts the run with its partial statistics.
+var queryTimeout time.Duration
 
 // explainOn is the -explain flag: collect execution profiles for every
 // measured query and carry the hot-state fields into the bench entries.
@@ -98,6 +103,7 @@ func main() {
 		ablation  = flag.String("ablation", "", "direction|memo|domains|compact|scc|complete|workers")
 		all       = flag.Bool("all", false, "run everything")
 		workers   = flag.Int("workers", 1, "goroutines for every measured existential query (<=1 sequential)")
+		timeout   = flag.Duration("timeout", 0, "per-query wall-clock bound; exceeding it aborts with partial stats")
 		maxCost   = flag.Float64("enumcost", 2e7, "run enumeration only when substs×edges is below this (n/d otherwise, like the paper's 180 s limit)")
 		httpAddr  = flag.String("http", "", "serve /metrics, /debug/vars, and /debug/pprof on this address during the run")
 		benchJSON = flag.String("benchjson", "", "write a BENCH_*.json-compatible summary of every measured query to this file")
@@ -106,6 +112,7 @@ func main() {
 	flag.Parse()
 	workerCount = *workers
 	explainOn = *explain
+	queryTimeout = *timeout
 
 	if *httpAddr != "" {
 		srv, err := obs.Serve(*httpAddr, nil)
@@ -175,6 +182,7 @@ func main() {
 func run(g *graph.Graph, start int32, pat string, opts core.Options) (*core.Result, time.Duration) {
 	opts.Gauges = liveGauges
 	opts.Explain = explainOn
+	opts.Deadline = queryTimeout
 	if opts.Workers == 0 {
 		opts.Workers = workerCount
 	}
@@ -182,7 +190,13 @@ func run(g *graph.Graph, start int32, pat string, opts core.Options) (*core.Resu
 	t0 := time.Now()
 	res, err := core.Exist(g, start, q, opts)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		var ie *core.InterruptError
+		if errors.As(err, &ie) {
+			fmt.Fprintf(os.Stderr, "experiments: %v (partial: worklist=%d reach=%d substs=%d)\n",
+				err, ie.Stats.WorklistInserts, ie.Stats.ReachSize, ie.Stats.Substs)
+		} else {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		}
 		os.Exit(1)
 	}
 	dt := time.Since(t0)
@@ -391,7 +405,7 @@ func runAblation(name string) {
 		q := core.MustCompile(pattern.MustParse("(state(_) act(_))* state(_)?"), ug.U)
 		for _, cm := range []core.CompletionMode{core.Incomplete, core.CompleteTrap, core.CompleteExplicit} {
 			t0 := time.Now()
-			res, err := core.Univ(ug, ug.Start(), q, core.Options{Completion: cm, Gauges: liveGauges})
+			res, err := core.Univ(ug, ug.Start(), q, core.Options{Completion: cm, Gauges: liveGauges, Deadline: queryTimeout})
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 				os.Exit(1)

@@ -13,19 +13,30 @@
 // with -aut.
 //
 // Observability flags (docs/observability.md): -http serves /metrics,
-// /debug/vars, and /debug/pprof during the run; -trace records a Chrome
-// trace_event file for chrome://tracing; -events streams NDJSON trace
-// events; -slow logs slow queries; -stats selects text, json, or csv run
-// statistics; -explain prints a per-state/per-label execution profile as
-// text, JSON, or an annotated Graphviz heat-map of the query automaton.
+// /debug/rpq/queries, /debug/vars, and /debug/pprof during the run; -trace
+// records a Chrome trace_event file for chrome://tracing; -events streams
+// NDJSON trace events; -slow logs slow queries; -stats selects text, json,
+// or csv run statistics; -explain prints a per-state/per-label execution
+// profile as text, JSON, or an annotated Graphviz heat-map of the query
+// automaton.
+//
+// In-flight control: -timeout bounds the query's wall time, Ctrl-C cancels
+// it — both stop the run with partial statistics; -progress prints a live
+// stderr ticker; -watchdog writes diagnostic bundles (flight-recorder
+// events, goroutine/heap dumps) on deadline breach, cancellation, hung
+// queries (-hung), or slow runs.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"time"
 
 	"rpq"
 )
@@ -49,6 +60,10 @@ func main() {
 		traceOut  = flag.String("trace", "", "write a Chrome trace_event JSON file (load in chrome://tracing)")
 		eventsOut = flag.String("events", "", "stream structured trace events as NDJSON to this file (- for stderr)")
 		slow      = flag.Duration("slow", 0, "log queries at or above this duration as NDJSON to stderr")
+		timeout   = flag.Duration("timeout", 0, "bound the query's wall-clock time; exceeding it stops the run with partial stats")
+		progress  = flag.Bool("progress", false, "print a live progress ticker for the running query on stderr")
+		wdDir     = flag.String("watchdog", "", "write diagnostic bundles under this directory on deadline breach, cancellation, hung, or slow queries")
+		hung      = flag.Duration("hung", 0, "with -watchdog, dump a bundle if the query is still running after this long")
 		explain   = flag.String("explain", "", "print an execution profile instead of answers: text|json|dot")
 		jsonOut   = flag.Bool("json", false, "emit answers as JSON")
 		dotOut    = flag.Bool("dot", false, "emit the graph as Graphviz DOT with answers highlighted, instead of listing answers")
@@ -86,17 +101,55 @@ func main() {
 		fail("%v", err)
 	}
 
-	opts := &rpq.Options{Backward: *backward, Start: *start, Compact: *compact, Witnesses: *witness, Workers: *workers}
+	opts := &rpq.Options{Backward: *backward, Start: *start, Compact: *compact, Witnesses: *witness, Workers: *workers, Deadline: *timeout}
 
-	// Observability wiring: live HTTP endpoints, trace sinks, slow log.
+	// Ctrl-C cancels the running query; it stops at the next cancellation
+	// check and reports its partial statistics.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	// Observability wiring: live HTTP endpoints, trace sinks, slow log,
+	// progress ticker, watchdog.
 	if *httpAddr != "" {
 		srv, err := rpq.ServeObservability(*httpAddr)
 		if err != nil {
 			fail("%v", err)
 		}
 		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "rpq: observability on http://%s (/metrics, /debug/vars, /debug/pprof)\n", srv.Addr)
+		fmt.Fprintf(os.Stderr, "rpq: observability on http://%s (/metrics, /debug/rpq/queries, /debug/vars, /debug/pprof)\n", srv.Addr)
 		opts.Gauges = rpq.LiveGauges()
+	}
+	if *wdDir != "" {
+		opts.Watchdog = &rpq.Watchdog{
+			Dir:  *wdDir,
+			Hung: *hung,
+			Slow: *slow,
+			OnBundle: func(path string) {
+				fmt.Fprintf(os.Stderr, "rpq: diagnostic bundle written: %s\n", path)
+			},
+		}
+	} else if *hung > 0 {
+		fail("-hung requires -watchdog")
+	}
+	if *progress {
+		done := make(chan struct{})
+		defer close(done)
+		go func() {
+			t := time.NewTicker(500 * time.Millisecond)
+			defer t.Stop()
+			for {
+				select {
+				case <-done:
+					return
+				case <-t.C:
+					for _, q := range rpq.InflightQueries() {
+						fmt.Fprintf(os.Stderr,
+							"rpq: progress %s phase=%s elapsed=%.0fms pops=%d depth=%d reach=%d substs=%d enum=%d workers=%d\n",
+							q.Kind, q.Phase, q.ElapsedMS, q.Pops, q.Depth, q.Reach, q.Substs, q.EnumSubsts, q.Workers)
+					}
+				}
+			}
+		}()
 	}
 	var tracers rpq.MultiTracer
 	if *traceOut != "" {
@@ -192,18 +245,18 @@ func main() {
 	switch {
 	case *violation != "":
 		var err error
-		res, err = g.Violations(*violation, *withExit, opts)
+		res, err = g.ViolationsContext(ctx, *violation, *withExit, opts)
 		if err != nil {
-			fail("%v", err)
+			failQuery(err)
 		}
 	case *analysis != "":
 		a, err := rpq.AnalysisByName(*analysis)
 		if err != nil {
 			fail("%v", err)
 		}
-		res, err = g.RunAnalysis(a, opts)
+		res, err = g.RunAnalysisContext(ctx, a, opts)
 		if err != nil {
-			fail("%v", err)
+			failQuery(err)
 		}
 	case *patt != "":
 		p, err := rpq.ParsePattern(*patt)
@@ -211,12 +264,12 @@ func main() {
 			fail("%v", err)
 		}
 		if *universal {
-			res, err = g.Universal(p, opts)
+			res, err = g.UniversalContext(ctx, p, opts)
 		} else {
-			res, err = g.Exist(p, opts)
+			res, err = g.ExistContext(ctx, p, opts)
 		}
 		if err != nil {
-			fail("%v", err)
+			failQuery(err)
 		}
 	default:
 		fail("one of -pattern, -analysis, or -violations is required")
@@ -331,4 +384,19 @@ func printStats(format string, res *rpq.Result) {
 func fail(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "rpq: %s\n", fmt.Sprintf(format, args...))
 	os.Exit(1)
+}
+
+// failQuery reports a query error; an interrupted run (canceled or past its
+// deadline) additionally prints the statistics accumulated up to the
+// interrupt and exits with status 2.
+func failQuery(err error) {
+	var ie *rpq.InterruptError
+	if errors.As(err, &ie) {
+		fmt.Fprintf(os.Stderr, "rpq: %v\n", err)
+		s := ie.Stats
+		fmt.Fprintf(os.Stderr, "rpq: partial stats: worklist=%d reach=%d substs=%d enum=%d pairs=%d solve=%s\n",
+			s.WorklistInserts, s.ReachSize, s.Substs, s.EnumSubsts, s.ResultPairs, s.Phases.Solve.Wall)
+		os.Exit(2)
+	}
+	fail("%v", err)
 }

@@ -1,13 +1,18 @@
 // Observe: running an intrusion-detection query with the observability
 // layer attached — a ring-buffer tracer capturing the solver's lifecycle
-// events, live gauges, and the per-phase timing breakdown recorded in
-// core.Stats. See docs/observability.md for the full surface (Chrome
-// traces, NDJSON streams, Prometheus /metrics, pprof).
+// events, live gauges, the per-phase timing breakdown recorded in
+// core.Stats, and a deadline-bounded rerun showing cancellation with
+// partial statistics. See docs/observability.md for the full surface
+// (Chrome traces, NDJSON streams, Prometheus /metrics, pprof, watchdog
+// bundles).
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
+	"time"
 
 	"rpq/internal/core"
 	"rpq/internal/obs"
@@ -75,4 +80,30 @@ func main() {
 	// events can be streamed as NDJSON or recorded as a Chrome trace.
 	fmt.Printf("\ntrace (%d events captured):\n", ring.Total())
 	fmt.Print(obs.FormatEvents(ring.Snapshot()))
+
+	// Cancellation: the same query under an already-canceled context stops
+	// at the first check and returns an InterruptError carrying whatever
+	// statistics had accumulated — the shape a caller sees on a deadline
+	// breach (Options.Deadline) or a Ctrl-C.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = core.ExistContext(ctx, g, g.Start(), q, core.Options{Algo: core.AlgoMemo})
+	var ie *core.InterruptError
+	if errors.As(err, &ie) {
+		fmt.Printf("\ncanceled run: %v\n", err)
+		fmt.Printf("  partial stats: worklist=%d reach=%d substs=%d solve=%v\n",
+			ie.Stats.WorklistInserts, ie.Stats.ReachSize, ie.Stats.Substs,
+			ie.Stats.Phases.Solve.Wall)
+		fmt.Printf("  errors.Is(err, context.Canceled) = %v\n", errors.Is(err, context.Canceled))
+	} else if err != nil {
+		log.Fatal(err)
+	}
+
+	// Deadline: Options.Deadline bounds the run without a caller context;
+	// on this tiny graph it completes well inside the bound.
+	res2, err := core.Exist(g, g.Start(), q, core.Options{Algo: core.AlgoMemo, Deadline: 5 * time.Second})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ndeadline-bounded rerun: %d answers within 5s budget\n", len(res2.Pairs))
 }

@@ -147,6 +147,44 @@ type Options struct {
 	// curves, per-worker summaries) into Result.Explain. Disabled it costs
 	// one nil check per counted event; see explain.go.
 	Explain bool
+	// Deadline, when positive, bounds the run's wall-clock time from the
+	// solver entry point; a breach interrupts the run with an
+	// InterruptError wrapping ErrDeadline. It composes with the context
+	// passed to ExistContext/UnivContext (whichever fires first wins).
+	Deadline time.Duration
+	// Progress, when non-nil, receives throttled live snapshots of the
+	// running query (one every few hundred worklist pops, mirroring the
+	// gauge cadence). Parallel workers invoke it concurrently, so the
+	// callback must be safe for concurrent use; it should also be cheap —
+	// it runs on the solver's hot path.
+	Progress func(Progress)
+
+	// cxl is the cancellation watcher installed by ExistContext/UnivContext;
+	// nil for uncancelable runs, so the loop checks cost one pointer test.
+	cxl *canceler
+}
+
+// Progress is one live snapshot of a running query, delivered to
+// Options.Progress. Figures from parallel runs are sums of per-worker
+// published counters and may trail the true totals by up to one sample
+// interval per worker.
+type Progress struct {
+	// Phase is the phase the snapshot was taken in ("solve", "enumerate").
+	Phase string `json:"phase"`
+	// Pops counts worklist pops (triples processed) so far.
+	Pops int64 `json:"pops"`
+	// WorklistDepth is the current depth of the worklist (summed across
+	// workers for parallel runs).
+	WorklistDepth int64 `json:"worklist_depth"`
+	// Reach is the current reach-set size.
+	Reach int64 `json:"reach_size"`
+	// Substs is the number of distinct substitutions interned so far.
+	Substs int64 `json:"substs"`
+	// EnumSubsts is the number of full substitutions enumerated so far
+	// (enumeration/hybrid algorithms; zero elsewhere).
+	EnumSubsts int64 `json:"enum_substs"`
+	// Workers is the number of solver goroutines.
+	Workers int `json:"workers"`
 }
 
 // Stats instruments a run with the quantities reported in the paper's

@@ -124,6 +124,15 @@ func (e *engine) sample(worklistDepth, reach int, reachBytes int64) {
 		reachBytes+e.table.Bytes()+e.memoBytes)
 }
 
+// progress delivers one live snapshot to Options.Progress (nil-safe). Called
+// at the gauge cadence from the sequential worklist loops.
+func (e *engine) progress(phase string, pops, depth, reach int64) {
+	if p := e.opts.Progress; p != nil {
+		p(Progress{Phase: phase, Pops: pops, WorklistDepth: depth, Reach: reach,
+			Substs: int64(e.table.Len()), Workers: 1})
+	}
+}
+
 // match computes (or recalls) the agree/disagree match of edge label el
 // (with dense id elID) against transition label tl (with dense id tlID in
 // the automaton's label space). Returns nil when the labels cannot match

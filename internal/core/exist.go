@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"rpq/internal/automata"
@@ -33,6 +35,16 @@ func unpackPair(p int64, states int) (v, s int32) {
 // simplifies the loop and includes the empty path (so ⟨v0, {}⟩ is an answer
 // when the pattern accepts ε).
 func Exist(g *graph.Graph, v0 int32, q *Query, opts Options) (*Result, error) {
+	return ExistContext(context.Background(), g, v0, q, opts)
+}
+
+// ExistContext is Exist bounded by a context (and Options.Deadline): when
+// either fires, the worklist loops stop at the next check and the run
+// returns an InterruptError wrapping ErrCanceled or ErrDeadline, carrying
+// the statistics — and, under Options.Explain, the profile — accumulated so
+// far. Parallel workers drain and join before the error returns; no
+// goroutines outlive the call.
+func ExistContext(ctx context.Context, g *graph.Graph, v0 int32, q *Query, opts Options) (*Result, error) {
 	if int(v0) >= g.NumVertices() || v0 < 0 {
 		return nil, fmt.Errorf("core: start vertex %d out of range", v0)
 	}
@@ -42,6 +54,18 @@ func Exist(g *graph.Graph, v0 int32, q *Query, opts Options) (*Result, error) {
 		return nil, fmt.Errorf("core: the hybrid algorithm applies to universal queries only")
 	default:
 		return nil, fmt.Errorf("core: unknown algorithm %v", opts.Algo)
+	}
+	if opts.cxl == nil {
+		// univHybrid's inner existential pass arrives with the watcher
+		// already armed; arm one here otherwise.
+		if opts.Deadline > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, opts.Deadline)
+			defer cancel()
+		}
+		cxl, release := newCanceler(ctx)
+		defer release()
+		opts.cxl = cxl
 	}
 	in := newInstr(opts)
 	in.span("compile", q.CompileWall)
@@ -61,8 +85,14 @@ func Exist(g *graph.Graph, v0 int32, q *Query, opts Options) (*Result, error) {
 	}
 	if err != nil {
 		// Close the phase and flush buffered trace events so a failing run
-		// still yields a complete, parseable trace.
-		in.phaseEnd("solve", t0)
+		// still yields a complete, parseable trace. Interrupted runs get
+		// their phase walls stamped into the partial stats.
+		d := in.phaseEnd("solve", t0)
+		var ie *InterruptError
+		if errors.As(err, &ie) {
+			ie.Stats.Phases.Solve.Wall = d
+			ie.Stats.Phases.Compile.Wall = q.BuildWall()
+		}
 		in.flush()
 		return nil, err
 	}
@@ -298,6 +328,16 @@ func existWorklist(g *graph.Graph, v0 int32, q *Query, opts Options) (*Result, e
 	pops, nextHW := 0, 1
 	for bi := range buckets {
 		for len(buckets[bi]) > 0 {
+			if e.opts.cxl.state() != cxlRunning {
+				stats.ReachSize = seen.Len()
+				stats.Substs = e.table.Len()
+				stats.ResultPairs = len(pairs)
+				var exRep *Explain
+				if e.ex != nil {
+					exRep = e.ex.report(q, g, opts.Algo, "nfa")
+				}
+				return nil, e.opts.cxl.interrupt(stats, exRep)
+			}
 			t := buckets[bi][len(buckets[bi])-1]
 			buckets[bi] = buckets[bi][:len(buckets[bi])-1]
 			processTriple(t)
@@ -305,8 +345,11 @@ func existWorklist(g *graph.Graph, v0 int32, q *Query, opts Options) (*Result, e
 			if e.ex != nil {
 				e.ex.pop(len(buckets[bi]))
 			}
-			if pops++; e.in.gauges != nil && pops&sampleMask == 0 {
-				e.sample(len(buckets[bi]), seen.Len(), seen.Bytes())
+			if pops++; pops&sampleMask == 0 {
+				if e.in.gauges != nil {
+					e.sample(len(buckets[bi]), seen.Len(), seen.Bytes())
+				}
+				e.progress("solve", int64(pops), int64(len(buckets[bi])), int64(seen.Len()))
 			}
 		}
 		if opts.SCCOrder {
@@ -400,8 +443,10 @@ func (es *enumState) reset() {
 // product reachability from ⟨v0, start⟩, marking final-state vertices in
 // resHere. It updates stats.WorklistInserts/MatchCalls/PeakTriples (all
 // deterministic: the pass depends only on th). ex, when non-nil, receives
-// the per-state/per-transition/per-label profile of the pass.
-func (es *enumState) run(g *graph.Graph, v0 int32, nfa *automata.NFA, th subst.Subst, resHere map[int32]bool, stats *Stats, ex *explainCollector) {
+// the per-state/per-transition/per-label profile of the pass. cxl, when
+// armed, is polled every sampleMask+1 pops; run reports whether it finished
+// (false = interrupted, resHere incomplete).
+func (es *enumState) run(g *graph.Graph, v0 int32, nfa *automata.NFA, th subst.Subst, resHere map[int32]bool, stats *Stats, ex *explainCollector, cxl *canceler) bool {
 	for i, tl := range nfa.Labels {
 		if tl.HasParams() {
 			es.inst[i], _ = tl.Instantiate(th)
@@ -417,7 +462,11 @@ func (es *enumState) run(g *graph.Graph, v0 int32, nfa *automata.NFA, th subst.S
 	es.seen[p0] = es.epoch
 	stats.WorklistInserts++
 	live := 1
+	pops := 0
 	for len(es.wl) > 0 {
+		if pops++; pops&sampleMask == 0 && cxl.state() != cxlRunning {
+			return false
+		}
 		pair := es.wl[len(es.wl)-1]
 		es.wl = es.wl[:len(es.wl)-1]
 		v, s := unpackPair(pair, states)
@@ -455,6 +504,7 @@ func (es *enumState) run(g *graph.Graph, v0 int32, nfa *automata.NFA, th subst.S
 	if live > stats.PeakTriples {
 		stats.PeakTriples = live
 	}
+	return true
 }
 
 // existEnum is the enumeration algorithm: for every full substitution over
@@ -486,14 +536,26 @@ func existEnum(g *graph.Graph, v0 int32, q *Query, opts Options) (*Result, error
 	var maxBytes int64
 
 	enumerated := 0
+	interrupted := false
 	tEnum := in.phaseBegin("enumerate")
 	subst.ForEachFull(q.Pars(), doms, func(th subst.Subst) bool {
+		if opts.cxl.state() != cxlRunning {
+			interrupted = true
+			return false
+		}
 		if enumerated++; in.gauges != nil {
 			in.gauges.EnumSubsts.Set(int64(enumerated))
 			in.gauges.Sample(-1, int64(stats.WorklistInserts), -1, maxBytes)
 		}
+		if p := opts.Progress; p != nil {
+			p(Progress{Phase: "enumerate", Pops: int64(stats.WorklistInserts),
+				Reach: int64(stats.WorklistInserts), EnumSubsts: int64(enumerated), Workers: 1})
+		}
 		resHere := map[int32]bool{}
-		es.run(g, v0, nfa, th, resHere, &stats, ex)
+		if !es.run(g, v0, nfa, th, resHere, &stats, ex, opts.cxl) {
+			interrupted = true
+			return false
+		}
 		for v := range resHere {
 			pairs = append(pairs, Pair{Vertex: v, Subst: th.Clone()})
 		}
@@ -503,6 +565,17 @@ func existEnum(g *graph.Graph, v0 int32, q *Query, opts Options) (*Result, error
 		return true
 	})
 	stats.Phases.Enumerate.Wall = in.phaseEnd("enumerate", tEnum)
+	if interrupted {
+		stats.ReachSize = stats.WorklistInserts
+		stats.ResultPairs = len(pairs)
+		stats.EnumSubsts = enumerated
+		var exRep *Explain
+		if ex != nil {
+			ex.groundRuns = enumerated
+			exRep = ex.report(q, g, opts.Algo, "nfa")
+		}
+		return nil, opts.cxl.interrupt(stats, exRep)
+	}
 
 	stats.ReachSize = stats.WorklistInserts
 	stats.ResultPairs = len(pairs)

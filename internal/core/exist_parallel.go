@@ -84,6 +84,12 @@ type psolver struct {
 	done     chan struct{}
 	doneOnce sync.Once
 
+	// cxl mirrors opts.cxl; workers poll it at the top of their loops and
+	// bail out, leaving the coordinator's wg.Wait to join them. Plain-mode
+	// workers parked in their idle select wake within their bounded backoff
+	// (<= 1ms) and observe the flag on the next iteration.
+	cxl *canceler
+
 	// SCC mode.
 	scc          bool
 	comp         []int32
@@ -134,6 +140,14 @@ type pworker struct {
 	timing bool
 	busy   time.Duration
 
+	// pubProcessed/pubDepth/pubReach are this worker's live counters
+	// published for Options.Progress at the gauge cadence; the plain
+	// (unsynchronized) fields above are owner-private, so cross-worker
+	// progress snapshots sum these atomics instead.
+	pubProcessed atomic.Int64
+	pubDepth     atomic.Int64
+	pubReach     atomic.Int64
+
 	perLocal []int32 // live triples per local vertex (SCC release accounting)
 
 	gauges *obs.WorkerGauges
@@ -170,7 +184,7 @@ func existParallel(g *graph.Graph, v0 int32, q *Query, opts Options) (*Result, e
 	s := &psolver{
 		g: g, q: q, nfa: nfa, opts: opts, states: states,
 		done: make(chan struct{}), gauges: opts.Gauges, scc: opts.SCCOrder,
-		in: newInstr(opts),
+		in: newInstr(opts), cxl: opts.cxl,
 	}
 
 	// Ownership and the global→local vertex remap.
@@ -264,6 +278,12 @@ func existParallel(g *graph.Graph, v0 int32, q *Query, opts Options) (*Result, e
 			go w.runSCC(&wg, levelChs[i], ack)
 		}
 		for l := 0; l < s.numLevels; l++ {
+			// Canceled workers still complete the current level's barrier
+			// protocol (flush, release, ack) and then idle, so the
+			// coordinator can simply stop issuing levels.
+			if s.cxl.state() != cxlRunning {
+				break
+			}
 			for _, ch := range levelChs {
 				ch <- l
 			}
@@ -309,22 +329,32 @@ func existParallel(g *graph.Graph, v0 int32, q *Query, opts Options) (*Result, e
 			})
 		}
 	}
+	stats.Substs = table.Len()
+	stats.ResultPairs = len(pairs)
+	stats.Bytes = seenBytes + table.Bytes() + master.memoBytes + memoBytes +
+		mtsBytes + pairsBytes(len(pairs), q.Pars())
+	// Drop per-worker gauges beyond this run's width so repeated runs with
+	// fewer workers don't leave stale rpq_worker_<i>_* metrics exposed.
+	opts.Gauges.ReleaseWorkers(W)
+	if s.cxl.state() != cxlRunning {
+		// All workers have joined; return the partial aggregate without
+		// witness reconstruction (the parent maps may be incomplete).
+		var exRep *Explain
+		if master.ex != nil {
+			exRep = master.ex.report(q, g, opts.Algo, "nfa")
+			exRep.Workers = profiles
+		}
+		return nil, s.cxl.interrupt(stats, exRep)
+	}
 	if opts.Witnesses {
 		attachWitnesses(pairs, origins, func(t triple) (parentStep, bool) {
 			ps, ok := s.workers[s.owner[t.v]].parents[t]
 			return ps, ok
 		})
 	}
-	stats.Substs = table.Len()
-	stats.ResultPairs = len(pairs)
-	stats.Bytes = seenBytes + table.Bytes() + master.memoBytes + memoBytes +
-		mtsBytes + pairsBytes(len(pairs), q.Pars())
 	if s.gauges != nil {
 		s.gauges.Sample(0, int64(stats.ReachSize), int64(stats.Substs), seenBytes+table.Bytes())
 	}
-	// Drop per-worker gauges beyond this run's width so repeated runs with
-	// fewer workers don't leave stale rpq_worker_<i>_* metrics exposed.
-	opts.Gauges.ReleaseWorkers(W)
 	sortPairs(pairs)
 	res := &Result{Pairs: pairs, Stats: stats}
 	if master.ex != nil {
@@ -554,23 +584,40 @@ func (w *pworker) drainDeferred() {
 	}
 }
 
-// sampleGauges publishes this worker's live view every sampleMask+1 pops.
+// sampleGauges publishes this worker's live view — worker gauges and the
+// atomics backing Options.Progress snapshots — every sampleMask+1 pops.
 func (w *pworker) sampleGauges() {
-	if w.gauges == nil {
+	if w.pops++; w.pops&sampleMask != 0 {
 		return
 	}
-	if w.pops++; w.pops&sampleMask != 0 {
+	prog := w.s.opts.Progress
+	if w.gauges == nil && prog == nil {
 		return
 	}
 	w.qmu.Lock()
 	depth := len(w.queue)
 	w.qmu.Unlock()
-	w.gauges.QueueDepth.Set(int64(depth))
-	w.gauges.Steals.Set(w.steals)
-	w.gauges.Batches.Set(w.batches)
-	w.gauges.BatchedMsgs.Set(w.batchMsgs)
-	if w.id == 0 {
-		w.s.gauges.Sample(-1, -1, int64(w.e.table.Len()), w.e.table.Bytes())
+	w.pubProcessed.Store(w.processed)
+	w.pubDepth.Store(int64(depth))
+	w.pubReach.Store(int64(w.seen.Len()))
+	if w.gauges != nil {
+		w.gauges.QueueDepth.Set(int64(depth))
+		w.gauges.Steals.Set(w.steals)
+		w.gauges.Batches.Set(w.batches)
+		w.gauges.BatchedMsgs.Set(w.batchMsgs)
+		if w.id == 0 {
+			w.s.gauges.Sample(-1, -1, int64(w.e.table.Len()), w.e.table.Bytes())
+		}
+	}
+	if prog != nil {
+		var pops, dep, reach int64
+		for _, o := range w.s.workers {
+			pops += o.pubProcessed.Load()
+			dep += o.pubDepth.Load()
+			reach += o.pubReach.Load()
+		}
+		prog(Progress{Phase: "solve", Pops: pops, WorklistDepth: dep, Reach: reach,
+			Substs: int64(w.e.table.Len()), Workers: len(w.s.workers)})
 	}
 }
 
@@ -589,6 +636,12 @@ func (w *pworker) runPlain(wg *sync.WaitGroup) {
 	var burst time.Time
 	inBurst := false
 	for {
+		// A cancel means no result will be produced; just leave. Idle peers
+		// blocked in the select below observe the flag within their bounded
+		// backoff, so every worker joins promptly without the done channel.
+		if w.s.cxl.state() != cxlRunning {
+			return
+		}
 		w.drainInbox()
 		t, ok := w.pop()
 		if !ok {
@@ -646,6 +699,12 @@ func (w *pworker) runSCC(wg *sync.WaitGroup, levelCh <-chan int, ack chan<- stru
 		}
 		w.byLevel[l] = nil
 		for {
+			// Keep the barrier protocol intact on cancel: stop draining but
+			// still flush, release, and ack, then wait for the coordinator
+			// to close the level channel.
+			if w.s.cxl.state() != cxlRunning {
+				break
+			}
 			t, ok := w.pop()
 			if !ok {
 				break
@@ -745,8 +804,16 @@ func existEnumParallel(g *graph.Graph, v0 int32, q *Query, opts Options) (*Resul
 					t0 = time.Now()
 				}
 				for _, th := range batch {
+					// Draining the remaining batches without running them
+					// lets the producer's sends complete, so close(work)
+					// and the join below cannot deadlock on cancel.
+					if opts.cxl.state() != cxlRunning {
+						break
+					}
 					clear(resHere)
-					es.run(g, v0, nfa, th, resHere, &r.stats, exW[i])
+					if !es.run(g, v0, nfa, th, resHere, &r.stats, exW[i], opts.cxl) {
+						break
+					}
 					for v := range resHere {
 						r.pairs = append(r.pairs, Pair{Vertex: v, Subst: th})
 					}
@@ -763,8 +830,14 @@ func existEnumParallel(g *graph.Graph, v0 int32, q *Query, opts Options) (*Resul
 	var batch []subst.Subst
 	enumerated := 0
 	subst.ForEachFull(q.Pars(), doms, func(th subst.Subst) bool {
+		if opts.cxl.state() != cxlRunning {
+			return false
+		}
 		if enumerated++; in.gauges != nil {
 			in.gauges.EnumSubsts.Set(int64(enumerated))
+		}
+		if p := opts.Progress; p != nil {
+			p(Progress{Phase: "enumerate", EnumSubsts: int64(enumerated), Workers: W})
 		}
 		batch = append(batch, th.Clone())
 		if len(batch) >= enumBatchSize {
@@ -802,6 +875,16 @@ func existEnumParallel(g *graph.Graph, v0 int32, q *Query, opts Options) (*Resul
 	stats.ReachSize = stats.WorklistInserts
 	stats.ResultPairs = len(pairs)
 	stats.Bytes = maxBytes + pairsBytes(len(pairs), q.Pars())
+	if opts.cxl.state() != cxlRunning {
+		stats.EnumSubsts = enumerated
+		var exRep *Explain
+		if exBase != nil {
+			exBase.groundRuns = enumerated
+			exRep = exBase.report(q, g, opts.Algo, "nfa")
+			exRep.Workers = profiles
+		}
+		return nil, opts.cxl.interrupt(stats, exRep)
+	}
 	sortPairs(pairs)
 	res := &Result{Pairs: pairs, Stats: stats}
 	if exBase != nil {

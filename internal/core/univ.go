@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"rpq/internal/automata"
@@ -19,11 +21,30 @@ import (
 // substitution per vertex; the enumeration-based ones return full
 // substitutions over the parameter domains.
 func Univ(g *graph.Graph, v0 int32, q *Query, opts Options) (*Result, error) {
+	return UnivContext(context.Background(), g, v0, q, opts)
+}
+
+// UnivContext is Univ bounded by a context (and Options.Deadline): when
+// either fires, the run stops at the next check and returns an
+// InterruptError wrapping ErrCanceled or ErrDeadline with the statistics
+// (and, under Options.Explain, the profile) accumulated so far. The hybrid
+// algorithm threads the same watcher through its inner existential pass.
+func UnivContext(ctx context.Context, g *graph.Graph, v0 int32, q *Query, opts Options) (*Result, error) {
 	if int(v0) >= g.NumVertices() || v0 < 0 {
 		return nil, fmt.Errorf("core: start vertex %d out of range", v0)
 	}
 	if opts.Compact {
 		return nil, fmt.Errorf("core: compaction is unsound for universal queries")
+	}
+	if opts.cxl == nil {
+		if opts.Deadline > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, opts.Deadline)
+			defer cancel()
+		}
+		cxl, release := newCanceler(ctx)
+		defer release()
+		opts.cxl = cxl
 	}
 	in := newInstr(opts)
 	in.span("compile", q.CompileWall)
@@ -44,7 +65,14 @@ func Univ(g *graph.Graph, v0 int32, q *Query, opts Options) (*Result, error) {
 	if err != nil {
 		// Close the phase and flush buffered trace events so a failing run
 		// (e.g. a determinism-check abort) still yields a parseable trace.
-		in.phaseEnd("solve", t0)
+		// Interrupted runs get their phase walls stamped into the partial
+		// stats.
+		d := in.phaseEnd("solve", t0)
+		var ie *InterruptError
+		if errors.As(err, &ie) {
+			ie.Stats.Phases.Solve.Wall = d
+			ie.Stats.Phases.Compile.Wall = q.BuildWall()
+		}
 		in.flush()
 		return nil, err
 	}
@@ -161,6 +189,15 @@ func univWorklist(g *graph.Graph, v0 int32, q *Query, opts Options) (*Result, er
 	var detErr error
 	pops, nextHW := 0, 1
 	for len(work) > 0 && detErr == nil {
+		if e.opts.cxl.state() != cxlRunning {
+			stats.ReachSize = seen.Len()
+			stats.Substs = e.table.Len()
+			var exRep *Explain
+			if e.ex != nil {
+				exRep = e.ex.report(q, g, opts.Algo, "dfa")
+			}
+			return nil, e.opts.cxl.interrupt(stats, exRep)
+		}
 		t := work[len(work)-1]
 		work = work[:len(work)-1]
 		e.in.highWater(len(work), &nextHW)
@@ -168,8 +205,11 @@ func univWorklist(g *graph.Graph, v0 int32, q *Query, opts Options) (*Result, er
 			e.ex.visit(t.s)
 			e.ex.pop(len(work))
 		}
-		if pops++; e.in.gauges != nil && pops&sampleMask == 0 {
-			e.sample(len(work), seen.Len(), seen.Bytes())
+		if pops++; pops&sampleMask == 0 {
+			if e.in.gauges != nil {
+				e.sample(len(work), seen.Len(), seen.Bytes())
+			}
+			e.progress("solve", int64(pops), int64(len(work)), int64(seen.Len()))
 		}
 
 		// Successor generation with the determinism check.

@@ -18,7 +18,7 @@ import (
 // zero (the match work happened inside DeterminizeGround), and the label
 // histogram records one attempt per scanned edge with a hit when the step
 // stays out of the badstate.
-func groundUniv(g *graph.Graph, v0 int32, q *Query, th subst.Subst, stats *Stats, ex *explainCollector) []int32 {
+func groundUniv(g *graph.Graph, v0 int32, q *Query, th subst.Subst, stats *Stats, ex *explainCollector, cxl *canceler) []int32 {
 	d := automata.DeterminizeGround(q.NFA, g.Labels(), th)
 	states := int32(d.NumStates)
 	bad := states
@@ -33,7 +33,13 @@ func groundUniv(g *graph.Graph, v0 int32, q *Query, th subst.Subst, stats *Stats
 	wl := []int64{packPair(v0, d.Start, stride)}
 	seen[wl[0]] = true
 	stats.WorklistInserts++
+	pops := 0
 	for len(wl) > 0 {
+		// Interrupted passes return nil; the enumeration callers observe the
+		// flag themselves and stop with a partial result.
+		if pops++; pops&sampleMask == 0 && cxl.state() != cxlRunning {
+			return nil
+		}
 		pair := wl[len(wl)-1]
 		wl = wl[:len(wl)-1]
 		v, qs := unpackPair(pair, stride)
@@ -109,16 +115,33 @@ func univEnum(g *graph.Graph, v0 int32, q *Query, opts Options) (*Result, error)
 	enumerated := 0
 	tEnum := in.phaseBegin("enumerate")
 	subst.ForEachFull(q.Pars(), doms, func(th subst.Subst) bool {
+		if opts.cxl.state() != cxlRunning {
+			return false
+		}
 		if enumerated++; in.gauges != nil {
 			in.gauges.EnumSubsts.Set(int64(enumerated))
 			in.gauges.Sample(-1, int64(stats.WorklistInserts), -1, stats.Bytes)
 		}
-		for _, v := range groundUniv(g, v0, q, th, &stats, ex) {
+		if p := opts.Progress; p != nil {
+			p(Progress{Phase: "enumerate", Reach: int64(stats.WorklistInserts),
+				EnumSubsts: int64(enumerated), Workers: 1})
+		}
+		for _, v := range groundUniv(g, v0, q, th, &stats, ex, opts.cxl) {
 			pairs = append(pairs, Pair{Vertex: v, Subst: th.Clone()})
 		}
 		return true
 	})
 	stats.Phases.Enumerate.Wall = in.phaseEnd("enumerate", tEnum)
+	if opts.cxl.state() != cxlRunning {
+		stats.ReachSize = stats.WorklistInserts
+		stats.ResultPairs = len(pairs)
+		stats.EnumSubsts = enumerated
+		var exRep *Explain
+		if ex != nil {
+			exRep = ex.report(q, g, opts.Algo, "nfa")
+		}
+		return nil, opts.cxl.interrupt(stats, exRep)
+	}
 	stats.ResultPairs = len(pairs)
 	stats.ReachSize = stats.WorklistInserts
 	stats.Bytes += pairsBytes(len(pairs), q.Pars())
@@ -163,6 +186,9 @@ func univHybrid(g *graph.Graph, v0 int32, q *Query, opts Options) (*Result, erro
 	var order []int32
 	seenPartial := map[string]bool{}
 	for _, p := range ex.Pairs {
+		if opts.cxl.state() != cxlRunning {
+			break
+		}
 		pk := p.Subst.String()
 		if seenPartial[pk] {
 			continue
@@ -183,18 +209,38 @@ func univHybrid(g *graph.Graph, v0 int32, q *Query, opts Options) (*Result, erro
 		gc = newExplainCollector(q.NFA, g.NumLabels())
 	}
 	var pairs []Pair
+	ground := 0
 	tEnum := in.phaseBegin("enumerate")
 	for i, key := range order {
+		if opts.cxl.state() != cxlRunning {
+			break
+		}
+		ground = i + 1
 		if in.gauges != nil {
 			in.gauges.EnumSubsts.Set(int64(i + 1))
 			in.gauges.Sample(-1, int64(stats.WorklistInserts), int64(cand.Len()), stats.Bytes)
 		}
+		if p := opts.Progress; p != nil {
+			p(Progress{Phase: "enumerate", Reach: int64(stats.WorklistInserts),
+				Substs: int64(cand.Len()), EnumSubsts: int64(i + 1), Workers: 1})
+		}
 		th := cand.Get(key)
-		for _, v := range groundUniv(g, v0, q, th, &stats, gc) {
+		for _, v := range groundUniv(g, v0, q, th, &stats, gc, opts.cxl) {
 			pairs = append(pairs, Pair{Vertex: v, Subst: th.Clone()})
 		}
 	}
 	stats.Phases.Enumerate.Wall = in.phaseEnd("enumerate", tEnum)
+	if opts.cxl.state() != cxlRunning {
+		stats.ReachSize = stats.WorklistInserts
+		stats.ResultPairs = len(pairs)
+		stats.EnumSubsts = ground
+		var exRep *Explain
+		if gc != nil {
+			exRep = gc.report(q, g, opts.Algo, "nfa")
+			exRep.absorb(ex.Explain)
+		}
+		return nil, opts.cxl.interrupt(stats, exRep)
+	}
 	stats.ResultPairs = len(pairs)
 	stats.ReachSize = stats.WorklistInserts
 	stats.Bytes += cand.Bytes() + pairsBytes(len(pairs), q.Pars())

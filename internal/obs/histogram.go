@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the number of log2-spaced latency buckets: bucket i holds
+// observations in [2^i, 2^(i+1)) microseconds, so 40 buckets cover sub-µs
+// through ~12.7 days — far beyond any plausible query latency.
+const histBuckets = 40
+
+// Histogram is a lock-free latency histogram with log2-spaced microsecond
+// buckets. Observe is safe to call from solver goroutines while the HTTP
+// exposition computes quantiles; quantile estimates are exact to within a
+// factor of 2 (the bucket midpoint is reported).
+type Histogram struct {
+	counts [histBuckets]atomic.Int64
+	count  atomic.Int64
+	sumUS  atomic.Int64
+}
+
+// histBucket maps a duration to its bucket index.
+func histBucket(d time.Duration) int {
+	us := uint64(d.Microseconds())
+	if us == 0 {
+		return 0
+	}
+	b := bits.Len64(us) - 1
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	return b
+}
+
+// Observe records one latency sample.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	h.counts[histBucket(d)].Add(1)
+	h.count.Add(1)
+	h.sumUS.Add(d.Microseconds())
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the total of all observed samples.
+func (h *Histogram) Sum() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return time.Duration(h.sumUS.Load()) * time.Microsecond
+}
+
+// Quantile estimates the q-th quantile (0 < q ≤ 1) as the midpoint of the
+// bucket containing that rank: 1.5·2^i µs for bucket i (1 µs for bucket 0).
+// Returns 0 when the histogram is empty.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q * float64(total))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	var seen int64
+	for i := 0; i < histBuckets; i++ {
+		seen += h.counts[i].Load()
+		if seen >= rank {
+			if i == 0 {
+				return time.Microsecond
+			}
+			mid := int64(3) << (i - 1) // 1.5 * 2^i
+			return time.Duration(mid) * time.Microsecond
+		}
+	}
+	return time.Duration(int64(3)<<(histBuckets-2)) * time.Microsecond
+}
+
+// snapshot copies the bucket counts, total, and sum for exposition.
+func (h *Histogram) snapshot() (counts [histBuckets]int64, count, sumUS int64) {
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+	}
+	return counts, h.count.Load(), h.sumUS.Load()
+}

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"encoding/json"
 	"expvar"
 	"fmt"
 	"net"
@@ -16,19 +17,24 @@ var publishOnce sync.Once
 // Serve starts the observability HTTP server on addr (e.g. "localhost:6060")
 // serving, from the given registry (Default() when nil):
 //
-//	/metrics       Prometheus text exposition of the live gauges
-//	/debug/vars    expvar JSON (includes the registry under "rpq_metrics")
-//	/debug/pprof/  the standard pprof profile index
+//	/metrics            Prometheus text exposition of the live gauges and
+//	                    latency histograms
+//	/debug/rpq/queries  JSON snapshots of the queries executing right now
+//	/debug/vars         expvar JSON (includes the registry under "rpq_metrics")
+//	/debug/pprof/       the standard pprof profile index
 //
 // The listener is bound synchronously — a bad address fails here, not
 // later — and requests are served on a background goroutine. The returned
 // server can be Closed to stop it.
+//
+// The expvar "rpq_metrics" variable is process-global (expvar.Publish panics
+// on duplicates) and is bound to the registry of the first Serve call.
 func Serve(addr string, reg *Registry) (*http.Server, error) {
 	if reg == nil {
 		reg = Default()
 	}
 	publishOnce.Do(func() {
-		expvar.Publish("rpq_metrics", expvar.Func(func() any { return Default().Snapshot() }))
+		expvar.Publish("rpq_metrics", expvar.Func(func() any { return reg.Snapshot() }))
 	})
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -38,6 +44,16 @@ func Serve(addr string, reg *Registry) (*http.Server, error) {
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/rpq/queries", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		snaps := DefaultInflight().Snapshots()
+		if snaps == nil {
+			snaps = []QuerySnapshot{}
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(map[string]any{"queries": snaps})
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -50,7 +66,7 @@ func Serve(addr string, reg *Registry) (*http.Server, error) {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprint(w, "rpq observability\n\n/metrics\n/debug/vars\n/debug/pprof/\n")
+		fmt.Fprint(w, "rpq observability\n\n/metrics\n/debug/rpq/queries\n/debug/vars\n/debug/pprof/\n")
 	})
 	srv := &http.Server{Addr: ln.Addr().String(), Handler: mux}
 	go srv.Serve(ln)

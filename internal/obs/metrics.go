@@ -23,17 +23,19 @@ func (g *Gauge) Add(d int64) { g.v.Add(d) }
 // Value reads the current value.
 func (g *Gauge) Value() int64 { return g.v.Load() }
 
-// Registry names a set of gauges and renders them in the Prometheus text
-// exposition format. Registration is cheap and idempotent by name.
+// Registry names a set of gauges and latency histograms and renders them in
+// the Prometheus text exposition format. Registration is cheap and
+// idempotent by name.
 type Registry struct {
 	mu     sync.Mutex
 	gauges map[string]*Gauge
+	hists  map[string]*Histogram
 	help   map[string]string
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{gauges: map[string]*Gauge{}, help: map[string]string{}}
+	return &Registry{gauges: map[string]*Gauge{}, hists: map[string]*Histogram{}, help: map[string]string{}}
 }
 
 // defaultRegistry backs Default.
@@ -57,17 +59,36 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 	return g
 }
 
-// Unregister removes the gauge registered under name, so it disappears from
-// Snapshot and the Prometheus exposition. Holders of the *Gauge can keep
-// updating it harmlessly; re-registering the name creates a fresh gauge.
-// Reports whether the name was registered.
+// Histogram returns the latency histogram registered under name, creating
+// it (with the given help text) on first use.
+func (r *Registry) Histogram(name, help string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.hists[name]; ok {
+		return h
+	}
+	h := &Histogram{}
+	if r.hists == nil {
+		r.hists = map[string]*Histogram{}
+	}
+	r.hists[name] = h
+	r.help[name] = help
+	return h
+}
+
+// Unregister removes the gauge or histogram registered under name, so it
+// disappears from Snapshot and the Prometheus exposition. Holders of the
+// pointer can keep updating it harmlessly; re-registering the name creates a
+// fresh metric. Reports whether the name was registered.
 func (r *Registry) Unregister(name string) bool {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	_, ok := r.gauges[name]
+	_, okG := r.gauges[name]
+	_, okH := r.hists[name]
 	delete(r.gauges, name)
+	delete(r.hists, name)
 	delete(r.help, name)
-	return ok
+	return okG || okH
 }
 
 // Reset removes every registered gauge — long-lived server processes call
@@ -77,22 +98,34 @@ func (r *Registry) Reset() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.gauges = map[string]*Gauge{}
+	r.hists = map[string]*Histogram{}
 	r.help = map[string]string{}
 }
 
 // Snapshot returns the current name → value map, for expvar publication.
+// Histograms contribute <name>_count, <name>_sum_us, and the p50/p95/p99
+// bucket-midpoint estimates in microseconds.
 func (r *Registry) Snapshot() map[string]int64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	out := make(map[string]int64, len(r.gauges))
+	out := make(map[string]int64, len(r.gauges)+5*len(r.hists))
 	for name, g := range r.gauges {
 		out[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		out[name+"_count"] = h.Count()
+		out[name+"_sum_us"] = h.Sum().Microseconds()
+		out[name+"_p50_us"] = h.Quantile(0.50).Microseconds()
+		out[name+"_p95_us"] = h.Quantile(0.95).Microseconds()
+		out[name+"_p99_us"] = h.Quantile(0.99).Microseconds()
 	}
 	return out
 }
 
-// WritePrometheus renders every gauge in the Prometheus text exposition
-// format (# HELP / # TYPE lines followed by the sample), sorted by name.
+// WritePrometheus renders every gauge and histogram in the Prometheus text
+// exposition format (# HELP / # TYPE lines followed by the samples), sorted
+// by name. Histograms are rendered as summaries: quantile-labelled samples
+// in seconds plus <name>_sum and <name>_count.
 func (r *Registry) WritePrometheus(w io.Writer) {
 	r.mu.Lock()
 	names := make([]string, 0, len(r.gauges))
@@ -108,6 +141,26 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 	for _, name := range names {
 		rows = append(rows, row{name, r.help[name], r.gauges[name].Value()})
 	}
+	hnames := make([]string, 0, len(r.hists))
+	for name := range r.hists {
+		hnames = append(hnames, name)
+	}
+	sort.Strings(hnames)
+	type hrow struct {
+		name, help    string
+		p50, p95, p99 float64
+		sum           float64
+		count         int64
+	}
+	hrows := make([]hrow, 0, len(hnames))
+	for _, name := range hnames {
+		h := r.hists[name]
+		hrows = append(hrows, hrow{
+			name: name, help: r.help[name],
+			p50: h.Quantile(0.50).Seconds(), p95: h.Quantile(0.95).Seconds(),
+			p99: h.Quantile(0.99).Seconds(), sum: h.Sum().Seconds(), count: h.Count(),
+		})
+	}
 	r.mu.Unlock()
 	for _, rw := range rows {
 		if rw.help != "" {
@@ -115,6 +168,17 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 		}
 		fmt.Fprintf(w, "# TYPE %s gauge\n", rw.name)
 		fmt.Fprintf(w, "%s %d\n", rw.name, rw.value)
+	}
+	for _, hw := range hrows {
+		if hw.help != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", hw.name, hw.help)
+		}
+		fmt.Fprintf(w, "# TYPE %s summary\n", hw.name)
+		fmt.Fprintf(w, "%s{quantile=\"0.5\"} %g\n", hw.name, hw.p50)
+		fmt.Fprintf(w, "%s{quantile=\"0.95\"} %g\n", hw.name, hw.p95)
+		fmt.Fprintf(w, "%s{quantile=\"0.99\"} %g\n", hw.name, hw.p99)
+		fmt.Fprintf(w, "%s_sum %g\n", hw.name, hw.sum)
+		fmt.Fprintf(w, "%s_count %d\n", hw.name, hw.count)
 	}
 }
 
@@ -130,6 +194,14 @@ type SolverGauges struct {
 	EnumSubsts    *Gauge
 	Queries       *Gauge
 	SlowQueries   *Gauge
+
+	// Latency histograms maintained by the rpq layer: end-to-end query wall
+	// time and the per-phase breakdown reported in Stats.Phases.
+	QueryHist   *Histogram
+	CompileHist *Histogram
+	DomainsHist *Histogram
+	SolveHist   *Histogram
+	EnumHist    *Histogram
 
 	// reg is where Worker registers per-worker gauges on demand; nil falls
 	// back to the default registry.
@@ -219,6 +291,11 @@ func NewSolverGauges(r *Registry) *SolverGauges {
 		EnumSubsts:    r.Gauge("rpq_enum_substs", "full substitutions enumerated so far (enumeration/hybrid)"),
 		Queries:       r.Gauge("rpq_queries_total", "queries completed since process start"),
 		SlowQueries:   r.Gauge("rpq_slow_queries_total", "queries exceeding the slow-query threshold"),
+		QueryHist:     r.Histogram("rpq_query_seconds", "end-to-end query latency"),
+		CompileHist:   r.Histogram("rpq_phase_compile_seconds", "pattern compilation latency per query"),
+		DomainsHist:   r.Histogram("rpq_phase_domains_seconds", "parameter-domain computation latency per query"),
+		SolveHist:     r.Histogram("rpq_phase_solve_seconds", "worklist solve latency per query"),
+		EnumHist:      r.Histogram("rpq_phase_enumerate_seconds", "enumeration-phase latency per query"),
 	}
 }
 

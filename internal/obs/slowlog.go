@@ -36,6 +36,9 @@ type slowRecord struct {
 	// its cost without a rerun.
 	HotStates any `json:"hot_states,omitempty"`
 	Stats     any `json:"stats,omitempty"`
+	// Bundle is the diagnostic-bundle directory the watchdog wrote for this
+	// query, when one was produced.
+	Bundle string `json:"bundle,omitempty"`
 }
 
 // SlowDetail is the optional execution context of a slow-query entry.
@@ -47,6 +50,9 @@ type SlowDetail struct {
 	// HotStates is any JSON-marshallable ranking of the hottest automaton
 	// states (typically the explain profile's top 3 by visits).
 	HotStates any
+	// Bundle is the diagnostic-bundle path for this query, when the
+	// watchdog wrote one.
+	Bundle string
 }
 
 // Observe records the query if it was slow; it reports whether it did.
@@ -72,6 +78,7 @@ func (l *SlowLog) ObserveDetail(kind, query string, d time.Duration, answers int
 		Table:     detail.Table,
 		HotStates: detail.HotStates,
 		Stats:     stats,
+		Bundle:    detail.Bundle,
 	}
 	b, err := json.Marshal(rec)
 	if err != nil {

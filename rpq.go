@@ -27,6 +27,8 @@
 package rpq
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -336,6 +338,21 @@ type Options struct {
 	// branch per counter site when off; expect a few percent overhead when
 	// on.
 	Explain bool
+	// Deadline, when > 0, bounds the query's wall-clock time; a run that
+	// exceeds it stops at the next cancellation check and returns an
+	// InterruptError wrapping ErrDeadline. Combine with the Context entry
+	// points (ExistContext etc.) for caller-driven cancellation.
+	Deadline time.Duration
+	// Progress, when non-nil, receives live snapshots of the run every few
+	// hundred worklist pops (and once per enumerated substitution in the
+	// enumeration phases). The callback runs on a solver goroutine — keep it
+	// cheap and do not block.
+	Progress func(Progress)
+	// Watchdog, when non-nil with a Dir, turns anomalies into diagnostic
+	// bundles: it attaches an always-on flight-recorder event ring to the
+	// query, arms a hung-query timer (Watchdog.Hung), and dumps a bundle on
+	// deadline breach, cancellation, or a slow run (Watchdog.Slow).
+	Watchdog *Watchdog
 }
 
 // Stats reports the instrumentation of a run; see core.Stats for the
@@ -401,6 +418,45 @@ type SlowLog = obs.SlowLog
 // SolverGauges is the live gauge set sampled by a running query.
 type SolverGauges = obs.SolverGauges
 
+// Progress is one live snapshot of a running query, delivered to
+// Options.Progress: the current phase, worklist pops and depth, reach-set
+// and substitution-table sizes, enumeration progress, and worker count.
+type Progress = core.Progress
+
+// InterruptError is returned when a query is canceled or exceeds its
+// deadline: Reason wraps ErrCanceled or ErrDeadline, Stats carries the
+// counters accumulated up to the interrupt, and Explain the partial profile
+// when Options.Explain was set. Test with errors.As / errors.Is.
+type InterruptError = core.InterruptError
+
+// ErrCanceled is wrapped by InterruptError when the caller's context was
+// canceled; errors.Is(err, context.Canceled) also holds.
+var ErrCanceled = core.ErrCanceled
+
+// ErrDeadline is wrapped by InterruptError when Options.Deadline (or the
+// context's deadline) expired; errors.Is(err, context.DeadlineExceeded) also
+// holds.
+var ErrDeadline = core.ErrDeadline
+
+// Watchdog turns query anomalies into diagnostic bundles; see
+// Options.Watchdog and docs/observability.md for the bundle format.
+type Watchdog = obs.Watchdog
+
+// Bundle is a loaded diagnostic bundle; see LoadBundle.
+type Bundle = obs.Bundle
+
+// QuerySnapshot is one point-in-time view of an in-flight query, as served
+// by /debug/rpq/queries and returned by InflightQueries.
+type QuerySnapshot = obs.QuerySnapshot
+
+// LoadBundle reads a diagnostic bundle directory written by a Watchdog.
+func LoadBundle(dir string) (*Bundle, error) { return obs.LoadBundle(dir) }
+
+// InflightQueries returns snapshots of the queries executing right now in
+// this process, ordered by start; the same data is served as JSON at
+// /debug/rpq/queries by ServeObservability.
+func InflightQueries() []QuerySnapshot { return obs.DefaultInflight().Snapshots() }
+
 // NewRingTracer returns a tracer retaining the last n events.
 func NewRingTracer(n int) *RingTracer { return obs.NewRingSink(n) }
 
@@ -423,8 +479,9 @@ func NewSlowLog(w io.Writer, threshold time.Duration) *SlowLog {
 func LiveGauges() *SolverGauges { return obs.NewSolverGauges(nil) }
 
 // ServeObservability starts the observability HTTP server on addr, serving
-// /metrics (Prometheus text exposition of the default registry),
-// /debug/vars (expvar), and /debug/pprof/. The listener binds
+// /metrics (Prometheus text exposition of the default registry, including
+// the latency histograms), /debug/rpq/queries (JSON snapshots of in-flight
+// queries), /debug/vars (expvar), and /debug/pprof/. The listener binds
 // synchronously; requests are served in the background until the returned
 // server is Closed.
 func ServeObservability(addr string) (*http.Server, error) { return obs.Serve(addr, nil) }
@@ -432,25 +489,136 @@ func ServeObservability(addr string) (*http.Server, error) { return obs.Serve(ad
 // FormatTrace renders trace events as an aligned human-readable table.
 func FormatTrace(evs []TraceEvent) string { return obs.FormatEvents(evs) }
 
-// observe finishes one public query: bump the query gauges and feed the
-// slow-query log.
-func observe(opts *Options, kind, query string, t0 time.Time, res *Result) {
-	if opts == nil {
-		return
+// flightRingSize is the capacity of the always-on per-query flight-recorder
+// event ring attached when Options.Watchdog is set.
+const flightRingSize = 256
+
+// runState tracks one public query from beginRun to finish: the in-flight
+// registry entry, the flight-recorder ring, and the hung-query timer.
+type runState struct {
+	opts     *Options
+	kind     string
+	query    string
+	t0       time.Time
+	iq       *obs.InflightQuery
+	ring     *obs.RingSink
+	stopHung func()
+}
+
+// beginRun registers the query as in-flight, splices the flight-recorder
+// ring into the core tracer when a watchdog is configured, arms the
+// hung-query timer, and chains the progress callback so every run keeps its
+// live snapshot current. It mutates co (Tracer, Progress) in place.
+func beginRun(opts *Options, kind, query string, co *core.Options) *runState {
+	rs := &runState{opts: opts, kind: kind, query: query, t0: time.Now(), stopHung: func() {}}
+	rs.iq = obs.DefaultInflight().Begin(kind, query, co.Algo.String())
+	var wd *Watchdog
+	if opts != nil {
+		wd = opts.Watchdog
 	}
-	d := time.Since(t0)
-	if opts.Gauges != nil {
-		opts.Gauges.Queries.Add(1)
+	if wd.Enabled() {
+		rs.ring = obs.NewRingSink(flightRingSize)
+		rs.iq.Ring = rs.ring
+		if co.Tracer != nil {
+			co.Tracer = obs.Multi{co.Tracer, rs.ring}
+		} else {
+			co.Tracer = rs.ring
+		}
+		rs.stopHung = wd.Arm(rs.iq)
 	}
-	detail := obs.SlowDetail{Workers: opts.Workers, Table: opts.Table.String()}
-	if res != nil && res.Explain != nil {
-		detail.HotStates = res.Explain.TopStates(3)
+	var userProg func(Progress)
+	if opts != nil {
+		userProg = opts.Progress
 	}
-	if res != nil && opts.SlowLog.ObserveDetail(kind, query, d, len(res.Answers), res.Stats, detail) {
-		if opts.Gauges != nil {
-			opts.Gauges.SlowQueries.Add(1)
+	iq := rs.iq
+	co.Progress = func(p core.Progress) {
+		iq.Update(p.Phase, p.Pops, p.WorklistDepth, p.Reach, p.Substs, p.EnumSubsts, p.Workers)
+		if userProg != nil {
+			userProg(p)
 		}
 	}
+	if opts != nil {
+		co.Deadline = opts.Deadline
+	}
+	return rs
+}
+
+// finish completes the run's observability: stop the hung timer, unregister
+// the in-flight entry, feed the latency histograms and query gauges, dump a
+// watchdog bundle on anomaly (deadline breach, cancellation, slow run), and
+// record the slow-query log entry (with the bundle path when one was
+// written). It handles both outcomes — res on success, err (possibly an
+// *InterruptError carrying partial stats) on failure.
+func (rs *runState) finish(res *Result, err error) {
+	rs.stopHung()
+	d := time.Since(rs.t0)
+	opts := rs.opts
+
+	var stats *Stats
+	var explain *Explain
+	answers := 0
+	if res != nil {
+		stats = &res.Stats
+		explain = res.Explain
+		answers = len(res.Answers)
+	}
+	var ie *InterruptError
+	if errors.As(err, &ie) {
+		stats = &ie.Stats
+		explain = ie.Explain
+	}
+
+	var gauges *SolverGauges
+	if opts != nil {
+		gauges = opts.Gauges
+	}
+	if gauges != nil {
+		gauges.Queries.Add(1)
+		gauges.QueryHist.Observe(d)
+		if stats != nil {
+			gauges.CompileHist.Observe(stats.Phases.Compile.Wall)
+			gauges.DomainsHist.Observe(stats.Phases.Domains.Wall)
+			gauges.SolveHist.Observe(stats.Phases.Solve.Wall)
+			if stats.Phases.Enumerate.Wall > 0 {
+				gauges.EnumHist.Observe(stats.Phases.Enumerate.Wall)
+			}
+		}
+	}
+
+	bundle := ""
+	if opts != nil && opts.Watchdog.Enabled() {
+		reason := ""
+		switch {
+		case errors.Is(err, ErrDeadline):
+			reason = "deadline"
+		case errors.Is(err, ErrCanceled):
+			reason = "canceled"
+		case err == nil && opts.Watchdog.Slow > 0 && d >= opts.Watchdog.Slow:
+			reason = "slow"
+		}
+		if reason != "" {
+			var ex any
+			if explain != nil {
+				ex = explain
+			}
+			if dir, derr := opts.Watchdog.Dump(rs.iq, reason, ex); derr == nil {
+				bundle = dir
+			}
+		}
+	}
+
+	if opts != nil && stats != nil {
+		detail := obs.SlowDetail{Workers: opts.Workers, Table: opts.Table.String(), Bundle: bundle}
+		if explain != nil {
+			detail.HotStates = explain.TopStates(3)
+		}
+		if opts.SlowLog.ObserveDetail(rs.kind, rs.query, d, answers, *stats, detail) {
+			if gauges != nil {
+				gauges.SlowQueries.Add(1)
+			}
+		}
+	}
+	rs.iq.Done()
 }
 
 // Binding is one parameter-to-symbol binding of an answer.
@@ -613,7 +781,14 @@ func (g *Graph) convert(ig *graph.Graph, q *core.Query, res *core.Result) *Resul
 // Exist runs an existential query: all ⟨v, θ⟩ such that some path from the
 // start vertex to v matches the pattern under θ.
 func (g *Graph) Exist(p *Pattern, opts *Options) (*Result, error) {
-	t0 := time.Now()
+	return g.ExistContext(context.Background(), p, opts)
+}
+
+// ExistContext is Exist bounded by ctx (and Options.Deadline): when either
+// fires, the run stops at the next cancellation check and returns an
+// *InterruptError wrapping ErrCanceled or ErrDeadline with the statistics
+// accumulated so far.
+func (g *Graph) ExistContext(ctx context.Context, p *Pattern, opts *Options) (*Result, error) {
 	ig, start, co, err := g.resolve(opts, false)
 	if err != nil {
 		return nil, err
@@ -625,12 +800,14 @@ func (g *Graph) Exist(p *Pattern, opts *Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := core.Exist(ig, start, q, co)
+	rs := beginRun(opts, "exist", p.src, &co)
+	res, err := core.ExistContext(ctx, ig, start, q, co)
 	if err != nil {
+		rs.finish(nil, err)
 		return nil, err
 	}
 	out := g.convert(ig, q, res)
-	observe(opts, "exist", p.src, t0, out)
+	rs.finish(out, nil)
 	return out, nil
 }
 
@@ -639,7 +816,13 @@ func (g *Graph) Exist(p *Pattern, opts *Options) (*Result, error) {
 // Algorithm Auto, the direct algorithm of Section 4 is tried first and the
 // hybrid algorithm is used when the runtime determinism check fails.
 func (g *Graph) Universal(p *Pattern, opts *Options) (*Result, error) {
-	t0 := time.Now()
+	return g.UniversalContext(context.Background(), p, opts)
+}
+
+// UniversalContext is Universal bounded by ctx (and Options.Deadline); see
+// ExistContext for the cancellation semantics. The Auto fallback to the
+// hybrid algorithm re-runs under the same context.
+func (g *Graph) UniversalContext(ctx context.Context, p *Pattern, opts *Options) (*Result, error) {
 	ig, start, co, err := g.resolve(opts, true)
 	if err != nil {
 		return nil, err
@@ -648,16 +831,18 @@ func (g *Graph) Universal(p *Pattern, opts *Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := core.Univ(ig, start, q, co)
+	rs := beginRun(opts, "universal", p.src, &co)
+	res, err := core.UnivContext(ctx, ig, start, q, co)
 	if err == core.ErrNondeterministic && (opts == nil || opts.Algorithm == Auto) {
 		co.Algo = core.AlgoHybrid
-		res, err = core.Univ(ig, start, q, co)
+		res, err = core.UnivContext(ctx, ig, start, q, co)
 	}
 	if err != nil {
+		rs.finish(nil, err)
 		return nil, err
 	}
 	out := g.convert(ig, q, res)
-	observe(opts, "universal", p.src, t0, out)
+	rs.finish(out, nil)
 	return out, nil
 }
 
@@ -800,6 +985,12 @@ func AnalysisByName(name string) (Analysis, error) { return queries.ByName(name)
 // direction and kind. Options' Backward and Algorithm fields are combined
 // with the analysis' own requirements.
 func (g *Graph) RunAnalysis(a Analysis, opts *Options) (*Result, error) {
+	return g.RunAnalysisContext(context.Background(), a, opts)
+}
+
+// RunAnalysisContext is RunAnalysis bounded by ctx (and Options.Deadline);
+// see ExistContext for the cancellation semantics.
+func (g *Graph) RunAnalysisContext(ctx context.Context, a Analysis, opts *Options) (*Result, error) {
 	var o Options
 	if opts != nil {
 		o = *opts
@@ -809,9 +1000,9 @@ func (g *Graph) RunAnalysis(a Analysis, opts *Options) (*Result, error) {
 	}
 	p := &Pattern{expr: a.Expr(), src: a.Pattern}
 	if a.Kind == queries.Universal {
-		return g.Universal(p, &o)
+		return g.UniversalContext(ctx, p, &o)
 	}
-	return g.Exist(p, &o)
+	return g.ExistContext(ctx, p, &o)
 }
 
 // Violations derives, from a universal per-resource discipline pattern such
@@ -820,7 +1011,12 @@ func (g *Graph) RunAnalysis(a Analysis, opts *Options) (*Result, error) {
 // and, when withExit is set, resources left incomplete at exit), and runs it
 // (Section 5.4).
 func (g *Graph) Violations(discipline string, withExit bool, opts *Options) (*Result, error) {
-	t0 := time.Now()
+	return g.ViolationsContext(context.Background(), discipline, withExit, opts)
+}
+
+// ViolationsContext is Violations bounded by ctx (and Options.Deadline); see
+// ExistContext for the cancellation semantics.
+func (g *Graph) ViolationsContext(ctx context.Context, discipline string, withExit bool, opts *Options) (*Result, error) {
 	e, err := pattern.Parse(discipline)
 	if err != nil {
 		return nil, err
@@ -833,11 +1029,13 @@ func (g *Graph) Violations(discipline string, withExit bool, opts *Options) (*Re
 	if err != nil {
 		return nil, err
 	}
-	res, err := core.Exist(ig, start, q, co)
+	rs := beginRun(opts, "violations", discipline, &co)
+	res, err := core.ExistContext(ctx, ig, start, q, co)
 	if err != nil {
+		rs.finish(nil, err)
 		return nil, err
 	}
 	out := g.convert(ig, q, res)
-	observe(opts, "violations", discipline, t0, out)
+	rs.finish(out, nil)
 	return out, nil
 }

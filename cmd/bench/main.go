@@ -29,6 +29,7 @@ import (
 	"sort"
 	"time"
 
+	"rpq/internal/analyze"
 	"rpq/internal/core"
 	"rpq/internal/gen"
 	"rpq/internal/graph"
@@ -61,15 +62,20 @@ type benchReport struct {
 // the deterministic solver counters that must reproduce exactly on any
 // machine.
 type scenarioResult struct {
-	Name     string           `json:"name"`
-	Workload string           `json:"workload"`
-	Kind     string           `json:"kind"` // "exist" | "universal"
-	Algo     string           `json:"algo"`
-	Table    string           `json:"table"`
-	Workers  int              `json:"workers"`
-	Reps     int              `json:"reps"`
-	NsPerOp  int64            `json:"ns_per_op"`
-	SolveNS  int64            `json:"solve_ns"`
+	Name     string `json:"name"`
+	Workload string `json:"workload"`
+	Kind     string `json:"kind"` // "exist" | "universal"
+	Algo     string `json:"algo"`
+	Table    string `json:"table"`
+	Workers  int    `json:"workers"`
+	Reps     int    `json:"reps"`
+	NsPerOp  int64  `json:"ns_per_op"`
+	SolveNS  int64  `json:"solve_ns"`
+	// LintNS is the median wall time of the static query analysis
+	// (internal/analyze, graph-dependent checks included) for this
+	// scenario's pattern — the lint phase must stay far below solve time.
+	// omitempty keeps reports from before the field schema-compatible.
+	LintNS   int64            `json:"lint_ns,omitempty"`
 	Counters map[string]int64 `json:"counters"`
 	// HotState names the automaton state with the most worklist visits, from
 	// the explain profile collected alongside each run.
@@ -293,6 +299,25 @@ func runScenario(sc scenario, wl workloadGraph, n int) scenarioResult {
 		Explain:  true,
 		Deadline: repTimeout,
 	}
+	lintExpr := pattern.MustParse(sc.pat)
+	lintCfg := analyze.Config{
+		Universal:   sc.kind == "universal",
+		HaveVariant: true,
+		Algo:        sc.algo,
+		Table:       sc.table,
+	}
+	// Lint is orders of magnitude cheaper than solving, so time it over a
+	// fixed rep count (with one untimed warm-up) even in -quick mode; a
+	// single cold sample would otherwise charge process start-up noise to
+	// the lint phase.
+	const lintReps = 5
+	analyze.LintForGraph(wl.g, lintExpr, sc.pat, lintCfg)
+	lint := make([]int64, 0, lintReps)
+	for i := 0; i < lintReps; i++ {
+		lt0 := time.Now()
+		analyze.LintForGraph(wl.g, lintExpr, sc.pat, lintCfg)
+		lint = append(lint, time.Since(lt0).Nanoseconds())
+	}
 	var (
 		ns      = make([]int64, 0, n)
 		solve   = make([]int64, 0, n)
@@ -332,6 +357,7 @@ func runScenario(sc scenario, wl workloadGraph, n int) scenarioResult {
 		Reps:     n,
 		NsPerOp:  median(ns),
 		SolveNS:  median(solve),
+		LintNS:   median(lint),
 		Counters: prevCtr,
 	}
 	if ex := last.Explain; ex != nil {

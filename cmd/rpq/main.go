@@ -46,6 +46,8 @@ func main() {
 		graphPath = flag.String("graph", "", "graph file (textual format, or .aut with -aut)")
 		aut       = flag.Bool("aut", false, "treat the graph file as an Aldébaran LTS")
 		patt      = flag.String("pattern", "", "query pattern, e.g. '(!def(x))* use(x)'")
+		pattFile  = flag.String("pattern-file", "", "read the query pattern from a file (blank and # comment lines ignored)")
+		lintFmt   = flag.String("lint", "", "statically analyze the query instead of running it: text|json; exits 1 on error-severity findings (-graph optional, adds alphabet/cost checks)")
 		violation = flag.String("violations", "", "universal discipline pattern; generates and runs the merged violation query (Section 5.4)")
 		withExit  = flag.Bool("exit-violations", true, "with -violations, also flag resources left incomplete at exit()")
 		analysis  = flag.String("analysis", "", "named analysis from the catalog instead of -pattern")
@@ -82,23 +84,34 @@ func main() {
 		}
 		return
 	}
-	if *graphPath == "" {
+	if *pattFile != "" {
+		if *patt != "" {
+			fail("-pattern and -pattern-file are mutually exclusive")
+		}
+		src, err := readPatternFile(*pattFile)
+		if err != nil {
+			fail("%v", err)
+		}
+		*patt = src
+	}
+	if *graphPath == "" && *lintFmt == "" {
 		fail("missing -graph (or use -list)")
 	}
-	f, err := os.Open(*graphPath)
-	if err != nil {
-		fail("%v", err)
-	}
-	defer f.Close()
-
 	var g *rpq.Graph
-	if *aut {
-		g, err = rpq.FromAUT(f, *universal)
-	} else {
-		g, err = rpq.ReadGraph(f)
-	}
-	if err != nil {
-		fail("%v", err)
+	if *graphPath != "" {
+		f, err := os.Open(*graphPath)
+		if err != nil {
+			fail("%v", err)
+		}
+		defer f.Close()
+		if *aut {
+			g, err = rpq.FromAUT(f, *universal)
+		} else {
+			g, err = rpq.ReadGraph(f)
+		}
+		if err != nil {
+			fail("%v", err)
+		}
 	}
 
 	opts := &rpq.Options{Backward: *backward, Start: *start, Compact: *compact, Witnesses: *witness, Workers: *workers, Deadline: *timeout}
@@ -212,6 +225,11 @@ func main() {
 		opts.Table = rpq.NestedArrays
 	default:
 		fail("unknown -table %q", *table)
+	}
+
+	if *lintFmt != "" {
+		runLint(g, opts, *lintFmt, *patt, *analysis, *violation, *universal)
+		return
 	}
 
 	if *estimate {
@@ -332,6 +350,76 @@ func main() {
 	}
 	if *statsFmt != "" {
 		printStats(*statsFmt, res)
+	}
+}
+
+// readPatternFile loads a pattern source file: the pattern is the file's
+// non-blank, non-comment content (one pattern per file, possibly wrapped
+// over several lines, joined with spaces).
+func readPatternFile(path string) (string, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	var parts []string
+	for _, line := range strings.Split(string(raw), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts = append(parts, line)
+	}
+	if len(parts) == 0 {
+		return "", fmt.Errorf("%s: no pattern in file", path)
+	}
+	return strings.Join(parts, " "), nil
+}
+
+// runLint is the -lint mode: statically analyze the query and report the
+// findings instead of solving. Exit status 1 when any finding has error
+// severity (the query is provably broken), 0 otherwise.
+func runLint(g *rpq.Graph, opts *rpq.Options, format, patt, analysis, violation string, universal bool) {
+	src := patt
+	switch {
+	case violation != "":
+		// Disciplines have universal per-resource semantics.
+		src, universal = violation, true
+	case analysis != "":
+		a, err := rpq.AnalysisByName(analysis)
+		if err != nil {
+			fail("%v", err)
+		}
+		src = a.Pattern
+		universal = a.Kind.String() == "universal"
+	case src == "":
+		fail("-lint needs one of -pattern, -pattern-file, -analysis, or -violations")
+	}
+	p, err := rpq.ParsePattern(src)
+	if err != nil {
+		fail("%v", err)
+	}
+	diags := rpq.LintQuery(g, p, universal, opts)
+	switch format {
+	case "text":
+		if len(diags) == 0 {
+			fmt.Fprintln(os.Stderr, "rpq: lint clean")
+		}
+		for _, d := range diags {
+			fmt.Println(rpq.FormatDiagnostic(d, p))
+		}
+	case "json":
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(diags); err != nil {
+			fail("%v", err)
+		}
+	default:
+		fail("unknown -lint format %q (want text or json)", format)
+	}
+	for _, d := range diags {
+		if d.Severity >= rpq.SeverityError {
+			os.Exit(1)
+		}
 	}
 }
 

@@ -1,0 +1,300 @@
+package main
+
+import (
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseSrc builds a pkgFiles from in-memory sources, placing them in dir so
+// the path-gated checks (noprint, ctxvariant) can be exercised both ways.
+func parseSrc(t *testing.T, dir string, srcs map[string]string) *pkgFiles {
+	t.Helper()
+	pf := &pkgFiles{fset: token.NewFileSet(), dir: dir}
+	for name, src := range srcs {
+		f, err := parser.ParseFile(pf.fset, dir+"/"+name, src, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parse %s: %v", name, err)
+		}
+		pf.files = append(pf.files, f)
+		pf.names = append(pf.names, name)
+	}
+	return pf
+}
+
+func findingsWith(fs []finding, check string) []finding {
+	var out []finding
+	for _, f := range fs {
+		if f.check == check {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func TestAnalyzers(t *testing.T) {
+	cases := []struct {
+		name  string
+		dir   string
+		file  string
+		src   string
+		check string
+		want  int    // findings of that check
+		msg   string // substring required in the first finding
+	}{
+		{
+			name: "fmt.Println in core fires",
+			dir:  "internal/core", file: "solve.go",
+			src: `package core
+import "fmt"
+func pop() { fmt.Println("popped") }`,
+			check: "noprint", want: 1, msg: "fmt.Println",
+		},
+		{
+			name: "time.Now in core fires",
+			dir:  "internal/core", file: "solve.go",
+			src: `package core
+import "time"
+func pop() { _ = time.Now() }`,
+			check: "noprint", want: 1, msg: "time.Now",
+		},
+		{
+			name: "allow comment on same line suppresses",
+			dir:  "internal/core", file: "solve.go",
+			src: `package core
+import "time"
+func pop() { _ = time.Now() } //rpqvet:allow timenow`,
+			check: "noprint", want: 0,
+		},
+		{
+			name: "allow comment on preceding line suppresses",
+			dir:  "internal/core", file: "solve.go",
+			src: `package core
+import "time"
+func pop() {
+	//rpqvet:allow timenow
+	_ = time.Now()
+}`,
+			check: "noprint", want: 0,
+		},
+		{
+			name: "allow token must match the check",
+			dir:  "internal/core", file: "solve.go",
+			src: `package core
+import "time"
+func pop() { _ = time.Now() } //rpqvet:allow print`,
+			check: "noprint", want: 1,
+		},
+		{
+			name: "instr.go is exempt from noprint",
+			dir:  "internal/core", file: "instr.go",
+			src: `package core
+import "time"
+func now() time.Time { return time.Now() }`,
+			check: "noprint", want: 0,
+		},
+		{
+			name: "noprint does not apply outside core",
+			dir:  "internal/graph", file: "graph.go",
+			src: `package graph
+import "fmt"
+func dump() { fmt.Println("ok") }`,
+			check: "noprint", want: 0,
+		},
+		{
+			name: "entry point without Context variant fires",
+			dir:  "internal/core", file: "solve.go",
+			src: `package core
+type Options struct{}
+type Result struct{}
+func Solve(o Options) (*Result, error) { return nil, nil }`,
+			check: "ctxvariant", want: 1, msg: "no SolveContext",
+		},
+		{
+			name: "entry point with Context variant is clean",
+			dir:  "internal/core", file: "solve.go",
+			src: `package core
+import "context"
+type Options struct{}
+type Result struct{}
+func Solve(o Options) (*Result, error) { return SolveContext(context.Background(), o) }
+func SolveContext(ctx context.Context, o Options) (*Result, error) { return nil, nil }`,
+			check: "ctxvariant", want: 0,
+		},
+		{
+			name: "Context variant must lead with context.Context",
+			dir:  "internal/core", file: "solve.go",
+			src: `package core
+import "context"
+type Options struct{}
+type Result struct{}
+func Solve(o Options) (*Result, error) { return SolveContext(o, context.Background()) }
+func SolveContext(o Options, ctx context.Context) (*Result, error) { return nil, nil }`,
+			check: "ctxvariant", want: 1, msg: "first parameter",
+		},
+		{
+			name: "unexported and non-Options functions are ignored",
+			dir:  "internal/core", file: "solve.go",
+			src: `package core
+type Options struct{}
+func solve(o Options) error { return nil }
+func Compile(s string) error { return nil }`,
+			check: "ctxvariant", want: 0,
+		},
+		{
+			name: "entry point itself taking ctx needs no companion",
+			dir:  "internal/core", file: "solve.go",
+			src: `package core
+import "context"
+type Options struct{}
+func Run(ctx context.Context, o Options) error { return nil }`,
+			check: "ctxvariant", want: 0,
+		},
+		{
+			name: "ctxvariant does not apply outside core",
+			dir:  "internal/obs", file: "obs.go",
+			src: `package obs
+type Options struct{}
+func Serve(o Options) error { return nil }`,
+			check: "ctxvariant", want: 0,
+		},
+		{
+			name: "misaligned atomic int64 fires",
+			dir:  "internal/obs", file: "stats.go",
+			src: `package obs
+import "sync/atomic"
+type counters struct {
+	ready bool
+	pops  int64
+}
+func bump(c *counters) { atomic.AddInt64(&c.pops, 1) }`,
+			check: "atomicalign", want: 1, msg: "offset 4",
+		},
+		{
+			name: "leading atomic int64 is clean",
+			dir:  "internal/obs", file: "stats.go",
+			src: `package obs
+import "sync/atomic"
+type counters struct {
+	pops  int64
+	ready bool
+}
+func bump(c *counters) { atomic.AddInt64(&c.pops, 1) }`,
+			check: "atomicalign", want: 0,
+		},
+		{
+			name: "uint64 after two int32s is clean, after three fires",
+			dir:  "internal/obs", file: "stats.go",
+			src: `package obs
+import "sync/atomic"
+type ok struct {
+	a, b int32
+	n    uint64
+}
+type bad struct {
+	a, b, c int32
+	n2      uint64
+}
+func bump(o *ok, x *bad) {
+	atomic.AddUint64(&o.n, 1)
+	atomic.LoadUint64(&x.n2)
+}`,
+			check: "atomicalign", want: 1, msg: "bad.n2",
+		},
+		{
+			name: "non-atomic int64 field at odd offset is clean",
+			dir:  "internal/obs", file: "stats.go",
+			src: `package obs
+type counters struct {
+	ready bool
+	pops  int64
+}`,
+			check: "atomicalign", want: 0,
+		},
+		{
+			name: "wrapper type atomic.Int64 is immune",
+			dir:  "internal/obs", file: "stats.go",
+			src: `package obs
+import "sync/atomic"
+type counters struct {
+	ready bool
+	pops  atomic.Int64
+}
+func bump(c *counters) { c.pops.Add(1) }`,
+			check: "atomicalign", want: 0,
+		},
+		{
+			name: "atomicalign allow comment suppresses",
+			dir:  "internal/obs", file: "stats.go",
+			src: `package obs
+import "sync/atomic"
+type counters struct {
+	ready bool
+	pops  int64 //rpqvet:allow atomicalign
+}
+func bump(c *counters) { atomic.AddInt64(&c.pops, 1) }`,
+			check: "atomicalign", want: 0,
+		},
+		{
+			name: "string header before int64 is clean on 32-bit",
+			dir:  "internal/obs", file: "stats.go",
+			src: `package obs
+import "sync/atomic"
+type counters struct {
+	name string
+	pops int64
+}
+func bump(c *counters) { atomic.AddInt64(&c.pops, 1) }`,
+			check: "atomicalign", want: 0,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			pf := parseSrc(t, tc.dir, map[string]string{tc.file: tc.src})
+			got := findingsWith(analyzePackage(pf), tc.check)
+			if len(got) != tc.want {
+				t.Fatalf("got %d %s findings, want %d: %v", len(got), tc.check, tc.want, got)
+			}
+			if tc.want > 0 && tc.msg != "" && !strings.Contains(got[0].msg, tc.msg) {
+				t.Errorf("finding %q does not mention %q", got[0].msg, tc.msg)
+			}
+		})
+	}
+}
+
+// TestCtxVariantAcrossFiles: the companion may live in a different file of
+// the same package (Exist in exist.go, ExistContext in exist.go but e.g.
+// Univ/UnivContext split is legal).
+func TestCtxVariantAcrossFiles(t *testing.T) {
+	pf := parseSrc(t, "internal/core", map[string]string{
+		"a.go": `package core
+type Options struct{}
+func Solve(o Options) error { return nil }`,
+		"b.go": `package core
+import "context"
+func SolveContext(ctx context.Context, o Options) error { return nil }`,
+	})
+	if got := findingsWith(analyzePackage(pf), "ctxvariant"); len(got) != 0 {
+		t.Fatalf("cross-file companion not found: %v", got)
+	}
+}
+
+// TestExpandPatterns pins the "dir/..." walking contract on the real repo
+// layout: the recursive form must include nested packages and skip testdata.
+func TestExpandPatterns(t *testing.T) {
+	dirs, err := expandPatterns([]string{"../../internal/..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, d := range dirs {
+		seen[d] = true
+		if strings.Contains(d, "testdata") {
+			t.Errorf("testdata dir not skipped: %s", d)
+		}
+	}
+	if !seen["../../internal/core"] || !seen["../../internal/analyze"] {
+		t.Fatalf("recursive expansion missed packages: %v", dirs)
+	}
+}

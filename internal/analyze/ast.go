@@ -1,0 +1,129 @@
+package analyze
+
+import (
+	"fmt"
+
+	"rpq/internal/label"
+	"rpq/internal/pattern"
+	"rpq/internal/span"
+)
+
+// checkAST walks the pattern tree and reports the purely structural
+// findings: unsatisfiable labels (RPQ007), duplicate or subsumed alternation
+// branches (RPQ008), and repetition of nullable sub-patterns (RPQ009).
+func (l *linter) checkAST(e pattern.Expr) {
+	switch n := e.(type) {
+	case pattern.Epsilon:
+	case *pattern.Lbl:
+		if unsatLabel(n.Term) {
+			l.report(CodeUnsatLabel, Error, n.Span,
+				fmt.Sprintf("label %s can match no edge label: the negation covers everything", n.Term),
+				"remove the wildcard from the negation, or drop the label")
+		}
+	case *pattern.Concat:
+		for _, it := range n.Items {
+			l.checkAST(it)
+		}
+	case *pattern.Alt:
+		l.checkAlt(n)
+		for _, it := range n.Items {
+			l.checkAST(it)
+		}
+	case *pattern.Star:
+		l.checkRep(n.Sub, pattern.SpanOf(n), "*")
+		l.checkAST(n.Sub)
+	case *pattern.Plus:
+		l.checkRep(n.Sub, pattern.SpanOf(n), "+")
+		l.checkAST(n.Sub)
+	case *pattern.Opt:
+		l.checkRep(n.Sub, pattern.SpanOf(n), "?")
+		l.checkAST(n.Sub)
+	}
+}
+
+// checkAlt reports duplicate branches and 'eps' branches subsumed by a
+// nullable sibling.
+func (l *linter) checkAlt(a *pattern.Alt) {
+	var sawNullable bool // a nullable non-eps branch seen anywhere
+	for _, it := range a.Items {
+		if _, isEps := it.(pattern.Epsilon); !isEps && nullable(it) {
+			sawNullable = true
+		}
+	}
+	for i, it := range a.Items {
+		for j := 0; j < i; j++ {
+			if pattern.Equal(a.Items[j], it) {
+				l.report(CodeDupBranch, Warning, pattern.SpanOf(it),
+					fmt.Sprintf("duplicate alternation branch %q", pattern.String(it)),
+					"remove the repeated branch")
+				break
+			}
+		}
+		if _, isEps := it.(pattern.Epsilon); isEps && sawNullable {
+			l.report(CodeDupBranch, Warning, pattern.SpanOf(it),
+				"'eps' branch is subsumed: another branch already matches the empty path",
+				"remove the 'eps' branch")
+		}
+	}
+}
+
+// checkRep reports repetition operators wrapping sub-patterns that already
+// match the empty path, e.g. (a()*)* or (a()?)+.
+func (l *linter) checkRep(sub pattern.Expr, sp span.Span, op string) {
+	if nullable(sub) {
+		l.report(CodeRedundantRep, Warning, sp,
+			fmt.Sprintf("'%s' applied to %q, which already matches the empty path", op, pattern.String(sub)),
+			"simplify the repetition; (e*)* is e*, (e?)+ is e*")
+	}
+}
+
+// nullable reports whether the pattern matches the empty path.
+func nullable(e pattern.Expr) bool {
+	switch n := e.(type) {
+	case pattern.Epsilon:
+		return true
+	case *pattern.Lbl:
+		return false
+	case *pattern.Concat:
+		for _, it := range n.Items {
+			if !nullable(it) {
+				return false
+			}
+		}
+		return true
+	case *pattern.Alt:
+		for _, it := range n.Items {
+			if nullable(it) {
+				return true
+			}
+		}
+		return false
+	case *pattern.Star, *pattern.Opt:
+		return true
+	case *pattern.Plus:
+		return nullable(n.Sub)
+	}
+	return false
+}
+
+// unsatLabel reports whether the transition label can match no edge label of
+// any graph: a negation whose body matches everything (!_ or !(…|_|…)).
+func unsatLabel(t *label.Term) bool {
+	return t.Kind == label.KNeg && coversAll(t.Args[0])
+}
+
+// coversAll reports whether the term matches every edge label: a wildcard,
+// or an alternation containing one.
+func coversAll(t *label.Term) bool {
+	switch t.Kind {
+	case label.KWildcard:
+		return true
+	case label.KOr:
+		for _, a := range t.Args {
+			if coversAll(a) {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,349 @@
+package analyze
+
+import (
+	"fmt"
+	"sort"
+
+	"rpq/internal/label"
+	"rpq/internal/pattern"
+	"rpq/internal/span"
+)
+
+// The analyzer builds its own ε-NFA over the raw (uncompiled) pattern so
+// every labeled transition keeps the source span of the pattern.Lbl it came
+// from. The solver's automaton (internal/automata) simplifies the pattern
+// first and compiles labels into CTerms; threading spans through it would
+// bloat its hot-path transition struct for no runtime benefit, so the lint
+// pass pays for its own small Thompson construction instead. The build
+// shapes mirror automata.FromPattern: alternation by parallel branches,
+// repetition by ε-loops through the body.
+
+// atrans is one transition of the analysis automaton; term is nil for ε.
+type atrans struct {
+	term *label.Term
+	sp   span.Span
+	to   int
+}
+
+// anfa is the analysis ε-NFA: one start state, one final state, each
+// pattern.Lbl contributing exactly one labeled transition.
+type anfa struct {
+	start, final int
+	out          [][]atrans
+}
+
+// buildNFA runs the Thompson construction over the pattern AST.
+func buildNFA(e pattern.Expr) *anfa {
+	n := &anfa{}
+	n.start, n.final = n.build(e)
+	return n
+}
+
+func (n *anfa) newState() int {
+	n.out = append(n.out, nil)
+	return len(n.out) - 1
+}
+
+func (n *anfa) eps(from, to int) {
+	n.out[from] = append(n.out[from], atrans{to: to})
+}
+
+func (n *anfa) build(e pattern.Expr) (start, final int) {
+	switch x := e.(type) {
+	case pattern.Epsilon:
+		s, f := n.newState(), n.newState()
+		n.eps(s, f)
+		return s, f
+	case *pattern.Lbl:
+		s, f := n.newState(), n.newState()
+		n.out[s] = append(n.out[s], atrans{term: x.Term, sp: x.Span, to: f})
+		return s, f
+	case *pattern.Concat:
+		if len(x.Items) == 0 {
+			s, f := n.newState(), n.newState()
+			n.eps(s, f)
+			return s, f
+		}
+		start, final = n.build(x.Items[0])
+		for _, it := range x.Items[1:] {
+			s2, f2 := n.build(it)
+			n.eps(final, s2)
+			final = f2
+		}
+		return start, final
+	case *pattern.Alt:
+		s, f := n.newState(), n.newState()
+		for _, it := range x.Items {
+			bs, bf := n.build(it)
+			n.eps(s, bs)
+			n.eps(bf, f)
+		}
+		return s, f
+	case *pattern.Star:
+		s, f := n.newState(), n.newState()
+		bs, bf := n.build(x.Sub)
+		n.eps(s, bs)
+		n.eps(bf, f)
+		n.eps(s, f)
+		n.eps(bf, bs)
+		return s, f
+	case *pattern.Plus:
+		s, f := n.newState(), n.newState()
+		bs, bf := n.build(x.Sub)
+		n.eps(s, bs)
+		n.eps(bf, f)
+		n.eps(bf, bs)
+		return s, f
+	case *pattern.Opt:
+		s, f := n.newState(), n.newState()
+		bs, bf := n.build(x.Sub)
+		n.eps(s, bs)
+		n.eps(bf, f)
+		n.eps(s, f)
+		return s, f
+	}
+	panic(fmt.Sprintf("analyze: unknown pattern node %T", e))
+}
+
+// reach returns the states reachable from the given set following ε
+// transitions and labeled transitions accepted by usable.
+func (n *anfa) reach(from []int, usable func(atrans) bool) []bool {
+	seen := make([]bool, len(n.out))
+	stack := append([]int(nil), from...)
+	for _, s := range from {
+		seen[s] = true
+	}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, tr := range n.out[s] {
+			if tr.term != nil && !usable(tr) {
+				continue
+			}
+			if !seen[tr.to] {
+				seen[tr.to] = true
+				stack = append(stack, tr.to)
+			}
+		}
+	}
+	return seen
+}
+
+// coreach returns the states from which the final state is reachable,
+// following ε transitions and labeled transitions accepted by usable.
+func (n *anfa) coreach(usable func(atrans) bool) []bool {
+	// Reverse adjacency, keeping the transition payload for usable().
+	rev := make([][]atrans, len(n.out))
+	for s, trs := range n.out {
+		for _, tr := range trs {
+			rev[tr.to] = append(rev[tr.to], atrans{term: tr.term, sp: tr.sp, to: s})
+		}
+	}
+	seen := make([]bool, len(n.out))
+	seen[n.final] = true
+	stack := []int{n.final}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, tr := range rev[s] {
+			if tr.term != nil && !usable(tr) {
+				continue
+			}
+			if !seen[tr.to] {
+				seen[tr.to] = true
+				stack = append(stack, tr.to)
+			}
+		}
+	}
+	return seen
+}
+
+// labeled is one labeled transition with its source state, in span order.
+type labeled struct {
+	from int
+	tr   atrans
+}
+
+// labeledTrans collects the labeled transitions sorted by span start, so
+// per-parameter findings report the leftmost occurrence deterministically.
+func (n *anfa) labeledTrans() []labeled {
+	var out []labeled
+	for s, trs := range n.out {
+		for _, tr := range trs {
+			if tr.term != nil {
+				out = append(out, labeled{from: s, tr: tr})
+			}
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].tr.sp.Start < out[j].tr.sp.Start })
+	return out
+}
+
+// paramOcc walks the term calling f for each parameter occurrence with
+// whether it sits under a negation.
+func paramOcc(t *label.Term, underNeg bool, f func(name string, neg bool)) {
+	switch t.Kind {
+	case label.KParam:
+		f(t.Name, underNeg)
+	case label.KNeg:
+		paramOcc(t.Args[0], true, f)
+	default:
+		for _, a := range t.Args {
+			paramOcc(a, underNeg, f)
+		}
+	}
+}
+
+// bindsPositively reports whether the term contains a positive (outside any
+// negation) occurrence of parameter p — the occurrences that bind p during
+// matching.
+func bindsPositively(t *label.Term, p string) bool {
+	found := false
+	paramOcc(t, false, func(name string, neg bool) {
+		if name == p && !neg {
+			found = true
+		}
+	})
+	return found
+}
+
+// mentionsNegated reports whether the term contains an occurrence of p under
+// a negation.
+func mentionsNegated(t *label.Term, p string) bool {
+	found := false
+	paramOcc(t, false, func(name string, neg bool) {
+		if name == p && neg {
+			found = true
+		}
+	})
+	return found
+}
+
+// checkAutomaton runs the automaton-level checks: emptiness (RPQ001),
+// ε-vacuity (RPQ002), dead labels (RPQ003), and the parameter-binding
+// dataflow (RPQ004, RPQ005, RPQ006).
+func (l *linter) checkAutomaton(e pattern.Expr) {
+	n := buildNFA(e)
+	sat := func(tr atrans) bool { return !unsatLabel(tr.term) }
+	fwd := n.reach([]int{n.start}, sat)
+	bwd := n.coreach(sat)
+	trans := n.labeledTrans()
+
+	useful := func(lt labeled) bool {
+		return sat(lt.tr) && fwd[lt.from] && bwd[lt.tr.to]
+	}
+	anyUseful := false
+	for _, lt := range trans {
+		if useful(lt) {
+			anyUseful = true
+			break
+		}
+	}
+
+	if !fwd[n.final] {
+		hint := "every path through the pattern crosses an unmatchable label; restructure the pattern"
+		for _, lt := range trans {
+			if !sat(lt.tr) {
+				hint = fmt.Sprintf("the unsatisfiable label %s blocks every accepting path", lt.tr.term)
+				break
+			}
+		}
+		l.report(CodeEmpty, Error, span.Span{},
+			"pattern matches no path: the automaton has no accepting path", hint)
+		// Everything else would be noise: with an empty language every label
+		// is dead and no parameter can bind.
+		return
+	}
+
+	// Accepts only ε: the final state is reachable, but no satisfiable
+	// labeled transition lies on an accepting path.
+	if !anyUseful {
+		if _, isEps := e.(pattern.Epsilon); !isEps {
+			l.report(CodeOnlyEps, Warning, span.Span{},
+				"pattern matches only the empty path; every answer is the start vertex itself",
+				"if that is not intended, check for negations that exclude everything")
+		}
+		return
+	}
+
+	// Dead labels: satisfiable but on no accepting path. Deduplicate by
+	// span — one Lbl node yields one transition, but defensively.
+	deadSeen := map[span.Span]bool{}
+	for _, lt := range trans {
+		if sat(lt.tr) && !useful(lt) && !deadSeen[lt.tr.sp] {
+			deadSeen[lt.tr.sp] = true
+			l.report(CodeDeadLabel, Warning, lt.tr.sp,
+				fmt.Sprintf("label %s lies on no accepting path; it can never contribute to an answer", lt.tr.term),
+				"an adjacent unsatisfiable label or unreachable branch cuts this label off")
+		}
+	}
+
+	l.checkBindings(e, n, trans, useful)
+}
+
+// checkBindings runs the per-parameter binding dataflow over the useful
+// (satisfiable, on an accepting path) transitions.
+func (l *linter) checkBindings(e pattern.Expr, n *anfa, trans []labeled, useful func(labeled) bool) {
+	sevBind := Error
+	sevMay := Warning
+	if l.cfg.Universal {
+		// Universal queries can bind parameters by domain enumeration, so
+		// binding-dataflow findings are informational there.
+		sevBind = Info
+		sevMay = Info
+	}
+	for _, p := range pattern.Params(e) {
+		// First occurrence of p (by span), for positioning RPQ004.
+		var firstOcc span.Span
+		binds := false
+		for _, lt := range trans {
+			occurs := bindsPositively(lt.tr.term, p) || mentionsNegated(lt.tr.term, p)
+			if occurs && !firstOcc.Valid() {
+				firstOcc = lt.tr.sp
+			}
+			if useful(lt) && bindsPositively(lt.tr.term, p) {
+				binds = true
+			}
+		}
+		if !binds {
+			msg := fmt.Sprintf("parameter %s never binds: it has no positive occurrence on any accepting path", p)
+			if l.cfg.Universal {
+				msg = fmt.Sprintf("parameter %s has no positive occurrence on any accepting path; the universal query will enumerate its whole domain", p)
+			} else {
+				msg += "; the existential query is provably empty"
+			}
+			l.report(CodeNeverBinds, sevBind, firstOcc, msg,
+				fmt.Sprintf("add a label that matches %s positively (outside any negation)", p))
+			continue
+		}
+
+		// May-not-bind: an accepting path avoiding every binding of p.
+		avoidBind := func(tr atrans) bool {
+			return !unsatLabel(tr.term) && !bindsPositively(tr.term, p)
+		}
+		fwdAvoid := n.reach([]int{n.start}, avoidBind)
+		if fwdAvoid[n.final] {
+			var bindSp span.Span
+			for _, lt := range trans {
+				if useful(lt) && bindsPositively(lt.tr.term, p) {
+					bindSp = lt.tr.sp
+					break
+				}
+			}
+			l.report(CodeMayNotBind, sevMay, bindSp,
+				fmt.Sprintf("parameter %s binds on some but not all matching paths; answers may leave it unbound", p),
+				fmt.Sprintf("if %s must always bind, move its positive occurrence out of the alternation or repetition", p))
+		}
+
+		// Negation before binding: a state reachable without binding p that
+		// has a useful outgoing transition mentioning p under negation.
+		for _, lt := range trans {
+			if useful(lt) && mentionsNegated(lt.tr.term, p) && fwdAvoid[lt.from] {
+				l.report(CodeNegBeforeBind, Warning, lt.tr.sp,
+					fmt.Sprintf("negation over parameter %s is reachable before any positive binding of it; the solver enumerates the domain of %s there", p, p),
+					"bind the parameter positively first — often by the backward formulation of the query (paper Section 5.1)")
+				break
+			}
+		}
+	}
+}

@@ -330,7 +330,7 @@ type Query struct {
 // pattern is simplified first (language-preserving normalization), keeping
 // the automaton small.
 func Compile(e pattern.Expr, u *label.Universe) (*Query, error) {
-	t0 := time.Now()
+	t0 := time.Now() //rpqvet:allow timenow (one-shot compile wall clock, not per-pop)
 	e = pattern.Simplify(e)
 	ps := &label.ParamSpace{}
 	nfa, err := automata.FromPattern(e, u, ps)

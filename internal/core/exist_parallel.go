@@ -649,7 +649,7 @@ func (w *pworker) runPlain(wg *sync.WaitGroup) {
 		}
 		if ok {
 			if w.timing && !inBurst {
-				burst = time.Now()
+				burst = time.Now() //rpqvet:allow timenow (gated by w.timing, once per burst)
 				inBurst = true
 			}
 			w.process(t)
@@ -691,7 +691,7 @@ func (w *pworker) runSCC(wg *sync.WaitGroup, levelCh <-chan int, ack chan<- stru
 	for l := range levelCh {
 		var t0 time.Time
 		if w.timing {
-			t0 = time.Now()
+			t0 = time.Now() //rpqvet:allow timenow (gated by w.timing, once per level)
 		}
 		w.drainDeferred()
 		for _, m := range w.byLevel[l] {
@@ -801,7 +801,7 @@ func existEnumParallel(g *graph.Graph, v0 int32, q *Query, opts Options) (*Resul
 			for batch := range work {
 				var t0 time.Time
 				if exBase != nil {
-					t0 = time.Now()
+					t0 = time.Now() //rpqvet:allow timenow (gated by explain mode, once per batch)
 				}
 				for _, th := range batch {
 					// Draining the remaining batches without running them

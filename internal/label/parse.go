@@ -4,7 +4,31 @@ import (
 	"fmt"
 	"strings"
 	"unicode"
+
+	"rpq/internal/span"
 )
+
+// ParseError is a label syntax error with a byte offset into the source
+// being parsed. It renders as line:col with a trimmed caret snippet; callers
+// embedding a label inside a larger source (the pattern parser) rebase Off
+// before rendering against the full source.
+type ParseError struct {
+	// Src is the source string the parser was reading.
+	Src string
+	// Off is the byte offset of the error within Src.
+	Off int
+	// Msg describes the error.
+	Msg string
+}
+
+// Error renders "label: <msg> at <line:col>" with a caret snippet.
+func (e *ParseError) Error() string {
+	s := fmt.Sprintf("label: %s at %s", e.Msg, span.PosOf(e.Src, e.Off))
+	if snip := span.Caret(e.Src, span.Point(e.Off)); snip != "" {
+		s += "\n  " + strings.ReplaceAll(snip, "\n", "\n  ")
+	}
+	return s
+}
 
 // ParseMode controls how bare identifiers in argument position are read.
 type ParseMode int
@@ -39,7 +63,7 @@ func Parse(s string, mode ParseMode) (*Term, error) {
 	}
 	p.skipSpace()
 	if p.pos != len(p.src) {
-		return nil, fmt.Errorf("label: trailing input %q at offset %d", p.src[p.pos:], p.pos)
+		return nil, p.errf("trailing input %q", p.src[p.pos:])
 	}
 	if err := t.Validate(); err != nil {
 		return nil, err
@@ -104,7 +128,7 @@ func (p *termParser) peek() byte {
 }
 
 func (p *termParser) errf(format string, args ...any) error {
-	return fmt.Errorf("label: %s (at offset %d in %q)", fmt.Sprintf(format, args...), p.pos, p.src)
+	return &ParseError{Src: p.src, Off: p.pos, Msg: fmt.Sprintf(format, args...)}
 }
 
 // parseTerm parses a term. top distinguishes top-level position (where bare

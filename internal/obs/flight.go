@@ -61,6 +61,7 @@ func (w *Watchdog) Enabled() bool { return w != nil && w.Dir != "" }
 //	goroutines.txt  full goroutine stacks (pprof debug=2)
 //	heap.pprof      heap profile in pprof binary format
 //	explain.json    partial explain profile, when explain is non-nil
+//	lint.json       the query's static-analysis findings, when q.Lint is set
 //
 // reason names the trigger ("deadline", "canceled", "slow", "hung"). explain
 // is any JSON-marshalable value (typically *core.Explain); nil skips the
@@ -138,6 +139,12 @@ func (w *Watchdog) Dump(q *InflightQuery, reason string, explain any) (string, e
 		}
 	}
 
+	if q != nil && q.Lint != nil {
+		if err := writeJSONFile(filepath.Join(dir, "lint.json"), q.Lint); err != nil {
+			return dir, err
+		}
+	}
+
 	w.prune()
 	if w.OnBundle != nil {
 		w.OnBundle(dir)
@@ -197,6 +204,9 @@ type Bundle struct {
 	Goroutines string
 	// Explain holds explain.json when present, else nil.
 	Explain map[string]any
+	// Lint holds the raw lint.json when present, else nil; the rpq layer
+	// decodes it into []analyze.Diagnostic.
+	Lint json.RawMessage
 }
 
 // LoadBundle reads a bundle directory written by Dump. Missing optional
@@ -234,6 +244,9 @@ func LoadBundle(dir string) (*Bundle, error) {
 	}
 	if xb, err := os.ReadFile(filepath.Join(dir, "explain.json")); err == nil {
 		json.Unmarshal(xb, &b.Explain)
+	}
+	if lb, err := os.ReadFile(filepath.Join(dir, "lint.json")); err == nil {
+		b.Lint = json.RawMessage(lb)
 	}
 	return b, nil
 }

@@ -51,6 +51,11 @@ type InflightQuery struct {
 	// Ring, when non-nil, is the query's flight-recorder event ring; the
 	// watchdog drains it into a diagnostic bundle.
 	Ring *RingSink
+	// Lint, when non-nil, holds the static-analysis findings for the query
+	// (a JSON-marshalable value set by the public layer before the query
+	// starts); the watchdog writes it into bundles as lint.json. Like Ring
+	// it must be set before Watchdog.Arm and never mutated afterwards.
+	Lint any
 }
 
 // Begin registers a query and returns its live handle. kind is the query

@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	"rpq/internal/label"
+	"rpq/internal/span"
 )
 
 // Expr is a node of a pattern's abstract syntax tree.
@@ -20,37 +21,97 @@ type Expr interface {
 	write(b *strings.Builder, prec int)
 }
 
+// Each node carries the source Span the parser read it from; nodes built
+// programmatically (the constructors below, Simplify, Mirror) have the zero
+// span, which SpanOf callers treat as "no position". Spans are ignored by
+// Equal.
+
 // Epsilon matches the empty path. Written "eps".
-type Epsilon struct{}
+type Epsilon struct {
+	Span span.Span
+}
 
 // Lbl matches a single edge whose label matches the transition label Term.
 type Lbl struct {
 	Term *label.Term
+	Span span.Span
 }
 
 // Concat matches the concatenation of its items.
 type Concat struct {
 	Items []Expr
+	Span  span.Span
 }
 
 // Alt matches any one of its items.
 type Alt struct {
 	Items []Expr
+	Span  span.Span
 }
 
 // Star matches zero or more repetitions of Sub.
 type Star struct {
-	Sub Expr
+	Sub  Expr
+	Span span.Span
 }
 
 // Plus matches one or more repetitions of Sub.
 type Plus struct {
-	Sub Expr
+	Sub  Expr
+	Span span.Span
 }
 
 // Opt matches zero or one occurrence of Sub.
 type Opt struct {
-	Sub Expr
+	Sub  Expr
+	Span span.Span
+}
+
+// SpanOf returns the source span of a node (the zero span for nodes not
+// produced by the parser). For nodes whose own span is unset but whose
+// children were parsed, it falls back to the union of the children's spans,
+// so simplified or partially rebuilt trees keep approximate positions.
+func SpanOf(e Expr) span.Span {
+	switch n := e.(type) {
+	case Epsilon:
+		return n.Span
+	case *Lbl:
+		return n.Span
+	case *Concat:
+		if n.Span.Valid() {
+			return n.Span
+		}
+		var s span.Span
+		for _, it := range n.Items {
+			s = s.Join(SpanOf(it))
+		}
+		return s
+	case *Alt:
+		if n.Span.Valid() {
+			return n.Span
+		}
+		var s span.Span
+		for _, it := range n.Items {
+			s = s.Join(SpanOf(it))
+		}
+		return s
+	case *Star:
+		if n.Span.Valid() {
+			return n.Span
+		}
+		return SpanOf(n.Sub)
+	case *Plus:
+		if n.Span.Valid() {
+			return n.Span
+		}
+		return SpanOf(n.Sub)
+	case *Opt:
+		if n.Span.Valid() {
+			return n.Span
+		}
+		return SpanOf(n.Sub)
+	}
+	return span.Span{}
 }
 
 func (Epsilon) isExpr() {}

@@ -1,10 +1,34 @@
 package pattern
 
 import (
+	"errors"
 	"fmt"
+	"strings"
 
 	"rpq/internal/label"
+	"rpq/internal/span"
 )
+
+// ParseError is a pattern syntax error carrying the byte offset of the
+// failure; it renders as line:col with a trimmed caret snippet, so errors on
+// large generated patterns stay readable.
+type ParseError struct {
+	// Src is the full pattern source.
+	Src string
+	// Off is the byte offset of the error within Src.
+	Off int
+	// Msg describes the error.
+	Msg string
+}
+
+// Error renders "pattern: <msg> at <line:col>" with a caret snippet.
+func (e *ParseError) Error() string {
+	s := fmt.Sprintf("pattern: %s at %s", e.Msg, span.PosOf(e.Src, e.Off))
+	if snip := span.Caret(e.Src, span.Point(e.Off)); snip != "" {
+		s += "\n  " + strings.ReplaceAll(snip, "\n", "\n  ")
+	}
+	return s
+}
 
 // Parse reads a pattern from its textual syntax.
 //
@@ -26,6 +50,9 @@ import (
 //	(eps | _* close(f)) (!open(f))* access(f)
 //	_* state(s) act('i')+ state(s)
 //	((!access(x))* acq(l) (!rel(l))*)*
+//
+// Every node of the returned AST carries the source span it was read from
+// (see SpanOf); parse errors are *ParseError values positioned by line:col.
 func Parse(src string) (Expr, error) {
 	p := &parser{src: src}
 	e, err := p.parseAlt()
@@ -54,7 +81,11 @@ type parser struct {
 }
 
 func (p *parser) errf(format string, args ...any) error {
-	return fmt.Errorf("pattern: %s (at offset %d in %q)", fmt.Sprintf(format, args...), p.pos, p.src)
+	return p.errAt(p.pos, format, args...)
+}
+
+func (p *parser) errAt(off int, format string, args ...any) error {
+	return &ParseError{Src: p.src, Off: off, Msg: fmt.Sprintf(format, args...)}
 }
 
 func (p *parser) skipSpace() {
@@ -97,7 +128,11 @@ func (p *parser) parseAlt() (Expr, error) {
 	if len(items) == 1 {
 		return items[0], nil
 	}
-	return &Alt{Items: items}, nil
+	var sp span.Span
+	for _, it := range items {
+		sp = sp.Join(SpanOf(it))
+	}
+	return &Alt{Items: items, Span: sp}, nil
 }
 
 func (p *parser) parseConcat() (Expr, error) {
@@ -119,7 +154,11 @@ func (p *parser) parseConcat() (Expr, error) {
 	if len(items) == 1 {
 		return items[0], nil
 	}
-	return &Concat{Items: items}, nil
+	var sp span.Span
+	for _, it := range items {
+		sp = sp.Join(SpanOf(it))
+	}
+	return &Concat{Items: items, Span: sp}, nil
 }
 
 // atAtomStart reports whether the next character can begin an atom.
@@ -141,16 +180,17 @@ func (p *parser) parseRep() (Expr, error) {
 	}
 	for {
 		p.skipSpace()
+		op := p.pos
 		switch p.peek() {
 		case '*':
 			p.pos++
-			e = &Star{Sub: e}
+			e = &Star{Sub: e, Span: SpanOf(e).Join(span.Point(op))}
 		case '+':
 			p.pos++
-			e = &Plus{Sub: e}
+			e = &Plus{Sub: e, Span: SpanOf(e).Join(span.Point(op))}
 		case '?':
 			p.pos++
-			e = &Opt{Sub: e}
+			e = &Opt{Sub: e, Span: SpanOf(e).Join(span.Point(op))}
 		default:
 			return e, nil
 		}
@@ -177,15 +217,23 @@ func (p *parser) parseAtom() (Expr, error) {
 	default:
 		// The 'eps' keyword, unless it is a constructor application eps(...).
 		if hasKeyword(p.src[p.pos:], "eps") {
+			start := p.pos
 			p.pos += 3
-			return Epsilon{}, nil
+			return Epsilon{Span: span.New(start, p.pos)}, nil
 		}
+		start := p.pos
 		t, n, err := label.ParsePrefix(p.src[p.pos:], label.PatternMode)
 		if err != nil {
-			return nil, p.errf("bad label: %v", err)
+			// Rebase the sub-parser's offset into the pattern source so the
+			// caret points into the full pattern, not the label fragment.
+			var le *label.ParseError
+			if errors.As(err, &le) {
+				return nil, p.errAt(start+le.Off, "bad label: %s", le.Msg)
+			}
+			return nil, p.errAt(start, "bad label: %v", err)
 		}
 		p.pos += n
-		return &Lbl{Term: t}, nil
+		return &Lbl{Term: t, Span: span.New(start, p.pos)}, nil
 	}
 }
 

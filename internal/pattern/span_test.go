@@ -1,0 +1,129 @@
+package pattern
+
+import (
+	"strings"
+	"testing"
+
+	"rpq/internal/span"
+)
+
+// TestParseSpans pins the exact source spans the parser attaches to nodes.
+func TestParseSpans(t *testing.T) {
+	src := "(!def(x))* use(x)"
+	e, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, ok := e.(*Concat)
+	if !ok {
+		t.Fatalf("parsed %T, want *Concat", e)
+	}
+	if got := SpanOf(c); got != span.New(1, 17) {
+		t.Errorf("concat span = %v", got)
+	}
+	st, ok := c.Items[0].(*Star)
+	if !ok {
+		t.Fatalf("first item is %T, want *Star", c.Items[0])
+	}
+	if got := SpanOf(st); got != span.New(1, 10) {
+		t.Errorf("star span = %v, want {1 10}", got)
+	}
+	lbl := st.Sub.(*Lbl)
+	if got := lbl.Span; got != span.New(1, 8) {
+		t.Errorf("negated label span = %v, want {1 8}", got)
+	}
+	if got := src[lbl.Span.Start:lbl.Span.End]; got != "!def(x)" {
+		t.Errorf("label span text = %q", got)
+	}
+	use := c.Items[1].(*Lbl)
+	if got := src[use.Span.Start:use.Span.End]; got != "use(x)" {
+		t.Errorf("use span text = %q", got)
+	}
+}
+
+func TestParseSpanEps(t *testing.T) {
+	e, err := Parse("eps | use(x)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := e.(*Alt)
+	eps, ok := a.Items[0].(Epsilon)
+	if !ok {
+		t.Fatalf("first alt item is %T", a.Items[0])
+	}
+	if eps.Span != span.New(0, 3) {
+		t.Errorf("eps span = %v", eps.Span)
+	}
+	if got := SpanOf(a); got != span.New(0, 12) {
+		t.Errorf("alt span = %v", got)
+	}
+}
+
+// TestParseErrorLineCol pins the new line:col error rendering with the caret
+// snippet, replacing the old whole-source "at offset %d in %q" format.
+func TestParseErrorLineCol(t *testing.T) {
+	_, err := Parse("use(x")
+	if err == nil {
+		t.Fatal("want error")
+	}
+	pe, ok := err.(*ParseError)
+	if !ok {
+		t.Fatalf("error is %T, want *ParseError", err)
+	}
+	if pe.Off != 5 {
+		t.Errorf("offset = %d, want 5", pe.Off)
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "at 1:6") {
+		t.Errorf("error lacks line:col: %q", msg)
+	}
+	if !strings.Contains(msg, "^") {
+		t.Errorf("error lacks caret snippet: %q", msg)
+	}
+	if strings.Contains(msg, "offset") {
+		t.Errorf("error still mentions byte offsets: %q", msg)
+	}
+}
+
+// TestParseErrorMultiline checks line accounting across newlines and
+// comments.
+func TestParseErrorMultiline(t *testing.T) {
+	src := "# leading comment\n_* use(x)\n(!def(x* )"
+	_, err := Parse(src)
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if !strings.Contains(err.Error(), " 3:") {
+		t.Errorf("error not on line 3: %q", err.Error())
+	}
+}
+
+// TestParseErrorTrimsLargeSource ensures a syntax error inside a large
+// generated pattern renders a bounded snippet rather than echoing the whole
+// source.
+func TestParseErrorTrimsLargeSource(t *testing.T) {
+	var b strings.Builder
+	for i := 0; i < 400; i++ {
+		b.WriteString("use(x) ")
+	}
+	b.WriteString("def(") // unterminated
+	_, err := Parse(b.String())
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if len(err.Error()) > 300 {
+		t.Errorf("error message is %d bytes; snippet not trimmed", len(err.Error()))
+	}
+}
+
+// TestLabelParseErrorFormat pins that the label sub-parser's standalone
+// errors use the same line:col + caret format.
+func TestLabelParseErrorFormat(t *testing.T) {
+	_, err := Parse("use(x,)")
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if !strings.Contains(err.Error(), "at 1:7") {
+		t.Errorf("rebased label error position wrong: %q", err.Error())
+	}
+}

@@ -1,0 +1,184 @@
+// Package span provides byte-offset source spans over query sources (pattern
+// and label text), with 1-based line:column rendering and trimmed caret
+// snippets for diagnostics. The pattern parser attaches a Span to every AST
+// node, and the static analyzer (internal/analyze) and the parsers' own
+// errors report positions through it.
+package span
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Span is a half-open byte-offset range [Start, End) into a source string.
+// The zero value is "no span"; a point position at offset n is Span{n, n+1}
+// clamped to the source by the renderer.
+type Span struct {
+	Start int `json:"start"`
+	End   int `json:"end"`
+}
+
+// New returns the span [start, end); it normalizes end < start to a point
+// span at start.
+func New(start, end int) Span {
+	if end < start {
+		end = start + 1
+	}
+	return Span{Start: start, End: end}
+}
+
+// Point returns the one-byte span at offset off.
+func Point(off int) Span { return Span{Start: off, End: off + 1} }
+
+// Valid reports whether the span carries source information. The zero Span
+// is invalid, so nodes built programmatically (pattern.Seq, Simplify output)
+// report no position.
+func (s Span) Valid() bool { return s.End > s.Start && s.Start >= 0 }
+
+// Join returns the smallest span covering both s and o; an invalid operand
+// yields the other.
+func (s Span) Join(o Span) Span {
+	if !s.Valid() {
+		return o
+	}
+	if !o.Valid() {
+		return s
+	}
+	out := s
+	if o.Start < out.Start {
+		out.Start = o.Start
+	}
+	if o.End > out.End {
+		out.End = o.End
+	}
+	return out
+}
+
+// Pos is a 1-based line and column (both counted in bytes; the sources are
+// ASCII-oriented query strings).
+type Pos struct {
+	Line int `json:"line"`
+	Col  int `json:"col"`
+}
+
+// PosOf locates byte offset off within src. Offsets past the end report the
+// position just after the last byte.
+func PosOf(src string, off int) Pos {
+	if off < 0 {
+		off = 0
+	}
+	if off > len(src) {
+		off = len(src)
+	}
+	line, col := 1, 1
+	for i := 0; i < off; i++ {
+		if src[i] == '\n' {
+			line++
+			col = 1
+		} else {
+			col++
+		}
+	}
+	return Pos{Line: line, Col: col}
+}
+
+// String renders the position as "line:col".
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Format renders the span against its source as "1:5-1:9" ("1:5" for a
+// one-byte span, "?" for an invalid one).
+func Format(src string, s Span) string {
+	if !s.Valid() {
+		return "?"
+	}
+	start := PosOf(src, s.Start)
+	if s.End-s.Start <= 1 {
+		return start.String()
+	}
+	// End is exclusive; report the last covered byte.
+	end := PosOf(src, s.End-1)
+	if start == end {
+		return start.String()
+	}
+	return start.String() + "-" + end.String()
+}
+
+// snippetWidth bounds the source excerpt shown in caret snippets; long
+// generated patterns are trimmed around the span with "…" markers.
+const snippetWidth = 64
+
+// Caret renders a two-line snippet: the source line containing the span
+// (trimmed to snippetWidth around it) and a caret underline covering the
+// span's extent on that line. Multi-line spans underline to the end of the
+// first line. It returns "" for an invalid span.
+func Caret(src string, s Span) string {
+	if !s.Valid() {
+		return ""
+	}
+	start := s.Start
+	if start > len(src) {
+		start = len(src)
+	}
+	// Find the line containing start.
+	lineStart := strings.LastIndexByte(src[:start], '\n') + 1
+	lineEnd := len(src)
+	if i := strings.IndexByte(src[lineStart:], '\n'); i >= 0 {
+		lineEnd = lineStart + i
+	}
+	end := s.End
+	if end > lineEnd {
+		end = lineEnd
+	}
+	if end <= start {
+		end = start + 1
+	}
+
+	// Trim the line to a window around the span.
+	winStart, winEnd := lineStart, lineEnd
+	prefix, suffix := "", ""
+	if winEnd-winStart > snippetWidth {
+		mid := (start + end) / 2
+		winStart = mid - snippetWidth/2
+		if winStart < lineStart {
+			winStart = lineStart
+		}
+		winEnd = winStart + snippetWidth
+		if winEnd > lineEnd {
+			winEnd = lineEnd
+			winStart = winEnd - snippetWidth
+		}
+		// ASCII ellipses keep the caret underline byte-aligned with the
+		// rendered snippet.
+		if winStart > lineStart {
+			prefix = "..."
+		}
+		if winEnd < lineEnd {
+			suffix = "..."
+		}
+	}
+	line := prefix + src[winStart:winEnd] + suffix
+
+	caretStart := len(prefix) + start - winStart
+	caretLen := end - start
+	if caretStart < 0 {
+		caretStart = 0
+	}
+	if caretLen < 1 {
+		caretLen = 1
+	}
+	if caretStart+caretLen > len(line) {
+		caretLen = len(line) - caretStart
+		if caretLen < 1 {
+			caretLen = 1
+		}
+	}
+	var b strings.Builder
+	b.WriteString(line)
+	b.WriteByte('\n')
+	b.WriteString(strings.Repeat(" ", caretStart))
+	b.WriteByte('^')
+	if caretLen > 1 {
+		b.WriteString(strings.Repeat("~", caretLen-1))
+	}
+	return b.String()
+}

@@ -1,0 +1,95 @@
+package span
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPosOf(t *testing.T) {
+	src := "abc\ndef\nghi"
+	cases := []struct {
+		off  int
+		want Pos
+	}{
+		{0, Pos{1, 1}},
+		{2, Pos{1, 3}},
+		{3, Pos{1, 4}}, // the newline itself
+		{4, Pos{2, 1}},
+		{8, Pos{3, 1}},
+		{10, Pos{3, 3}},
+		{99, Pos{3, 4}}, // clamped past end
+		{-5, Pos{1, 1}}, // clamped before start
+	}
+	for _, c := range cases {
+		if got := PosOf(src, c.off); got != c.want {
+			t.Errorf("PosOf(%d) = %v, want %v", c.off, got, c.want)
+		}
+	}
+}
+
+func TestFormat(t *testing.T) {
+	src := "ab cd ef"
+	if got := Format(src, New(3, 5)); got != "1:4-1:5" {
+		t.Errorf("Format = %q, want 1:4-1:5", got)
+	}
+	if got := Format(src, Point(3)); got != "1:4" {
+		t.Errorf("Format point = %q, want 1:4", got)
+	}
+	if got := Format(src, Span{}); got != "?" {
+		t.Errorf("Format zero = %q, want ?", got)
+	}
+}
+
+func TestJoin(t *testing.T) {
+	a, b := New(2, 5), New(7, 9)
+	if got := a.Join(b); got != (Span{2, 9}) {
+		t.Errorf("Join = %v", got)
+	}
+	if got := (Span{}).Join(b); got != b {
+		t.Errorf("Join with zero = %v", got)
+	}
+	if got := a.Join(Span{}); got != a {
+		t.Errorf("Join zero arg = %v", got)
+	}
+}
+
+func TestCaret(t *testing.T) {
+	src := "(!def(x))* use(x)"
+	got := Caret(src, New(11, 17))
+	want := "(!def(x))* use(x)\n           ^~~~~~"
+	if got != want {
+		t.Errorf("Caret:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestCaretTrimsLongLines(t *testing.T) {
+	long := strings.Repeat("a", 200) + " use(x) " + strings.Repeat("b", 200)
+	s := New(201, 207) // "use(x)"
+	got := Caret(long, s)
+	lines := strings.SplitN(got, "\n", 2)
+	if len(lines) != 2 {
+		t.Fatalf("Caret produced %d lines", len(lines))
+	}
+	if len(lines[0]) > snippetWidth+8 {
+		t.Errorf("snippet line too long: %d bytes", len(lines[0]))
+	}
+	if !strings.Contains(lines[0], "use(x)") {
+		t.Errorf("snippet lost the span text: %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[0], "...") || !strings.HasSuffix(lines[0], "...") {
+		t.Errorf("snippet not trimmed on both sides: %q", lines[0])
+	}
+	caretCol := strings.IndexByte(lines[1], '^')
+	if caretCol < 0 || lines[0][caretCol:caretCol+1] != "u" {
+		t.Errorf("caret misaligned: %q / %q", lines[0], lines[1])
+	}
+}
+
+func TestCaretMultiline(t *testing.T) {
+	src := "abc def\nghi"
+	got := Caret(src, New(4, 11)) // spans across the newline
+	want := "abc def\n    ^~~"
+	if got != want {
+		t.Errorf("Caret:\n%q\nwant:\n%q", got, want)
+	}
+}

@@ -353,6 +353,14 @@ type Options struct {
 	// query, arms a hung-query timer (Watchdog.Hung), and dumps a bundle on
 	// deadline breach, cancellation, or a slow run (Watchdog.Slow).
 	Watchdog *Watchdog
+	// Lint runs the static query analyzer before solving and rejects the
+	// query with a *LintError if it has error-severity findings (a provably
+	// empty pattern, a never-binding parameter, an unsatisfiable label) —
+	// the query fails fast with zero solver work. Warnings and advice do
+	// not reject; retrieve them with Lint / LintForGraph. Independent of
+	// this gate, any query run under a Watchdog has its lint report
+	// attached to diagnostic bundles as lint.json.
+	Lint bool
 }
 
 // Stats reports the instrumentation of a run; see core.Stats for the
@@ -508,10 +516,14 @@ type runState struct {
 // beginRun registers the query as in-flight, splices the flight-recorder
 // ring into the core tracer when a watchdog is configured, arms the
 // hung-query timer, and chains the progress callback so every run keeps its
-// live snapshot current. It mutates co (Tracer, Progress) in place.
-func beginRun(opts *Options, kind, query string, co *core.Options) *runState {
+// live snapshot current. It mutates co (Tracer, Progress) in place. lint is
+// the query's lint report (or nil) for watchdog bundles; it must be attached
+// here, before the hung timer arms, because the timer reads the handle
+// asynchronously.
+func beginRun(opts *Options, kind, query string, lint any, co *core.Options) *runState {
 	rs := &runState{opts: opts, kind: kind, query: query, t0: time.Now(), stopHung: func() {}}
 	rs.iq = obs.DefaultInflight().Begin(kind, query, co.Algo.String())
+	rs.iq.Lint = lint
 	var wd *Watchdog
 	if opts != nil {
 		wd = opts.Watchdog
@@ -800,7 +812,11 @@ func (g *Graph) ExistContext(ctx context.Context, p *Pattern, opts *Options) (*R
 	if err != nil {
 		return nil, err
 	}
-	rs := beginRun(opts, "exist", p.src, &co)
+	diags := lintForRun(opts, p.expr, p.src, false)
+	if err := gateLint(opts, diags); err != nil {
+		return nil, err
+	}
+	rs := beginRun(opts, "exist", p.src, lintPayload(diags), &co)
 	res, err := core.ExistContext(ctx, ig, start, q, co)
 	if err != nil {
 		rs.finish(nil, err)
@@ -831,7 +847,11 @@ func (g *Graph) UniversalContext(ctx context.Context, p *Pattern, opts *Options)
 	if err != nil {
 		return nil, err
 	}
-	rs := beginRun(opts, "universal", p.src, &co)
+	diags := lintForRun(opts, p.expr, p.src, true)
+	if err := gateLint(opts, diags); err != nil {
+		return nil, err
+	}
+	rs := beginRun(opts, "universal", p.src, lintPayload(diags), &co)
 	res, err := core.UnivContext(ctx, ig, start, q, co)
 	if err == core.ErrNondeterministic && (opts == nil || opts.Algorithm == Auto) {
 		co.Algo = core.AlgoHybrid
@@ -1025,11 +1045,19 @@ func (g *Graph) ViolationsContext(ctx context.Context, discipline string, withEx
 	if err != nil {
 		return nil, err
 	}
+	// The discipline pattern has universal per-resource semantics (the
+	// violation transform supplies the bindings), so lint it as universal;
+	// the gate runs before the transform so a rejected discipline gets its
+	// full lint report rather than the transform's first complaint.
+	diags := lintForRun(opts, e, discipline, true)
+	if err := gateLint(opts, diags); err != nil {
+		return nil, err
+	}
 	q, err := queries.ViolationQuery(e, ig.U, withExit)
 	if err != nil {
 		return nil, err
 	}
-	rs := beginRun(opts, "violations", discipline, &co)
+	rs := beginRun(opts, "violations", discipline, lintPayload(diags), &co)
 	res, err := core.ExistContext(ctx, ig, start, q, co)
 	if err != nil {
 		rs.finish(nil, err)

@@ -33,6 +33,7 @@ import (
 	"rpq/internal/core"
 	"rpq/internal/gen"
 	"rpq/internal/graph"
+	"rpq/internal/obs"
 	"rpq/internal/pattern"
 	"rpq/internal/queries"
 	"rpq/internal/subst"
@@ -75,8 +76,14 @@ type scenarioResult struct {
 	// (internal/analyze, graph-dependent checks included) for this
 	// scenario's pattern — the lint phase must stay far below solve time.
 	// omitempty keeps reports from before the field schema-compatible.
-	LintNS   int64            `json:"lint_ns,omitempty"`
-	Counters map[string]int64 `json:"counters"`
+	LintNS int64 `json:"lint_ns,omitempty"`
+	// CPUNS and AllocBytes are the median process CPU time and heap
+	// allocation per rep — machine-dependent context like the timings, so
+	// deliberately absent from Counters and from -compare. omitempty keeps
+	// reports from before these fields schema-compatible.
+	CPUNS      int64            `json:"cpu_ns,omitempty"`
+	AllocBytes int64            `json:"alloc_bytes,omitempty"`
+	Counters   map[string]int64 `json:"counters"`
 	// HotState names the automaton state with the most worklist visits, from
 	// the explain profile collected alongside each run.
 	HotState       string `json:"hot_state,omitempty"`
@@ -321,10 +328,13 @@ func runScenario(sc scenario, wl workloadGraph, n int) scenarioResult {
 	var (
 		ns      = make([]int64, 0, n)
 		solve   = make([]int64, 0, n)
+		cpu     = make([]int64, 0, n)
+		allocs  = make([]int64, 0, n)
 		last    *core.Result
 		prevCtr map[string]int64
 	)
 	for i := 0; i < n; i++ {
+		cpu0, alloc0 := obs.ProcessCPUTime(), obs.HeapAllocBytes()
 		t0 := time.Now()
 		var (
 			res *core.Result
@@ -339,6 +349,8 @@ func runScenario(sc scenario, wl workloadGraph, n int) scenarioResult {
 			fail("scenario %s: %v", sc.name, err)
 		}
 		ns = append(ns, time.Since(t0).Nanoseconds())
+		cpu = append(cpu, max64(0, (obs.ProcessCPUTime()-cpu0).Nanoseconds()))
+		allocs = append(allocs, max64(0, obs.HeapAllocBytes()-alloc0))
 		solve = append(solve, res.Stats.Phases.Solve.Wall.Nanoseconds())
 		ctr := counters(res)
 		if prevCtr != nil && !equalCounters(prevCtr, ctr) {
@@ -348,17 +360,19 @@ func runScenario(sc scenario, wl workloadGraph, n int) scenarioResult {
 		last = res
 	}
 	out := scenarioResult{
-		Name:     sc.name,
-		Workload: sc.workload,
-		Kind:     sc.kind,
-		Algo:     sc.algo.String(),
-		Table:    tableName(sc.table),
-		Workers:  sc.workers,
-		Reps:     n,
-		NsPerOp:  median(ns),
-		SolveNS:  median(solve),
-		LintNS:   median(lint),
-		Counters: prevCtr,
+		Name:       sc.name,
+		Workload:   sc.workload,
+		Kind:       sc.kind,
+		Algo:       sc.algo.String(),
+		Table:      tableName(sc.table),
+		Workers:    sc.workers,
+		Reps:       n,
+		NsPerOp:    median(ns),
+		SolveNS:    median(solve),
+		LintNS:     median(lint),
+		CPUNS:      median(cpu),
+		AllocBytes: median(allocs),
+		Counters:   prevCtr,
 	}
 	if ex := last.Explain; ex != nil {
 		if top := ex.TopStates(1); len(top) > 0 {
@@ -410,6 +424,13 @@ func tableName(k subst.TableKind) string {
 		return "nested"
 	}
 	return "hash"
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 func median(v []int64) int64 {

@@ -1,0 +1,215 @@
+// Command obssmoke is the observability endpoint smoke test used by CI: it
+// starts the full observability plane (ServeObservabilityWith), runs a
+// concurrent query workload against it, then scrapes and validates every
+// endpoint — /metrics (must expose the query counters, the _hist bucket
+// families, and rpq_build_info), /debug/rpq/queries, /debug/rpq/ts (the
+// rpq-tsdb/1 document must be internally consistent), and /debug/rpq/dash.
+// The scraped time-series document is written to -out so CI can archive it
+// next to the benchmark baseline. Any failed check exits nonzero.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"rpq"
+)
+
+func main() {
+	var (
+		addr   = flag.String("addr", "127.0.0.1:0", "address to bind the observability server on")
+		out    = flag.String("out", "", "write the scraped rpq-tsdb/1 document to this file")
+		dur    = flag.Duration("dur", 2*time.Second, "how long to run the query workload")
+		sample = flag.Duration("sample", 50*time.Millisecond, "sampler and time-series cadence")
+	)
+	flag.Parse()
+
+	srv, err := rpq.ServeObservabilityWith(*addr, rpq.ObservabilityConfig{
+		SampleInterval: *sample,
+		TSInterval:     *sample,
+		Retention:      time.Minute,
+	})
+	if err != nil {
+		fail("start: %v", err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Server.Addr
+
+	runWorkload(*dur)
+
+	// One synchronous snapshot after the workload so the final counter
+	// values are in the window regardless of ticker phase.
+	srv.Sampler.SampleOnce()
+	srv.TS.Record()
+
+	metrics := get(base + "/metrics")
+	for _, want := range []string{
+		"rpq_queries_total",
+		"rpq_query_seconds_hist_bucket{le=",
+		"rpq_cpu_us_total",
+		"rpq_alloc_bytes_total",
+		"rpq_build_info{",
+		"go_goroutines",
+		"go_heap_live_bytes",
+	} {
+		if !strings.Contains(metrics, want) {
+			fail("/metrics: missing %q", want)
+		}
+	}
+	fmt.Println("ok /metrics")
+
+	var queries struct {
+		Queries []json.RawMessage `json:"queries"`
+	}
+	if err := json.Unmarshal([]byte(get(base+"/debug/rpq/queries")), &queries); err != nil {
+		fail("/debug/rpq/queries: bad JSON: %v", err)
+	}
+	fmt.Println("ok /debug/rpq/queries")
+
+	tsBody := get(base + "/debug/rpq/ts")
+	validateTSDB(tsBody)
+	fmt.Println("ok /debug/rpq/ts")
+
+	dash := get(base + "/debug/rpq/dash")
+	if !strings.Contains(dash, "rpq live dashboard") || !strings.Contains(dash, "/debug/rpq/ts") {
+		fail("/debug/rpq/dash: not the dashboard page")
+	}
+	fmt.Println("ok /debug/rpq/dash")
+
+	if *out != "" {
+		if err := os.WriteFile(*out, []byte(tsBody), 0o644); err != nil {
+			fail("write %s: %v", *out, err)
+		}
+		fmt.Printf("wrote %s (%d bytes)\n", *out, len(tsBody))
+	}
+}
+
+// runWorkload executes existential and universal queries concurrently
+// against a synthetic chain-with-branches graph until the deadline, feeding
+// the process-wide gauges the server exposes.
+func runWorkload(d time.Duration) {
+	g := rpq.NewGraph()
+	const n = 400
+	for i := 0; i < n; i++ {
+		g.MustAddEdge(v(i), fmt.Sprintf("def(x%d)", i%7), v(i+1))
+		if i%3 == 0 {
+			g.MustAddEdge(v(i), fmt.Sprintf("use(x%d)", i%7), v((i+13)%n))
+		}
+	}
+	g.MustAddEdge(v(n), "use(x0)", v(0))
+	g.SetStart(v(0))
+
+	exist := rpq.MustParsePattern("(!def(x))* use(x)")
+	univ := rpq.MustParsePattern("_* def(x) (!def(x))*")
+
+	deadline := time.Now().Add(d)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			opts := &rpq.Options{Gauges: rpq.LiveGauges()}
+			for time.Now().Before(deadline) {
+				if w%2 == 0 {
+					if _, err := g.Exist(exist, opts); err != nil {
+						fail("workload exist: %v", err)
+					}
+				} else {
+					if _, err := g.Universal(univ, opts); err != nil {
+						fail("workload universal: %v", err)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func v(i int) string { return fmt.Sprintf("v%d", i) }
+
+// validateTSDB checks the structural invariants of an rpq-tsdb/1 document:
+// schema tag, points == len(timestamps), every series column the same
+// length, timestamps nondecreasing, and at least one rpq_ series present.
+func validateTSDB(body string) {
+	var doc struct {
+		Schema          string              `json:"schema"`
+		IntervalMS      int64               `json:"interval_ms"`
+		RetentionPoints int                 `json:"retention_points"`
+		Points          int                 `json:"points"`
+		TimestampsMS    []int64             `json:"timestamps_ms"`
+		Series          map[string][]*int64 `json:"series"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		fail("tsdb: bad JSON: %v", err)
+	}
+	if doc.Schema != "rpq-tsdb/1" {
+		fail("tsdb: schema %q, want rpq-tsdb/1", doc.Schema)
+	}
+	if doc.Points != len(doc.TimestampsMS) {
+		fail("tsdb: points=%d but %d timestamps", doc.Points, len(doc.TimestampsMS))
+	}
+	if doc.Points == 0 {
+		fail("tsdb: no points retained")
+	}
+	if doc.Points > doc.RetentionPoints {
+		fail("tsdb: points=%d exceeds retention_points=%d", doc.Points, doc.RetentionPoints)
+	}
+	for i := 1; i < len(doc.TimestampsMS); i++ {
+		if doc.TimestampsMS[i] < doc.TimestampsMS[i-1] {
+			fail("tsdb: timestamps not nondecreasing at %d", i)
+		}
+	}
+	sawRPQ := false
+	for name, col := range doc.Series {
+		if len(col) != doc.Points {
+			fail("tsdb: series %s has %d points, want %d", name, len(col), doc.Points)
+		}
+		if strings.HasPrefix(name, "rpq_") {
+			sawRPQ = true
+		}
+	}
+	if !sawRPQ {
+		fail("tsdb: no rpq_ series present")
+	}
+	var qt []*int64
+	for name, col := range doc.Series {
+		if name == "rpq_queries_total" {
+			qt = col
+		}
+	}
+	if qt == nil {
+		fail("tsdb: rpq_queries_total series missing")
+	}
+	last := qt[len(qt)-1]
+	if last == nil || *last == 0 {
+		fail("tsdb: rpq_queries_total never advanced")
+	}
+}
+
+func get(url string) string {
+	resp, err := http.Get(url)
+	if err != nil {
+		fail("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fail("GET %s: read: %v", url, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		fail("GET %s: HTTP %d", url, resp.StatusCode)
+	}
+	return string(b)
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "obssmoke: "+format+"\n", args...)
+	os.Exit(1)
+}

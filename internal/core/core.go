@@ -233,6 +233,16 @@ type Stats struct {
 	// PeakTriples is the maximum number of live reach-set triples; with
 	// SCCOrder it can be far below ReachSize.
 	PeakTriples int `json:"peak_triples"`
+	// CPUTime is the process CPU time (user + system) attributed to the
+	// query by the public layer: the getrusage delta across the run.
+	// Under concurrent queries the delta includes other queries' work, so
+	// it is an upper bound; exact attribution comes from the pprof labels
+	// applied around every run. Zero when the run bypassed the public
+	// layer (direct core calls) or on platforms without getrusage(2).
+	CPUTime time.Duration `json:"cpu_ns,omitempty"`
+	// AllocBytes is the heap allocation attributed to the query by the
+	// public layer, with the same process-delta caveat as CPUTime.
+	AllocBytes int64 `json:"alloc_bytes,omitempty"`
 	// Phases is the phase-level timing breakdown of the run.
 	Phases PhaseTimings `json:"phases"`
 }
@@ -256,9 +266,9 @@ type PhaseTimings struct {
 }
 
 // PhaseStat is the cost of one phase. AllocBytes is the heap allocation
-// delta across the phase; it is sampled (via runtime.ReadMemStats) only
-// when a Tracer is installed, and only for the Solve phase, since the
-// read is too expensive for the always-on path.
+// delta across the phase; it is sampled (via runtime/metrics, which does
+// not stop the world) only when a Tracer is installed, and only for the
+// Solve phase, preserving the zero-cost always-on path.
 type PhaseStat struct {
 	Wall       time.Duration `json:"wall_ns"`
 	AllocBytes int64         `json:"alloc_bytes,omitempty"`

@@ -46,6 +46,12 @@ type Explain struct {
 	// GroundRuns counts the per-substitution ground automaton passes of the
 	// enumeration/hybrid algorithms.
 	GroundRuns int `json:"ground_runs,omitempty"`
+	// CPUTime and AllocBytes are the run's attributed process CPU time and
+	// heap allocation, stamped by the public layer with the same
+	// process-delta caveat as Stats.CPUTime; zero for direct core calls.
+	CPUTime time.Duration `json:"cpu_ns,omitempty"`
+	// AllocBytes is the heap allocation attributed to the run.
+	AllocBytes int64 `json:"alloc_bytes,omitempty"`
 }
 
 // StateProfile is one automaton state's profile.

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"runtime"
 	"time"
 
 	"rpq/internal/obs"
@@ -103,15 +102,16 @@ func (in instr) counter(name string, v int64) {
 	}
 }
 
-// allocSnapshot reads total heap allocation when tracing is on (the read
-// is too expensive for the always-on path); otherwise reports 0.
+// allocSnapshot reads cumulative heap allocation when tracing is on;
+// otherwise reports 0, keeping the always-on path free of any sampling
+// cost. The read goes through runtime/metrics (/gc/heap/allocs:bytes),
+// which does not stop the world — unlike the runtime.ReadMemStats call it
+// replaces — so tracing no longer perturbs the run it measures.
 func (in instr) allocSnapshot() uint64 {
 	if !in.on {
 		return 0
 	}
-	var ms runtime.MemStats
-	runtime.ReadMemStats(&ms)
-	return ms.TotalAlloc
+	return uint64(obs.HeapAllocBytes())
 }
 
 // finish stamps the end-of-run counters as events, in one place so every

@@ -1,0 +1,9 @@
+//go:build !unix
+
+package obs
+
+import "time"
+
+// ProcessCPUTime reports 0 on platforms without getrusage(2); CPU
+// attribution fields stay zero there while everything else keeps working.
+func ProcessCPUTime() time.Duration { return 0 }

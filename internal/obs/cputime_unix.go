@@ -1,0 +1,21 @@
+//go:build unix
+
+package obs
+
+import (
+	"syscall"
+	"time"
+)
+
+// ProcessCPUTime returns the process's cumulative CPU time (user + system,
+// all threads) via getrusage(2). Deltas of this figure attribute CPU to a
+// span of wall time; under concurrent queries the delta covers the whole
+// process, so per-query attribution is an upper bound — use the pprof
+// labels attached to each run for exact per-query CPU profiles.
+func ProcessCPUTime() time.Duration {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return time.Duration(ru.Utime.Nano()+ru.Stime.Nano()) * time.Nanosecond
+}

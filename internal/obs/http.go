@@ -14,12 +14,34 @@ import (
 // duplicate names, and tests may start several servers in one process.
 var publishOnce sync.Once
 
-// Serve starts the observability HTTP server on addr (e.g. "localhost:6060")
-// serving, from the given registry (Default() when nil):
+// ServeOptions configures the observability HTTP server.
+type ServeOptions struct {
+	// Registry is the metric registry served on /metrics and /debug/vars;
+	// nil means Default().
+	Registry *Registry
+	// Inflight is the in-flight query registry served on /debug/rpq/queries;
+	// nil means DefaultInflight().
+	Inflight *Inflight
+	// TimeSeries, when non-nil, is exported on /debug/rpq/ts and feeds the
+	// dashboard's sparklines. The server does not start or stop it.
+	TimeSeries *TimeSeries
+}
+
+// Serve starts the observability HTTP server on addr with default options;
+// see ServeWith.
+func Serve(addr string, reg *Registry) (*http.Server, error) {
+	return ServeWith(addr, ServeOptions{Registry: reg})
+}
+
+// ServeWith starts the observability HTTP server on addr (e.g.
+// "localhost:6060") serving:
 //
 //	/metrics            Prometheus text exposition of the live gauges and
-//	                    latency histograms
+//	                    latency histograms (summary + _hist families), plus
+//	                    rpq_build_info
 //	/debug/rpq/queries  JSON snapshots of the queries executing right now
+//	/debug/rpq/ts       the retained telemetry window as rpq-tsdb/1 JSON
+//	/debug/rpq/dash     the live HTML dashboard
 //	/debug/vars         expvar JSON (includes the registry under "rpq_metrics")
 //	/debug/pprof/       the standard pprof profile index
 //
@@ -29,9 +51,14 @@ var publishOnce sync.Once
 //
 // The expvar "rpq_metrics" variable is process-global (expvar.Publish panics
 // on duplicates) and is bound to the registry of the first Serve call.
-func Serve(addr string, reg *Registry) (*http.Server, error) {
+func ServeWith(addr string, o ServeOptions) (*http.Server, error) {
+	reg := o.Registry
 	if reg == nil {
 		reg = Default()
+	}
+	inflight := o.Inflight
+	if inflight == nil {
+		inflight = DefaultInflight()
 	}
 	publishOnce.Do(func() {
 		expvar.Publish("rpq_metrics", expvar.Func(func() any { return reg.Snapshot() }))
@@ -44,10 +71,11 @@ func Serve(addr string, reg *Registry) (*http.Server, error) {
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		reg.WritePrometheus(w)
+		WriteBuildInfo(w)
 	})
 	mux.HandleFunc("/debug/rpq/queries", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
-		snaps := DefaultInflight().Snapshots()
+		snaps := inflight.Snapshots()
 		if snaps == nil {
 			snaps = []QuerySnapshot{}
 		}
@@ -55,6 +83,15 @@ func Serve(addr string, reg *Registry) (*http.Server, error) {
 		enc.SetIndent("", "  ")
 		enc.Encode(map[string]any{"queries": snaps})
 	})
+	mux.HandleFunc("/debug/rpq/ts", func(w http.ResponseWriter, r *http.Request) {
+		if o.TimeSeries == nil {
+			http.Error(w, "time-series store not enabled on this server", http.StatusNotImplemented)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		o.TimeSeries.WriteJSON(w)
+	})
+	mux.Handle("/debug/rpq/dash", DashHandler())
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -66,7 +103,7 @@ func Serve(addr string, reg *Registry) (*http.Server, error) {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprint(w, "rpq observability\n\n/metrics\n/debug/rpq/queries\n/debug/vars\n/debug/pprof/\n")
+		fmt.Fprint(w, "rpq observability\n\n/metrics\n/debug/rpq/queries\n/debug/rpq/ts\n/debug/rpq/dash\n/debug/vars\n/debug/pprof/\n")
 	})
 	srv := &http.Server{Addr: ln.Addr().String(), Handler: mux}
 	go srv.Serve(ln)

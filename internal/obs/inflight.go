@@ -40,6 +40,14 @@ type InflightQuery struct {
 	start time.Time
 	reg   *Inflight
 
+	// cpu0/alloc0 are the process CPU time and cumulative heap allocation at
+	// Begin; Snapshot reports the deltas since then. Both are process-wide
+	// counters, so under concurrent queries the deltas over-attribute shared
+	// work — they bound the query's cost. Exact attribution comes from the
+	// pprof labels the rpq layer applies around every run.
+	cpu0   time.Duration
+	alloc0 int64
+
 	phase      atomic.Value // string
 	pops       atomic.Int64
 	depth      atomic.Int64
@@ -62,7 +70,10 @@ type InflightQuery struct {
 // form ("exist", "universal", "violations"), query a printable rendering of
 // the pattern, algo the selected algorithm.
 func (i *Inflight) Begin(kind, query, algo string) *InflightQuery {
-	q := &InflightQuery{kind: kind, query: query, algo: algo, start: time.Now(), reg: i}
+	q := &InflightQuery{
+		kind: kind, query: query, algo: algo, start: time.Now(), reg: i,
+		cpu0: ProcessCPUTime(), alloc0: HeapAllocBytes(),
+	}
 	q.phase.Store("start")
 	i.mu.Lock()
 	i.next++
@@ -134,11 +145,26 @@ type QuerySnapshot struct {
 	Substs     int64   `json:"substs"`
 	EnumSubsts int64   `json:"enum_substs"`
 	Workers    int64   `json:"workers"`
+	// CPUMS and AllocBytes are the process CPU time and heap allocation
+	// since the query began — upper bounds under concurrent load (see the
+	// handle's cpu0 field).
+	CPUMS      float64 `json:"cpu_ms"`
+	AllocBytes int64   `json:"alloc_bytes"`
 }
 
 // Snapshot reads the handle's current state.
 func (q *InflightQuery) Snapshot() QuerySnapshot {
 	phase, _ := q.phase.Load().(string)
+	var cpuMS float64
+	if q.cpu0 > 0 {
+		if d := ProcessCPUTime() - q.cpu0; d > 0 {
+			cpuMS = float64(d.Microseconds()) / 1e3
+		}
+	}
+	var allocBytes int64
+	if d := HeapAllocBytes() - q.alloc0; d > 0 {
+		allocBytes = d
+	}
 	return QuerySnapshot{
 		ID:         q.id,
 		Kind:       q.kind,
@@ -153,6 +179,8 @@ func (q *InflightQuery) Snapshot() QuerySnapshot {
 		Substs:     q.substs.Load(),
 		EnumSubsts: q.enumSubsts.Load(),
 		Workers:    q.workers.Load(),
+		CPUMS:      cpuMS,
+		AllocBytes: allocBytes,
 	}
 }
 

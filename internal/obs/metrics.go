@@ -3,6 +3,8 @@ package obs
 import (
 	"fmt"
 	"io"
+	"runtime"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -151,14 +153,17 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 		p50, p95, p99 float64
 		sum           float64
 		count         int64
+		buckets       [histBuckets]int64
 	}
 	hrows := make([]hrow, 0, len(hnames))
 	for _, name := range hnames {
 		h := r.hists[name]
+		counts, count, sumUS := h.snapshot()
 		hrows = append(hrows, hrow{
 			name: name, help: r.help[name],
 			p50: h.Quantile(0.50).Seconds(), p95: h.Quantile(0.95).Seconds(),
-			p99: h.Quantile(0.99).Seconds(), sum: h.Sum().Seconds(), count: h.Count(),
+			p99: h.Quantile(0.99).Seconds(),
+			sum: float64(sumUS) / 1e6, count: count, buckets: counts,
 		})
 	}
 	r.mu.Unlock()
@@ -180,6 +185,57 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 		fmt.Fprintf(w, "%s_sum %g\n", hw.name, hw.sum)
 		fmt.Fprintf(w, "%s_count %d\n", hw.name, hw.count)
 	}
+	// The same data again as native Prometheus histograms with cumulative le
+	// buckets, under a distinct <name>_hist family: the summary above already
+	// claims <name>_sum/<name>_count, and a metric cannot be both types. The
+	// bucket edges are the histogram's own log2 bucket upper bounds, 2^(i+1)
+	// microseconds expressed in seconds; empty tail buckets are elided.
+	for _, hw := range hrows {
+		fam := hw.name + "_hist"
+		if hw.help != "" {
+			fmt.Fprintf(w, "# HELP %s %s (cumulative le buckets)\n", fam, hw.help)
+		}
+		fmt.Fprintf(w, "# TYPE %s histogram\n", fam)
+		top := 0
+		for i, c := range hw.buckets {
+			if c > 0 {
+				top = i
+			}
+		}
+		var cum int64
+		for i := 0; i <= top; i++ {
+			cum += hw.buckets[i]
+			le := float64(int64(1)<<uint(i+1)) / 1e6
+			fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", fam, le, cum)
+		}
+		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", fam, hw.count)
+		fmt.Fprintf(w, "%s_sum %g\n", fam, hw.sum)
+		fmt.Fprintf(w, "%s_count %d\n", fam, hw.count)
+	}
+}
+
+// WriteBuildInfo emits the rpq_build_info gauge: a constant-1 sample whose
+// labels carry the Go version, module path, VCS revision, and whether the
+// working tree was modified at build time. Binaries built without module
+// info (e.g. plain `go build file.go`) emit only the go_version label.
+func WriteBuildInfo(w io.Writer) {
+	goVersion, path, revision, modified := runtime.Version(), "", "", ""
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		goVersion = bi.GoVersion
+		path = bi.Main.Path
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				revision = s.Value
+			case "vcs.modified":
+				modified = s.Value
+			}
+		}
+	}
+	fmt.Fprintf(w, "# HELP rpq_build_info build metadata of the running binary\n")
+	fmt.Fprintf(w, "# TYPE rpq_build_info gauge\n")
+	fmt.Fprintf(w, "rpq_build_info{go_version=%q,path=%q,revision=%q,modified=%q} 1\n",
+		goVersion, path, revision, modified)
 }
 
 // SolverGauges is the live view of a running query that the solvers sample
@@ -194,6 +250,12 @@ type SolverGauges struct {
 	EnumSubsts    *Gauge
 	Queries       *Gauge
 	SlowQueries   *Gauge
+
+	// Resource-attribution totals maintained by the rpq layer: CPU time and
+	// heap bytes attributed to completed queries, cumulative since process
+	// start.
+	CPUTotalUS *Gauge
+	AllocTotal *Gauge
 
 	// Latency histograms maintained by the rpq layer: end-to-end query wall
 	// time and the per-phase breakdown reported in Stats.Phases.
@@ -291,6 +353,8 @@ func NewSolverGauges(r *Registry) *SolverGauges {
 		EnumSubsts:    r.Gauge("rpq_enum_substs", "full substitutions enumerated so far (enumeration/hybrid)"),
 		Queries:       r.Gauge("rpq_queries_total", "queries completed since process start"),
 		SlowQueries:   r.Gauge("rpq_slow_queries_total", "queries exceeding the slow-query threshold"),
+		CPUTotalUS:    r.Gauge("rpq_cpu_us_total", "process CPU time attributed to completed queries, microseconds"),
+		AllocTotal:    r.Gauge("rpq_alloc_bytes_total", "heap bytes allocated during completed queries"),
 		QueryHist:     r.Histogram("rpq_query_seconds", "end-to-end query latency"),
 		CompileHist:   r.Histogram("rpq_phase_compile_seconds", "pattern compilation latency per query"),
 		DomainsHist:   r.Histogram("rpq_phase_domains_seconds", "parameter-domain computation latency per query"),

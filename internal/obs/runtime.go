@@ -1,0 +1,25 @@
+package obs
+
+import "runtime/metrics"
+
+// heapAllocsMetric is the runtime/metrics name of the cumulative count of
+// heap-allocated bytes — the runtime.MemStats TotalAlloc figure, readable
+// without a stop-the-world pause.
+const heapAllocsMetric = "/gc/heap/allocs:bytes"
+
+// HeapAllocBytes returns the cumulative bytes allocated on the heap since
+// process start, read through runtime/metrics. Unlike
+// runtime.ReadMemStats it does not stop the world, so it is cheap enough
+// to call on every query. Deltas of this figure attribute allocation to a
+// span of time; under concurrent queries the delta covers the whole
+// process, so attribution is exact only for the allocations the span
+// actually performed plus whatever ran alongside it.
+func HeapAllocBytes() int64 {
+	var s [1]metrics.Sample
+	s[0].Name = heapAllocsMetric
+	metrics.Read(s[:])
+	if s[0].Value.Kind() == metrics.KindUint64 {
+		return int64(s[0].Value.Uint64())
+	}
+	return 0
+}

@@ -31,6 +31,10 @@ type slowRecord struct {
 	Answers int     `json:"answers"`
 	Workers int     `json:"workers,omitempty"`
 	Table   string  `json:"table,omitempty"`
+	// CPUMS and AllocBytes are the query's attributed CPU time and heap
+	// allocation (process deltas over the run; see SlowDetail).
+	CPUMS      float64 `json:"cpu_ms,omitempty"`
+	AllocBytes int64   `json:"alloc_bytes,omitempty"`
 	// HotStates holds the top few hottest automaton states by visit count
 	// when the run carried an explain profile, so a slow entry localizes
 	// its cost without a rerun.
@@ -47,6 +51,10 @@ type SlowDetail struct {
 	Workers int
 	// Table names the substitution-table representation ("hash"/"nested").
 	Table string
+	// CPUTime is the process CPU time attributed to the query (0 = unknown).
+	CPUTime time.Duration
+	// AllocBytes is the heap allocation attributed to the query (0 = unknown).
+	AllocBytes int64
 	// HotStates is any JSON-marshallable ranking of the hottest automaton
 	// states (typically the explain profile's top 3 by visits).
 	HotStates any
@@ -69,16 +77,18 @@ func (l *SlowLog) ObserveDetail(kind, query string, d time.Duration, answers int
 		return false
 	}
 	rec := slowRecord{
-		TS:        time.Now().UTC().Format(time.RFC3339Nano),
-		Query:     query,
-		Kind:      kind,
-		DurMS:     float64(d.Microseconds()) / 1000,
-		Answers:   answers,
-		Workers:   detail.Workers,
-		Table:     detail.Table,
-		HotStates: detail.HotStates,
-		Stats:     stats,
-		Bundle:    detail.Bundle,
+		TS:         time.Now().UTC().Format(time.RFC3339Nano),
+		Query:      query,
+		Kind:       kind,
+		DurMS:      float64(d.Microseconds()) / 1000,
+		Answers:    answers,
+		Workers:    detail.Workers,
+		Table:      detail.Table,
+		CPUMS:      float64(detail.CPUTime.Microseconds()) / 1000,
+		AllocBytes: detail.AllocBytes,
+		HotStates:  detail.HotStates,
+		Stats:      stats,
+		Bundle:     detail.Bundle,
 	}
 	b, err := json.Marshal(rec)
 	if err != nil {

@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"runtime"
+	"testing"
+	"time"
+)
+
+func decodeTSDB(t *testing.T, ts *TimeSeries) tsdbDoc {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := ts.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var doc tsdbDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	return doc
+}
+
+func TestTimeSeriesBoundedByRetention(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("x", "")
+	ts := NewTimeSeries(r, TimeSeriesOptions{Interval: time.Second, Retention: 5 * time.Second})
+	if ts.Cap() != 5 {
+		t.Fatalf("Cap = %d, want 5", ts.Cap())
+	}
+	// Record far more points than the capacity: the ring must stay pinned
+	// at Cap and retain the newest window in order.
+	for i := 0; i < 37; i++ {
+		g.Set(int64(i))
+		ts.Record()
+	}
+	if ts.Len() != 5 {
+		t.Fatalf("Len = %d after 37 records, want 5", ts.Len())
+	}
+	doc := decodeTSDB(t, ts)
+	if doc.Schema != TSDBSchema {
+		t.Fatalf("schema = %q, want %q", doc.Schema, TSDBSchema)
+	}
+	if doc.Points != 5 || len(doc.TimestampsMS) != 5 {
+		t.Fatalf("points = %d, timestamps = %d, want 5", doc.Points, len(doc.TimestampsMS))
+	}
+	col := doc.Series["x"]
+	if len(col) != 5 {
+		t.Fatalf("series x has %d entries, want 5", len(col))
+	}
+	for i, v := range col {
+		want := int64(32 + i) // the last five of 0..36
+		if v == nil || *v != want {
+			t.Fatalf("series x[%d] = %v, want %d", i, v, want)
+		}
+	}
+}
+
+func TestTimeSeriesNullsForMissingSeries(t *testing.T) {
+	r := NewRegistry()
+	a := r.Gauge("a", "")
+	ts := NewTimeSeries(r, TimeSeriesOptions{Interval: time.Second, Retention: 10 * time.Second})
+	a.Set(1)
+	ts.Record()
+	// A gauge registered mid-window (e.g. a per-worker gauge) must appear
+	// as null at the earlier points, not zero.
+	r.Gauge("b", "").Set(7)
+	ts.Record()
+	doc := decodeTSDB(t, ts)
+	b := doc.Series["b"]
+	if len(b) != 2 || b[0] != nil || b[1] == nil || *b[1] != 7 {
+		t.Fatalf("series b = %v, want [null, 7]", b)
+	}
+	// And an unregistered gauge disappears from later points.
+	r.Unregister("a")
+	ts.Record()
+	doc = decodeTSDB(t, ts)
+	av := doc.Series["a"]
+	if len(av) != 3 || av[0] == nil || av[2] != nil {
+		t.Fatalf("series a = %v, want [1, 1, null]", av)
+	}
+}
+
+func TestTimeSeriesSources(t *testing.T) {
+	r := NewRegistry()
+	ts := NewTimeSeries(r, TimeSeriesOptions{})
+	inf := NewInflight()
+	ts.WatchInflight(inf)
+	q := inf.Begin("exist", "p", "basic")
+	ts.Record()
+	q.Done()
+	ts.Record()
+	doc := decodeTSDB(t, ts)
+	col := doc.Series["rpq_inflight_queries"]
+	if len(col) != 2 || col[0] == nil || *col[0] != 1 || col[1] == nil || *col[1] != 0 {
+		t.Fatalf("rpq_inflight_queries = %v, want [1, 0]", col)
+	}
+}
+
+func TestTimeSeriesStartStopNoLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ts := NewTimeSeries(NewRegistry(), TimeSeriesOptions{Interval: time.Millisecond, Retention: 50 * time.Millisecond})
+	ts.Start()
+	ts.Start() // idempotent
+	time.Sleep(10 * time.Millisecond)
+	if ts.Len() == 0 {
+		t.Fatal("no points recorded by running store")
+	}
+	ts.Stop()
+	ts.Stop() // idempotent
+	// Stop waits for the goroutine, so the count must settle back.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before {
+		t.Fatalf("goroutines: %d before, %d after Stop", before, n)
+	}
+	if ts.Len() == 0 {
+		t.Fatal("retained window lost after Stop")
+	}
+}
+
+func TestTimeSeriesDefaultCapacity(t *testing.T) {
+	ts := NewTimeSeries(NewRegistry(), TimeSeriesOptions{})
+	if ts.Interval() != time.Second {
+		t.Fatalf("default interval = %v", ts.Interval())
+	}
+	if ts.Cap() != 600 {
+		t.Fatalf("default capacity = %d, want 600 (10m / 1s)", ts.Cap())
+	}
+	// Degenerate retention still yields a usable ring.
+	ts = NewTimeSeries(NewRegistry(), TimeSeriesOptions{Interval: time.Hour, Retention: time.Second})
+	if ts.Cap() != 2 {
+		t.Fatalf("minimum capacity = %d, want 2", ts.Cap())
+	}
+}

@@ -32,6 +32,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"runtime/pprof"
+	"strconv"
 	"strings"
 	"time"
 
@@ -489,10 +491,97 @@ func LiveGauges() *SolverGauges { return obs.NewSolverGauges(nil) }
 // ServeObservability starts the observability HTTP server on addr, serving
 // /metrics (Prometheus text exposition of the default registry, including
 // the latency histograms), /debug/rpq/queries (JSON snapshots of in-flight
-// queries), /debug/vars (expvar), and /debug/pprof/. The listener binds
-// synchronously; requests are served in the background until the returned
-// server is Closed.
+// queries), /debug/rpq/dash (the live dashboard, without sparkline history
+// — use ServeObservabilityWith for that), /debug/vars (expvar), and
+// /debug/pprof/. The listener binds synchronously; requests are served in
+// the background until the returned server is Closed.
 func ServeObservability(addr string) (*http.Server, error) { return obs.Serve(addr, nil) }
+
+// RuntimeSampler periodically reads runtime/metrics (heap, GC pauses,
+// goroutines, scheduler latency) into go_* gauges; see
+// ServeObservabilityWith, which starts one.
+type RuntimeSampler = obs.RuntimeSampler
+
+// TimeSeries is the bounded in-process telemetry time-series store behind
+// /debug/rpq/ts and the dashboard sparklines.
+type TimeSeries = obs.TimeSeries
+
+// TimeSeriesOptions configures a TimeSeries store.
+type TimeSeriesOptions = obs.TimeSeriesOptions
+
+// ObservabilityConfig tunes the continuous-telemetry plane started by
+// ServeObservabilityWith. The zero value enables everything at the
+// defaults; a negative duration disables the corresponding component.
+type ObservabilityConfig struct {
+	// SampleInterval is the runtime-metrics sampling cadence (0 = 1s,
+	// < 0 = no runtime sampler).
+	SampleInterval time.Duration
+	// TSInterval is the time-series snapshot cadence (0 = 1s, < 0 = no
+	// time-series store, which also leaves the dashboard without history).
+	TSInterval time.Duration
+	// Retention is the time-series window to keep in memory (0 = 10m).
+	// The store's footprint is bounded by Retention/TSInterval points no
+	// matter how long the process runs.
+	Retention time.Duration
+}
+
+// ObservabilityServer is a running observability plane: the HTTP server
+// plus the background runtime sampler and time-series store feeding it.
+// Close stops all three; the components are exported for tests and for
+// callers that want to Record or SampleOnce on their own schedule.
+type ObservabilityServer struct {
+	Server  *http.Server
+	Sampler *RuntimeSampler
+	TS      *TimeSeries
+}
+
+// Close stops the time-series store, the runtime sampler, and the HTTP
+// server, in that order. No background goroutine survives it.
+func (s *ObservabilityServer) Close() error {
+	if s == nil {
+		return nil
+	}
+	if s.TS != nil {
+		s.TS.Stop()
+	}
+	if s.Sampler != nil {
+		s.Sampler.Stop()
+	}
+	if s.Server != nil {
+		return s.Server.Close()
+	}
+	return nil
+}
+
+// ServeObservabilityWith starts the full observability plane on addr: the
+// endpoints of ServeObservability plus a runtime-metrics sampler and a
+// bounded time-series store, so /debug/rpq/ts serves history (rpq-tsdb/1
+// JSON) and /debug/rpq/dash draws live sparklines. Close the returned
+// server to stop everything.
+func ServeObservabilityWith(addr string, cfg ObservabilityConfig) (*ObservabilityServer, error) {
+	out := &ObservabilityServer{}
+	if cfg.SampleInterval >= 0 {
+		out.Sampler = obs.NewRuntimeSampler(nil, cfg.SampleInterval)
+	}
+	if cfg.TSInterval >= 0 {
+		out.TS = obs.NewTimeSeries(nil, obs.TimeSeriesOptions{
+			Interval: cfg.TSInterval, Retention: cfg.Retention,
+		})
+		out.TS.WatchInflight(obs.DefaultInflight())
+	}
+	srv, err := obs.ServeWith(addr, obs.ServeOptions{TimeSeries: out.TS})
+	if err != nil {
+		return nil, err
+	}
+	out.Server = srv
+	if out.Sampler != nil {
+		out.Sampler.Start()
+	}
+	if out.TS != nil {
+		out.TS.Start()
+	}
+	return out, nil
+}
 
 // FormatTrace renders trace events as an aligned human-readable table.
 func FormatTrace(evs []TraceEvent) string { return obs.FormatEvents(evs) }
@@ -511,6 +600,30 @@ type runState struct {
 	iq       *obs.InflightQuery
 	ring     *obs.RingSink
 	stopHung func()
+
+	// cpu0/alloc0 anchor the run's resource attribution: process CPU time
+	// and cumulative heap allocation at beginRun. finish stamps the deltas
+	// into Stats, Explain, the gauges, and the slow log. Both counters are
+	// process-wide, so under concurrent queries the deltas over-attribute
+	// shared work; the pprof labels applied by do give exact attribution.
+	cpu0   time.Duration
+	alloc0 int64
+}
+
+// do runs fn under pprof labels identifying the query — rpq_query_id (the
+// in-flight registry id), rpq_kind, variant (algorithm), table, and workers
+// — so CPU and goroutine profiles taken while queries run attribute their
+// samples to specific queries. Labels propagate to every goroutine the
+// solver spawns, covering parallel workers. Call it once per solver
+// invocation; a re-run after an algorithm fallback gets fresh labels.
+func (rs *runState) do(ctx context.Context, co *core.Options, fn func(ctx context.Context)) {
+	pprof.Do(ctx, pprof.Labels(
+		"rpq_query_id", strconv.FormatInt(rs.iq.ID(), 10),
+		"rpq_kind", rs.kind,
+		"variant", co.Algo.String(),
+		"table", co.Table.String(),
+		"workers", strconv.Itoa(co.Workers),
+	), fn)
 }
 
 // beginRun registers the query as in-flight, splices the flight-recorder
@@ -521,7 +634,10 @@ type runState struct {
 // here, before the hung timer arms, because the timer reads the handle
 // asynchronously.
 func beginRun(opts *Options, kind, query string, lint any, co *core.Options) *runState {
-	rs := &runState{opts: opts, kind: kind, query: query, t0: time.Now(), stopHung: func() {}}
+	rs := &runState{
+		opts: opts, kind: kind, query: query, t0: time.Now(), stopHung: func() {},
+		cpu0: obs.ProcessCPUTime(), alloc0: obs.HeapAllocBytes(),
+	}
 	rs.iq = obs.DefaultInflight().Begin(kind, query, co.Algo.String())
 	rs.iq.Lint = lint
 	var wd *Watchdog
@@ -580,6 +696,28 @@ func (rs *runState) finish(res *Result, err error) {
 		explain = ie.Explain
 	}
 
+	// Stamp the run's resource attribution: CPU-time and heap-allocation
+	// deltas since beginRun (clamped at zero — the counters are monotonic
+	// but a zero CPU reading on non-unix platforms must not go negative).
+	var cpu time.Duration
+	var alloc int64
+	if rs.cpu0 > 0 {
+		if dd := obs.ProcessCPUTime() - rs.cpu0; dd > 0 {
+			cpu = dd
+		}
+	}
+	if da := obs.HeapAllocBytes() - rs.alloc0; da > 0 {
+		alloc = da
+	}
+	if stats != nil {
+		stats.CPUTime = cpu
+		stats.AllocBytes = alloc
+	}
+	if explain != nil {
+		explain.CPUTime = cpu
+		explain.AllocBytes = alloc
+	}
+
 	var gauges *SolverGauges
 	if opts != nil {
 		gauges = opts.Gauges
@@ -587,6 +725,8 @@ func (rs *runState) finish(res *Result, err error) {
 	if gauges != nil {
 		gauges.Queries.Add(1)
 		gauges.QueryHist.Observe(d)
+		gauges.CPUTotalUS.Add(cpu.Microseconds())
+		gauges.AllocTotal.Add(alloc)
 		if stats != nil {
 			gauges.CompileHist.Observe(stats.Phases.Compile.Wall)
 			gauges.DomainsHist.Observe(stats.Phases.Domains.Wall)
@@ -620,7 +760,10 @@ func (rs *runState) finish(res *Result, err error) {
 	}
 
 	if opts != nil && stats != nil {
-		detail := obs.SlowDetail{Workers: opts.Workers, Table: opts.Table.String(), Bundle: bundle}
+		detail := obs.SlowDetail{
+			Workers: opts.Workers, Table: opts.Table.String(), Bundle: bundle,
+			CPUTime: cpu, AllocBytes: alloc,
+		}
 		if explain != nil {
 			detail.HotStates = explain.TopStates(3)
 		}
@@ -817,7 +960,10 @@ func (g *Graph) ExistContext(ctx context.Context, p *Pattern, opts *Options) (*R
 		return nil, err
 	}
 	rs := beginRun(opts, "exist", p.src, lintPayload(diags), &co)
-	res, err := core.ExistContext(ctx, ig, start, q, co)
+	var res *core.Result
+	rs.do(ctx, &co, func(ctx context.Context) {
+		res, err = core.ExistContext(ctx, ig, start, q, co)
+	})
 	if err != nil {
 		rs.finish(nil, err)
 		return nil, err
@@ -852,10 +998,15 @@ func (g *Graph) UniversalContext(ctx context.Context, p *Pattern, opts *Options)
 		return nil, err
 	}
 	rs := beginRun(opts, "universal", p.src, lintPayload(diags), &co)
-	res, err := core.UnivContext(ctx, ig, start, q, co)
+	var res *core.Result
+	rs.do(ctx, &co, func(ctx context.Context) {
+		res, err = core.UnivContext(ctx, ig, start, q, co)
+	})
 	if err == core.ErrNondeterministic && (opts == nil || opts.Algorithm == Auto) {
 		co.Algo = core.AlgoHybrid
-		res, err = core.UnivContext(ctx, ig, start, q, co)
+		rs.do(ctx, &co, func(ctx context.Context) {
+			res, err = core.UnivContext(ctx, ig, start, q, co)
+		})
 	}
 	if err != nil {
 		rs.finish(nil, err)
@@ -1058,7 +1209,10 @@ func (g *Graph) ViolationsContext(ctx context.Context, discipline string, withEx
 		return nil, err
 	}
 	rs := beginRun(opts, "violations", discipline, lintPayload(diags), &co)
-	res, err := core.ExistContext(ctx, ig, start, q, co)
+	var res *core.Result
+	rs.do(ctx, &co, func(ctx context.Context) {
+		res, err = core.ExistContext(ctx, ig, start, q, co)
+	})
 	if err != nil {
 		rs.finish(nil, err)
 		return nil, err

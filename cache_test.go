@@ -1,0 +1,142 @@
+package rpq
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestQueryCacheHitsAndCanonicalKeys(t *testing.T) {
+	g := figure1Graph(t)
+	c := NewQueryCache(8)
+	opts := &Options{Cache: c}
+
+	p1 := MustParsePattern("(!def(x))* use(x)")
+	if _, err := g.Exist(p1, opts); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Hits != 0 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("after first run: %+v, want 0 hits / 1 miss / 1 entry", st)
+	}
+	// The same pattern again, and a syntactic variant that simplifies to the
+	// same canonical AST: both must hit.
+	if _, err := g.Exist(p1, opts); err != nil {
+		t.Fatal(err)
+	}
+	p2 := MustParsePattern("((!def(x))*) (use(x))")
+	if p2.String() != p1.String() {
+		t.Fatalf("canonicalization drifted: %q vs %q", p2.String(), p1.String())
+	}
+	if _, err := g.Exist(p2, opts); err != nil {
+		t.Fatal(err)
+	}
+	st = c.Stats()
+	if st.Hits != 2 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("after variants: %+v, want 2 hits / 1 miss / 1 entry", st)
+	}
+
+	// Universal shares the compiled entry with existential (the DFA is
+	// derived lazily inside the shared Query).
+	if _, err := g.Universal(p1, opts); err != nil {
+		t.Fatal(err)
+	}
+	st = c.Stats()
+	if st.Hits != 3 || st.Misses != 1 {
+		t.Fatalf("universal on cached pattern: %+v, want 3 hits / 1 miss", st)
+	}
+
+	// Violation queries compile through a different transform and must not
+	// collide with the plain entry for the same source text.
+	if _, err := g.Violations("(def(x) (use(x))*)*", false, opts); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Violations("(def(x) (use(x))*)*", true, opts); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Violations("(def(x) (use(x))*)*", true, opts); err != nil {
+		t.Fatal(err)
+	}
+	st = c.Stats()
+	if st.Misses != 3 || st.Hits != 4 {
+		t.Fatalf("violations variants: %+v, want 3 misses / 4 hits", st)
+	}
+}
+
+func TestQueryCacheResultsMatchUncached(t *testing.T) {
+	g := figure1Graph(t)
+	p := MustParsePattern("(!def(x))* use(x)")
+	plain, err := g.Exist(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewQueryCache(4)
+	opts := &Options{Cache: c}
+	for i := 0; i < 3; i++ {
+		cached, err := g.Exist(p, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(cached.Answers) != len(plain.Answers) {
+			t.Fatalf("run %d: %d answers cached vs %d uncached", i, len(cached.Answers), len(plain.Answers))
+		}
+		for j := range cached.Answers {
+			if cached.Answers[j].String() != plain.Answers[j].String() {
+				t.Fatalf("run %d answer %d: %s != %s", i, j, cached.Answers[j], plain.Answers[j])
+			}
+		}
+	}
+}
+
+func TestQueryCacheLRUEviction(t *testing.T) {
+	g := figure1Graph(t)
+	c := NewQueryCache(2)
+	opts := &Options{Cache: c}
+	run := func(src string) {
+		t.Helper()
+		if _, err := g.Exist(MustParsePattern(src), opts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run("use(x)")        // miss {use}
+	run("def(x)")        // miss {use, def}
+	run("use(x)")        // hit, use becomes MRU
+	run("def(x) use(x)") // miss, evicts def(x)
+	run("def(x)")        // miss again (was evicted)
+	st := c.Stats()
+	if st.Misses != 4 || st.Hits != 1 || st.Evictions != 2 || st.Entries != 2 {
+		t.Fatalf("LRU accounting: %+v, want 4 misses / 1 hit / 2 evictions / 2 entries", st)
+	}
+}
+
+// TestQueryCacheConcurrentUniversal shares one cached entry across
+// concurrent universal queries: the lazy DFA build inside core.Query must be
+// race-free (run under -race in CI).
+func TestQueryCacheConcurrentUniversal(t *testing.T) {
+	g := figure1Graph(t)
+	c := NewQueryCache(4)
+	p := MustParsePattern("(!def(x))* use(x)")
+	// Warm the entry with an existential run so the universal goroutines all
+	// find a cached Query with no DFA yet.
+	if _, err := g.Exist(p, &Options{Cache: c}); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := g.Universal(p, &Options{Cache: c}); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Misses != 1 {
+		t.Fatalf("concurrent universal runs recompiled: %+v", st)
+	}
+}

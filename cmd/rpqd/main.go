@@ -1,0 +1,160 @@
+// Command rpqd is the long-lived parametric-RPQ query service: a
+// JSON-over-HTTP daemon exposing a named graph catalog, query submission
+// (existential / universal / violations) against catalog entries, and
+// in-flight query listing and cancellation, with a shared compiled-query
+// cache and admission control in front of the solver. An optional second
+// listener serves the observability plane (/metrics, /debug/rpq/queries,
+// /debug/rpq/ts, /debug/rpq/dash). On SIGINT/SIGTERM the daemon drains:
+// new requests get 503, in-flight queries run up to -drain-timeout and are
+// then canceled, and only afterwards does the observability plane close, so
+// the last queries' metrics remain scrapeable to the end.
+//
+// See docs/service.md for the API reference.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"rpq"
+	"rpq/internal/service"
+)
+
+// loadFlags collects repeated -load name=path or -load name=format:path.
+type loadFlags []loadSpec
+
+type loadSpec struct{ name, format, path string }
+
+func (l *loadFlags) String() string { return fmt.Sprint(*l) }
+
+func (l *loadFlags) Set(v string) error {
+	name, rest, ok := strings.Cut(v, "=")
+	if !ok || name == "" || rest == "" {
+		return fmt.Errorf("want name=path or name=format:path, got %q", v)
+	}
+	spec := loadSpec{name: name, path: rest}
+	if format, path, ok := strings.Cut(rest, ":"); ok {
+		switch format {
+		case "text", "aut", "aut-universal", "xml":
+			spec.format, spec.path = format, path
+		}
+	}
+	*l = append(*l, spec)
+	return nil
+}
+
+func main() {
+	var loads loadFlags
+	var (
+		addr          = flag.String("addr", "127.0.0.1:8090", "API listen address")
+		obsAddr       = flag.String("obs", "", "observability listen address (empty = no observability listener)")
+		maxConcurrent = flag.Int("max-concurrent", 0, "max concurrent solves (0 = NumCPU)")
+		maxQueue      = flag.Int("max-queue", 0, "max requests waiting for a solve slot (0 = 2x max-concurrent)")
+		queueWait     = flag.Duration("queue-wait", 0, "max time a request waits for a slot before 429 (0 = 5s)")
+		deadline      = flag.Duration("deadline", 0, "default per-query deadline (0 = 30s)")
+		maxDeadline   = flag.Duration("max-deadline", 0, "cap on per-request deadline_ms (0 = 2m)")
+		cacheSize     = flag.Int("cache-size", 0, "compiled-query cache capacity (0 = 128)")
+		workers       = flag.Int("workers", 0, "default solver workers per query (0 = sequential)")
+		noLint        = flag.Bool("no-lint", false, "disable the lint request-validation gate")
+		drainTimeout  = flag.Duration("drain-timeout", 10*time.Second, "how long shutdown waits for in-flight queries before canceling them")
+		slowLogPath   = flag.String("slowlog", "", "append slow-query NDJSON records to this file")
+		slowThreshold = flag.Duration("slow", time.Second, "slow-query threshold for -slowlog")
+	)
+	flag.Var(&loads, "load", "preload a graph: name=path or name=format:path (text, aut, aut-universal, xml); repeatable")
+	flag.Parse()
+
+	cfg := service.Config{
+		MaxConcurrent:   *maxConcurrent,
+		MaxQueue:        *maxQueue,
+		QueueWait:       *queueWait,
+		DefaultDeadline: *deadline,
+		MaxDeadline:     *maxDeadline,
+		CacheSize:       *cacheSize,
+		Workers:         *workers,
+		DisableLint:     *noLint,
+	}
+	if *slowLogPath != "" {
+		f, err := os.OpenFile(*slowLogPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fatal("open slowlog: %v", err)
+		}
+		defer f.Close()
+		cfg.SlowLog = rpq.NewSlowLog(f, *slowThreshold)
+	}
+
+	svc := service.NewServer(cfg)
+	for _, l := range loads {
+		f, err := os.Open(l.path)
+		if err != nil {
+			fatal("load %s: %v", l.name, err)
+		}
+		info, err := svc.LoadGraph(l.name, l.format, f)
+		f.Close()
+		if err != nil {
+			fatal("load %s: %v", l.name, err)
+		}
+		fmt.Printf("rpqd loaded graph %q (%s, %d vertices, %d edges)\n",
+			info.Name, info.Format, info.Vertices, info.Edges)
+	}
+
+	var obsSrv *rpq.ObservabilityServer
+	if *obsAddr != "" {
+		var err error
+		obsSrv, err = rpq.ServeObservabilityWith(*obsAddr, rpq.ObservabilityConfig{})
+		if err != nil {
+			fatal("observability: %v", err)
+		}
+		fmt.Printf("rpqd observability on http://%s\n", obsSrv.Server.Addr)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal("listen: %v", err)
+	}
+	httpSrv := &http.Server{Handler: svc.Handler()}
+	fmt.Printf("rpqd listening on http://%s\n", ln.Addr())
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		fmt.Printf("rpqd draining on %v (up to %v)\n", sig, *drainTimeout)
+	case err := <-serveErr:
+		fatal("serve: %v", err)
+	}
+
+	// Drain order: stop the query engine first (new requests 503, in-flight
+	// queries finish or are canceled), then the HTTP listener, and the
+	// observability plane last so the final counters stay scrapeable.
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := svc.Shutdown(drainCtx); err != nil {
+		fmt.Printf("rpqd drain expired: canceled in-flight queries (%v)\n", err)
+	}
+	httpCtx, cancelHTTP := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancelHTTP()
+	if err := httpSrv.Shutdown(httpCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Printf("rpqd http shutdown: %v\n", err)
+	}
+	if err := obsSrv.Close(); err != nil {
+		fmt.Printf("rpqd observability shutdown: %v\n", err)
+	}
+	fmt.Println("rpqd stopped")
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "rpqd: "+format+"\n", args...)
+	os.Exit(1)
+}

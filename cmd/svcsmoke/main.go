@@ -1,0 +1,447 @@
+// Command svcsmoke is the query-service smoke test used by CI: it builds
+// and boots cmd/rpqd with a small admission budget, preloads the repository
+// CFG fixture, then drives the public API end to end — catalog CRUD, the
+// three query kinds (existential with witnesses, universal, violations),
+// lint-gate rejection, compiled-query-cache hits across a repeated-pattern
+// workload, a burst above the admission limit (expecting fast 429s with
+// Retry-After while every admitted query completes), cancellation of an
+// in-flight query through the API, and a SIGTERM drain with a query still
+// running. The scraped /debug/rpq/ts document is written to -out so CI can
+// archive the service's telemetry window. Any failed check exits nonzero.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+)
+
+var (
+	base   string      // API base URL, set once rpqd is up
+	daemon *os.Process // the rpqd under test; fail() kills it (os.Exit skips defers)
+)
+
+func main() {
+	var (
+		out      = flag.String("out", "", "write the scraped rpq-tsdb/1 document to this file")
+		graph    = flag.String("graph", "testdata/queries/graph.txt", "fixture graph to preload")
+		vertices = flag.Int("vertices", 1000, "heavy-graph vertices (burst/cancel workload)")
+		degree   = flag.Int("degree", 5, "heavy-graph out-degree")
+		symbols  = flag.Int("symbols", 12, "heavy-graph symbol count")
+	)
+	flag.Parse()
+
+	bin := buildRpqd()
+	defer os.RemoveAll(filepath.Dir(bin))
+
+	cmd := exec.Command(bin,
+		"-addr", "127.0.0.1:0",
+		"-obs", "127.0.0.1:0",
+		"-load", "g="+*graph,
+		"-max-concurrent", "1",
+		"-max-queue", "2",
+		"-queue-wait", "100ms",
+		"-drain-timeout", "10s",
+	)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		fail("pipe: %v", err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		fail("start rpqd: %v", err)
+	}
+	daemon = cmd.Process
+	defer cmd.Process.Kill()
+
+	var obsBase string
+	lines := make(chan string, 64)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			fmt.Println("[rpqd]", sc.Text())
+			lines <- sc.Text()
+		}
+		close(lines)
+	}()
+	deadline := time.After(30 * time.Second)
+	for base == "" {
+		select {
+		case l, ok := <-lines:
+			if !ok {
+				fail("rpqd exited before listening")
+			}
+			if rest, found := strings.CutPrefix(l, "rpqd observability on "); found {
+				obsBase = rest
+			}
+			if rest, found := strings.CutPrefix(l, "rpqd listening on "); found {
+				base = rest
+			}
+		case <-deadline:
+			fail("rpqd did not come up within 30s")
+		}
+	}
+
+	checkCatalogAndKinds()
+	checkLintGate()
+	checkCacheHits()
+	loadHeavyGraph(*vertices, *degree, *symbols)
+	checkBurst429()
+	checkCancel()
+	scrapeTS(obsBase, *out)
+	checkDrain(cmd)
+
+	fmt.Println("svcsmoke: all checks passed")
+}
+
+// buildRpqd compiles the daemon into a temp dir and returns the binary path.
+func buildRpqd() string {
+	dir, err := os.MkdirTemp("", "svcsmoke")
+	if err != nil {
+		fail("tmpdir: %v", err)
+	}
+	bin := filepath.Join(dir, "rpqd")
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/rpqd")
+	cmd.Stdout, cmd.Stderr = os.Stdout, os.Stderr
+	if err := cmd.Run(); err != nil {
+		fail("build rpqd: %v", err)
+	}
+	return bin
+}
+
+// ---- checks ----
+
+func checkCatalogAndKinds() {
+	// The preloaded fixture is listed.
+	var listing struct {
+		Graphs []struct {
+			Name  string `json:"name"`
+			Edges int    `json:"edges"`
+		} `json:"graphs"`
+	}
+	getJSON("/api/v1/graphs", &listing)
+	if len(listing.Graphs) != 1 || listing.Graphs[0].Name != "g" || listing.Graphs[0].Edges == 0 {
+		fail("catalog listing: %+v", listing)
+	}
+
+	// Existential with witnesses: the possibly-uninitialized-use query has
+	// answers on the fixture, each carrying a path from the start vertex.
+	code, body := post("/api/v1/query",
+		`{"graph":"g","kind":"exist","pattern":"(!def(x))* use(x)","options":{"witnesses":true}}`)
+	if code != 200 {
+		fail("exist: %d %s", code, body)
+	}
+	var qr struct {
+		QueryID int64 `json:"query_id"`
+		Answers []struct {
+			Vertex   string           `json:"vertex"`
+			Bindings []map[string]any `json:"bindings"`
+			Witness  []map[string]any `json:"witness"`
+		} `json:"answers"`
+	}
+	mustUnmarshal(body, &qr)
+	if len(qr.Answers) == 0 || qr.QueryID == 0 {
+		fail("exist shape: %s", body)
+	}
+	for _, a := range qr.Answers {
+		if a.Vertex == "" || len(a.Bindings) == 0 || len(a.Witness) == 0 {
+			fail("exist answer shape: %s", body)
+		}
+	}
+
+	if code, body = post("/api/v1/query", `{"graph":"g","kind":"universal","pattern":"(!use(x))* def(x) _*"}`); code != 200 {
+		fail("universal: %d %s", code, body)
+	}
+	if code, body = post("/api/v1/query",
+		`{"graph":"g","kind":"violations","pattern":"(open(f) (access(f))* close(f))*","with_exit":true}`); code != 200 {
+		fail("violations: %d %s", code, body)
+	}
+
+	// Unknown graphs 404.
+	if code, body = post("/api/v1/query", `{"graph":"nope","pattern":"use(x)"}`); code != 404 {
+		fail("unknown graph: %d %s", code, body)
+	}
+}
+
+func checkLintGate() {
+	code, body := post("/api/v1/query", `{"graph":"g","pattern":"!_ use(x)"}`)
+	if code != 400 || !strings.Contains(body, "lint_rejected") || !strings.Contains(body, "RPQ001") {
+		fail("lint gate: %d %s", code, body)
+	}
+}
+
+func checkCacheHits() {
+	// Acceptance criterion: a repeated-pattern workload shows cache hits
+	// through the new gauges.
+	for i := 0; i < 5; i++ {
+		if code, body := post("/api/v1/query", `{"graph":"g","pattern":"(malloc(p) (!free(p))* deref(p))"}`); code != 200 {
+			fail("repeat %d: %d %s", i, code, body)
+		}
+	}
+	var stats struct {
+		Cache struct {
+			Hits   int64 `json:"hits"`
+			Misses int64 `json:"misses"`
+		} `json:"cache"`
+	}
+	getJSON("/api/v1/stats", &stats)
+	if stats.Cache.Hits < 4 {
+		fail("cache hits = %d after repeated pattern, want >= 4", stats.Cache.Hits)
+	}
+	fmt.Printf("svcsmoke: cache %d hits / %d misses\n", stats.Cache.Hits, stats.Cache.Misses)
+}
+
+// loadHeavyGraph uploads a deterministic pseudo-random def/use graph big
+// enough that one enumeration query holds its solve slot for a while.
+func loadHeavyGraph(vertices, degree, symbols int) {
+	var b bytes.Buffer
+	fmt.Fprintln(&b, "start v0")
+	seed := uint64(0x9e3779b97f4a7c15)
+	next := func(n int) int {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		return int((seed >> 33) % uint64(n))
+	}
+	for v := 0; v < vertices; v++ {
+		// A cycle keeps every vertex reachable; extra random edges fan out.
+		fmt.Fprintf(&b, "edge v%d use(s%d) v%d\n", v, next(symbols), (v+1)%vertices)
+		for d := 1; d < degree; d++ {
+			fmt.Fprintf(&b, "edge v%d use(s%d) v%d\n", v, next(symbols), next(vertices))
+		}
+	}
+	req, _ := http.NewRequest("PUT", base+"/api/v1/graphs/heavy", &b)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		fail("load heavy: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 201 {
+		body, _ := io.ReadAll(resp.Body)
+		fail("load heavy: %d %s", resp.StatusCode, body)
+	}
+}
+
+// heavyQuery interleaves three parameters over the heavy graph's symbols —
+// a combinatorial substitution space that holds its solve slot for a few
+// hundred milliseconds (long enough to observe queue overflow and
+// cancellation) while the trailing literals keep the answer set, and thus
+// the response body, modest.
+const heavyQuery = `{"graph":"heavy","pattern":"(use(x) | use(y) | use(z))* use(x) use(y) use(z)"}`
+
+func checkBurst429() {
+	const burst = 12
+	type outcome struct {
+		code       int
+		retryAfter string
+	}
+	var wg sync.WaitGroup
+	outcomes := make([]outcome, burst)
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(base+"/api/v1/query", "application/json", strings.NewReader(heavyQuery))
+			if err != nil {
+				fail("burst %d: %v", i, err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			outcomes[i] = outcome{resp.StatusCode, resp.Header.Get("Retry-After")}
+		}(i)
+	}
+	wg.Wait()
+	ok, rejected := 0, 0
+	for i, o := range outcomes {
+		switch o.code {
+		case 200:
+			ok++
+		case 429:
+			rejected++
+			if o.retryAfter == "" {
+				fail("burst %d: 429 without Retry-After", i)
+			}
+		default:
+			fail("burst %d: unexpected status %d", i, o.code)
+		}
+	}
+	// One solve slot, two queue slots, 100ms queue wait against a burst of
+	// 12 long solves: the bulk must bounce, the admitted must complete.
+	if ok < 1 || rejected < burst/2 || ok+rejected != burst {
+		fail("burst outcome: %d ok, %d rejected of %d", ok, rejected, burst)
+	}
+	fmt.Printf("svcsmoke: burst %d ok / %d rejected (429)\n", ok, rejected)
+}
+
+func checkCancel() {
+	// A long solve is canceled through the API; its own request returns 499.
+	for attempt := 0; attempt < 5; attempt++ {
+		type result struct {
+			code int
+			body string
+		}
+		done := make(chan result, 1)
+		go func() {
+			code, body := post("/api/v1/query", heavyQuery)
+			done <- result{code, body}
+		}()
+
+		// Find its id in the in-flight listing and cancel it.
+		var id int64
+	poll:
+		for i := 0; i < 500; i++ {
+			var listing struct {
+				Queries []struct {
+					ID int64 `json:"id"`
+				} `json:"queries"`
+			}
+			select {
+			case r := <-done:
+				// Finished before we could cancel; retry with a fresh run.
+				fmt.Printf("svcsmoke: cancel attempt %d finished early (%d)\n", attempt, r.code)
+				break poll
+			default:
+			}
+			getJSON("/api/v1/queries", &listing)
+			if len(listing.Queries) > 0 {
+				id = listing.Queries[0].ID
+				break
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		if id == 0 {
+			continue
+		}
+		code, body := post(fmt.Sprintf("/api/v1/queries/%d/cancel", id), "")
+		if code != 202 {
+			fail("cancel request: %d %s", code, body)
+		}
+		r := <-done
+		if r.code != 499 || !strings.Contains(r.body, "canceled") {
+			fail("canceled query: %d %s", r.code, r.body)
+		}
+		fmt.Printf("svcsmoke: canceled query %d -> 499\n", id)
+		return
+	}
+	fail("cancel: query finished before cancellation in every attempt")
+}
+
+// scrapeTS archives the observability time-series window and sanity-checks
+// that the service gauges are in it.
+func scrapeTS(obsBase, out string) {
+	resp, err := http.Get(obsBase + "/debug/rpq/ts")
+	if err != nil {
+		fail("scrape ts: %v", err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fail("scrape ts: %v", err)
+	}
+	var doc struct {
+		Schema string                   `json:"schema"`
+		Points int                      `json:"points"`
+		Series map[string][]json.Number `json:"series"`
+	}
+	mustUnmarshal(string(raw), &doc)
+	if doc.Schema != "rpq-tsdb/1" {
+		fail("ts schema = %q", doc.Schema)
+	}
+	if doc.Points < 1 {
+		fail("ts window is empty")
+	}
+	for _, name := range []string{"rpq_svc_admitted_total", "rpq_svc_rejected_total", "rpq_qcache_hits_total"} {
+		col, ok := doc.Series[name]
+		if !ok {
+			fail("%s missing from ts series", name)
+		}
+		if len(col) != doc.Points {
+			fail("%s column has %d points, want %d (misaligned)", name, len(col), doc.Points)
+		}
+	}
+	if out != "" {
+		if err := os.WriteFile(out, raw, 0o644); err != nil {
+			fail("write %s: %v", out, err)
+		}
+		fmt.Printf("svcsmoke: wrote %s (%d bytes, %d series)\n", out, len(raw), len(doc.Series))
+	}
+}
+
+// checkDrain sends SIGTERM with a query still in flight: the query must
+// complete (the drain budget is generous), and the process must exit zero.
+func checkDrain(cmd *exec.Cmd) {
+	done := make(chan int, 1)
+	go func() {
+		code, _ := post("/api/v1/query", heavyQuery)
+		done <- code
+	}()
+	// Wait until the query is actually in flight before pulling the plug.
+	for i := 0; i < 500; i++ {
+		var listing struct {
+			Queries []json.RawMessage `json:"queries"`
+		}
+		getJSON("/api/v1/queries", &listing)
+		if len(listing.Queries) > 0 {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		fail("SIGTERM: %v", err)
+	}
+	if code := <-done; code != 200 {
+		fail("in-flight query during drain: %d, want 200", code)
+	}
+	if err := cmd.Wait(); err != nil {
+		fail("rpqd exit: %v", err)
+	}
+	fmt.Println("svcsmoke: drained and exited clean")
+}
+
+// ---- HTTP helpers ----
+
+func post(path, body string) (int, string) {
+	resp, err := http.Post(base+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		fail("POST %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(raw)
+}
+
+func getJSON(path string, v any) {
+	resp, err := http.Get(base + path)
+	if err != nil {
+		fail("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != 200 {
+		fail("GET %s: %d %s", path, resp.StatusCode, raw)
+	}
+	mustUnmarshal(string(raw), v)
+}
+
+func mustUnmarshal(s string, v any) {
+	if err := json.Unmarshal([]byte(s), v); err != nil {
+		fail("decode %q: %v", s, err)
+	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "svcsmoke: FAIL: "+format+"\n", args...)
+	if daemon != nil {
+		daemon.Kill()
+	}
+	os.Exit(1)
+}

@@ -9,6 +9,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"rpq/internal/automata"
@@ -322,7 +323,10 @@ func FormatWitness(g *graph.Graph, w []WitnessStep) string {
 
 // Query is a pattern compiled for querying: the ε-free NFA (existential
 // algorithms), its opaque-label determinization (universal algorithms), the
-// parameter space, and derived metadata.
+// parameter space, and derived metadata. A compiled Query is safe for
+// concurrent use by multiple solver runs — the query-service layer caches
+// and shares them — as long as no caller mutates the exported fields after
+// Compile.
 type Query struct {
 	Expr pattern.Expr
 	U    *label.Universe
@@ -331,9 +335,11 @@ type Query struct {
 	// CompileWall is the wall-clock time Compile spent normalizing the
 	// pattern and building the NFA.
 	CompileWall time.Duration
-	// DFA is the subset-construction determinization of NFA, built on first
-	// use by the universal solvers.
-	dfa *automata.NFA
+	// dfa is the subset-construction determinization of NFA, built on first
+	// use by the universal solvers; dfaMu serializes the lazy build so a
+	// cached Query shared by concurrent universal runs determinizes once.
+	dfaMu sync.Mutex
+	dfa   *automata.NFA
 }
 
 // Compile compiles a pattern against a universe (normally the graph's). The
@@ -363,7 +369,10 @@ func MustCompile(e pattern.Expr, u *label.Universe) *Query {
 func (q *Query) Pars() int { return q.PS.Len() }
 
 // DFA returns the opaque-label determinization, building it on first use.
+// Safe for concurrent use: the first caller builds, later callers reuse.
 func (q *Query) DFA() *automata.NFA {
+	q.dfaMu.Lock()
+	defer q.dfaMu.Unlock()
 	if q.dfa == nil {
 		q.dfa = automata.Determinize(q.NFA)
 	}
@@ -374,9 +383,11 @@ func (q *Query) DFA() *automata.NFA {
 // this query so far: compilation plus the determinization if it was built.
 func (q *Query) BuildWall() time.Duration {
 	d := q.CompileWall
+	q.dfaMu.Lock()
 	if q.dfa != nil {
 		d += q.dfa.BuildWall
 	}
+	q.dfaMu.Unlock()
 	return d
 }
 

@@ -135,3 +135,78 @@ func TestTimeSeriesDefaultCapacity(t *testing.T) {
 		t.Fatalf("minimum capacity = %d, want 2", ts.Cap())
 	}
 }
+
+// TestTimeSeriesMidWindowRegistrationAcrossWrap pins column alignment for a
+// gauge first registered mid-retention-window: its column must be
+// null-padded at the points before it existed — never shifted — and the
+// padding must stay correct as the ring wraps and the pre-registration
+// points age out of the window.
+func TestTimeSeriesMidWindowRegistrationAcrossWrap(t *testing.T) {
+	r := NewRegistry()
+	old := r.Gauge("old", "")
+	ts := NewTimeSeries(r, TimeSeriesOptions{Interval: time.Second, Retention: 4 * time.Second})
+
+	// Two points before the late gauge exists.
+	for i := 0; i < 2; i++ {
+		old.Set(int64(i))
+		ts.Record()
+	}
+	late := r.Gauge("late", "")
+	late.Set(100)
+	old.Set(2)
+	ts.Record()
+
+	doc := decodeTSDB(t, ts)
+	lateCol := doc.Series["late"]
+	if len(lateCol) != 3 || lateCol[0] != nil || lateCol[1] != nil || lateCol[2] == nil || *lateCol[2] != 100 {
+		t.Fatalf("late = %v, want [null, null, 100]", lateCol)
+	}
+	oldCol := doc.Series["old"]
+	if len(oldCol) != 3 || oldCol[0] == nil || *oldCol[0] != 0 || oldCol[2] == nil || *oldCol[2] != 2 {
+		t.Fatalf("old = %v, want [0, 1, 2] aligned, not shifted by late's padding", oldCol)
+	}
+
+	// Wrap the ring: after two more points the capacity-4 window holds one
+	// pre-registration point (still null for late) and three live ones.
+	for i := 3; i <= 4; i++ {
+		old.Set(int64(i))
+		late.Set(int64(100 + i))
+		ts.Record()
+	}
+	doc = decodeTSDB(t, ts)
+	if doc.Points != 4 {
+		t.Fatalf("points = %d after wrap, want 4", doc.Points)
+	}
+	for name, col := range doc.Series {
+		if len(col) != 4 {
+			t.Fatalf("series %s has %d entries, want 4 (misaligned columns)", name, len(col))
+		}
+	}
+	lateCol = doc.Series["late"]
+	if lateCol[0] != nil {
+		t.Fatalf("late[0] = %v, want null (point predates registration)", *lateCol[0])
+	}
+	if lateCol[1] == nil || *lateCol[1] != 100 || lateCol[3] == nil || *lateCol[3] != 104 {
+		t.Fatalf("late = %v, want [null, 100, 103, 104]", lateCol)
+	}
+	oldCol = doc.Series["old"]
+	for i, want := range []int64{1, 2, 3, 4} {
+		if oldCol[i] == nil || *oldCol[i] != want {
+			t.Fatalf("old = %v, want [1, 2, 3, 4]", oldCol)
+		}
+	}
+
+	// One more wrap cycle pushes every pre-registration point out: late's
+	// column must now be fully populated with no stale nulls.
+	for i := 5; i <= 7; i++ {
+		old.Set(int64(i))
+		late.Set(int64(100 + i))
+		ts.Record()
+	}
+	doc = decodeTSDB(t, ts)
+	for i, v := range doc.Series["late"] {
+		if v == nil || *v != int64(104+i) {
+			t.Fatalf("late after full wrap = %v, want [104..107]", doc.Series["late"])
+		}
+	}
+}

@@ -1,0 +1,169 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"rpq"
+)
+
+// graphEntry is one catalog slot: an immutable loaded graph plus metadata.
+// Queries hold the *rpq.Graph pointer directly, so deleting an entry never
+// invalidates a run already in flight.
+type graphEntry struct {
+	name     string
+	g        *rpq.Graph
+	format   string
+	loadedAt time.Time
+	queries  atomic.Int64
+}
+
+// GraphInfo is the JSON shape of a catalog entry.
+type GraphInfo struct {
+	Name     string `json:"name"`
+	Format   string `json:"format"`
+	Vertices int    `json:"vertices"`
+	Edges    int    `json:"edges"`
+	Start    string `json:"start"`
+	LoadedAt string `json:"loaded_at"`
+	Queries  int64  `json:"queries"`
+}
+
+func (e *graphEntry) info() GraphInfo {
+	return GraphInfo{
+		Name:     e.name,
+		Format:   e.format,
+		Vertices: e.g.NumVertices(),
+		Edges:    e.g.NumEdges(),
+		Start:    e.g.Start(),
+		LoadedAt: e.loadedAt.UTC().Format(time.RFC3339),
+		Queries:  e.queries.Load(),
+	}
+}
+
+// validGraphName bounds catalog keys to something URL- and log-friendly.
+func validGraphName(name string) bool {
+	if name == "" || len(name) > 128 {
+		return false
+	}
+	for _, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '-', c == '_', c == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// loadGraph parses a graph document in the named format using the engine's
+// loaders: "text" (the repository's textual graph format, the default),
+// "aut" / "aut-universal" (Aldébaran LTS with the Section 2.3 existential /
+// universal transforms), and "xml" (semi-structured data).
+func loadGraph(format string, r io.Reader) (*rpq.Graph, string, error) {
+	switch format {
+	case "", "text":
+		g, err := rpq.ReadGraph(r)
+		return g, "text", err
+	case "aut":
+		g, err := rpq.FromAUT(r, false)
+		return g, "aut", err
+	case "aut-universal":
+		g, err := rpq.FromAUT(r, true)
+		return g, "aut-universal", err
+	case "xml":
+		g, err := rpq.FromXML(r)
+		return g, "xml", err
+	default:
+		return nil, "", fmt.Errorf("unknown graph format %q (want text, aut, aut-universal, or xml)", format)
+	}
+}
+
+// LoadGraph inserts (or replaces) a catalog entry programmatically — the
+// path cmd/rpqd uses for -load preloading. The graph must have a start
+// vertex unless queries always pass options.start.
+func (s *Server) LoadGraph(name, format string, r io.Reader) (GraphInfo, error) {
+	if !validGraphName(name) {
+		return GraphInfo{}, fmt.Errorf("invalid graph name %q (want [A-Za-z0-9._-]{1,128})", name)
+	}
+	g, fmtName, err := loadGraph(format, r)
+	if err != nil {
+		return GraphInfo{}, err
+	}
+	e := &graphEntry{name: name, g: g, format: fmtName, loadedAt: time.Now()}
+	s.mu.Lock()
+	s.graphs[name] = e
+	s.gGraphs.Set(int64(len(s.graphs)))
+	s.mu.Unlock()
+	return e.info(), nil
+}
+
+// graph looks up a catalog entry.
+func (s *Server) graph(name string) (*graphEntry, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.graphs[name]
+	return e, ok
+}
+
+// ---- HTTP handlers ----
+
+func (s *Server) handleListGraphs(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	entries := make([]*graphEntry, 0, len(s.graphs))
+	for _, e := range s.graphs {
+		entries = append(entries, e)
+	}
+	s.mu.RUnlock()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].name < entries[j].name })
+	infos := make([]GraphInfo, len(entries))
+	for i, e := range entries {
+		infos[i] = e.info()
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"graphs": infos})
+}
+
+func (s *Server) handleLoadGraph(w http.ResponseWriter, r *http.Request) {
+	if !s.enter() {
+		writeError(w, http.StatusServiceUnavailable, "draining", "service is shutting down")
+		return
+	}
+	defer s.wg.Done()
+	s.gRequests.Add(1)
+	name := r.PathValue("name")
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxGraphBytes)
+	info, err := s.LoadGraph(name, r.URL.Query().Get("format"), body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_graph", "load graph %q: %v", name, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]any{"graph": info})
+}
+
+func (s *Server) handleGetGraph(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.graph(r.PathValue("name"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown_graph", "graph %q is not in the catalog", r.PathValue("name"))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"graph": e.info()})
+}
+
+func (s *Server) handleDeleteGraph(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	s.mu.Lock()
+	_, ok := s.graphs[name]
+	delete(s.graphs, name)
+	s.gGraphs.Set(int64(len(s.graphs)))
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown_graph", "graph %q is not in the catalog", name)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}

@@ -1,0 +1,306 @@
+// Package service implements the long-lived parametric-RPQ query service
+// behind cmd/rpqd: a JSON-over-HTTP API with a named graph catalog, query
+// submission against catalog entries, in-flight listing and cancellation
+// backed by the process-wide in-flight registry, a shared compiled-query
+// cache, and admission control (a bounded semaphore on concurrent solves
+// with a bounded wait queue and per-request deadlines) so the engine
+// survives heavy traffic from many clients. docs/service.md documents the
+// API surface and the knobs.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"rpq"
+	"rpq/internal/obs"
+)
+
+// Config tunes a Server. The zero value serves with sensible defaults:
+// NumCPU concurrent solves, a 2×NumCPU wait queue, 30s default / 2m max
+// deadlines, a 128-entry compiled-query cache, and lint validation on.
+type Config struct {
+	// MaxConcurrent bounds the solver runs in flight at once; <= 0 means
+	// runtime.NumCPU().
+	MaxConcurrent int
+	// MaxQueue bounds the requests allowed to wait for a solve slot; a
+	// request arriving with the queue full is rejected immediately with
+	// HTTP 429. <= 0 means 2×MaxConcurrent; use a negative queue via
+	// QueueWait <= 0 semantics is not supported — set MaxQueue small
+	// instead.
+	MaxQueue int
+	// QueueWait bounds how long a queued request waits for a slot before
+	// being rejected with 429; <= 0 means 5s.
+	QueueWait time.Duration
+	// DefaultDeadline is applied to requests that do not set deadline_ms;
+	// <= 0 means 30s.
+	DefaultDeadline time.Duration
+	// MaxDeadline caps the per-request deadline_ms; <= 0 means 2m.
+	MaxDeadline time.Duration
+	// RetryAfter is the Retry-After hint attached to 429 responses;
+	// <= 0 means 1s.
+	RetryAfter time.Duration
+	// CacheSize is the compiled-query cache capacity; <= 0 means
+	// rpq.DefaultQueryCacheSize. The cache is shared by all graphs and
+	// request kinds.
+	CacheSize int
+	// DisableLint turns off the request-validation lint gate (error-severity
+	// findings reject a query with HTTP 400 before any solver work).
+	// Individual requests can also opt out with "no_lint": true.
+	DisableLint bool
+	// Workers is the default solver worker count applied to requests that
+	// do not set options.workers; 0 keeps the sequential solvers.
+	Workers int
+	// MaxGraphBytes bounds a graph-load request body; <= 0 means 64 MiB.
+	MaxGraphBytes int64
+	// MaxQueryBytes bounds a query request body; <= 0 means 1 MiB.
+	MaxQueryBytes int64
+	// SlowLog, when non-nil, records slow queries for every request.
+	SlowLog *rpq.SlowLog
+	// Watchdog, when non-nil, attaches the flight recorder / anomaly-bundle
+	// watchdog to every request.
+	Watchdog *rpq.Watchdog
+	// Registry receives the service gauges (rpq_svc_*) and the solver
+	// gauges; nil means the default registry, which is what the
+	// observability server exposes.
+	Registry *obs.Registry
+	// Inflight is the in-flight query registry backing /api/v1/queries and
+	// cancellation; nil means the process-wide default registry (the one
+	// the rpq entry points register into).
+	Inflight *obs.Inflight
+}
+
+// withDefaults resolves the zero values.
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = runtime.NumCPU()
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 2 * c.MaxConcurrent
+	}
+	if c.QueueWait <= 0 {
+		c.QueueWait = 5 * time.Second
+	}
+	if c.DefaultDeadline <= 0 {
+		c.DefaultDeadline = 30 * time.Second
+	}
+	if c.MaxDeadline <= 0 {
+		c.MaxDeadline = 2 * time.Minute
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.MaxGraphBytes <= 0 {
+		c.MaxGraphBytes = 64 << 20
+	}
+	if c.MaxQueryBytes <= 0 {
+		c.MaxQueryBytes = 1 << 20
+	}
+	if c.Registry == nil {
+		c.Registry = obs.Default()
+	}
+	if c.Inflight == nil {
+		c.Inflight = obs.DefaultInflight()
+	}
+	return c
+}
+
+// Server is the query service: graph catalog + query execution + admission
+// control. Create with NewServer, mount Handler on an http.Server, and call
+// Shutdown before process exit so in-flight queries drain (or are canceled)
+// before the observability plane goes down.
+type Server struct {
+	cfg    Config
+	cache  *rpq.QueryCache
+	adm    *admission
+	gauges *rpq.SolverGauges
+
+	mu      sync.RWMutex
+	graphs  map[string]*graphEntry
+	gGraphs *obs.Gauge
+
+	// activeMu guards active, the obs-registry-id → cancel map behind
+	// POST /api/v1/queries/{id}/cancel and CancelAll.
+	activeMu sync.Mutex
+	active   map[int64]context.CancelFunc
+
+	// drainMu serializes request entry against Shutdown: once draining is
+	// set no new request can join wg, so wg.Wait is race-free.
+	drainMu  sync.Mutex
+	draining bool
+	wg       sync.WaitGroup
+
+	gRequests *obs.Gauge
+	gCanceled *obs.Gauge
+	gDraining *obs.Gauge
+
+	// hookAdmitted, when non-nil, runs on the request goroutine after a
+	// solve slot is acquired and before the solver starts — tests use it to
+	// hold slots deterministically.
+	hookAdmitted func(ctx context.Context)
+	// hookOptions, when non-nil, runs on the built rpq.Options just before
+	// the solve — tests use it to inject blocking tracers.
+	hookOptions func(*rpq.Options)
+}
+
+// NewServer returns a service with cfg's knobs resolved.
+func NewServer(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	r := cfg.Registry
+	s := &Server{
+		cfg:       cfg,
+		cache:     rpq.NewQueryCache(cfg.CacheSize),
+		adm:       newAdmission(cfg.MaxConcurrent, cfg.MaxQueue, cfg.QueueWait, r),
+		gauges:    obs.NewSolverGauges(r),
+		graphs:    map[string]*graphEntry{},
+		active:    map[int64]context.CancelFunc{},
+		gGraphs:   r.Gauge("rpq_svc_graphs", "graphs in the service catalog"),
+		gRequests: r.Gauge("rpq_svc_requests_total", "API requests accepted since process start"),
+		gCanceled: r.Gauge("rpq_svc_canceled_total", "queries canceled through the API since process start"),
+		gDraining: r.Gauge("rpq_svc_draining", "1 while the service is draining for shutdown"),
+	}
+	return s
+}
+
+// Cache exposes the shared compiled-query cache (for stats and tests).
+func (s *Server) Cache() *rpq.QueryCache { return s.cache }
+
+// Handler returns the service's HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /api/v1/healthz", s.handleHealth)
+	mux.HandleFunc("GET /api/v1/stats", s.handleStats)
+	mux.HandleFunc("GET /api/v1/graphs", s.handleListGraphs)
+	mux.HandleFunc("PUT /api/v1/graphs/{name}", s.handleLoadGraph)
+	mux.HandleFunc("POST /api/v1/graphs/{name}", s.handleLoadGraph)
+	mux.HandleFunc("GET /api/v1/graphs/{name}", s.handleGetGraph)
+	mux.HandleFunc("DELETE /api/v1/graphs/{name}", s.handleDeleteGraph)
+	mux.HandleFunc("POST /api/v1/query", s.handleQuery)
+	mux.HandleFunc("GET /api/v1/queries", s.handleListQueries)
+	mux.HandleFunc("POST /api/v1/queries/{id}/cancel", s.handleCancelQuery)
+	return mux
+}
+
+// enter registers one request with the drain tracker; it reports false once
+// the service is draining, in which case the caller must reject the request.
+func (s *Server) enter() bool {
+	s.drainMu.Lock()
+	defer s.drainMu.Unlock()
+	if s.draining {
+		return false
+	}
+	s.wg.Add(1)
+	return true
+}
+
+// Draining reports whether Shutdown has begun.
+func (s *Server) Draining() bool {
+	s.drainMu.Lock()
+	defer s.drainMu.Unlock()
+	return s.draining
+}
+
+// CancelAll cancels every query currently executing through the service.
+// It returns the number of cancellations issued.
+func (s *Server) CancelAll() int {
+	s.activeMu.Lock()
+	cancels := make([]context.CancelFunc, 0, len(s.active))
+	for _, c := range s.active {
+		cancels = append(cancels, c)
+	}
+	s.activeMu.Unlock()
+	for _, c := range cancels {
+		c()
+	}
+	return len(cancels)
+}
+
+// Shutdown drains the service: new queries are rejected with 503
+// immediately, and in-flight ones are given until ctx expires to finish on
+// their own, after which they are canceled (stopping at their next
+// cancellation check) and awaited. It returns nil when everything drained
+// without cancellation, and ctx.Err() when queries had to be canceled.
+// Always call it before closing the observability server, so the last
+// queries' metrics and in-flight exits are observable.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.drainMu.Lock()
+	already := s.draining
+	s.draining = true
+	s.drainMu.Unlock()
+	if !already {
+		s.gDraining.Set(1)
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.CancelAll()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// ---- JSON plumbing ----
+
+// apiError is the uniform error body: a stable machine-readable code plus a
+// human-readable message, with optional structured detail (e.g. lint
+// diagnostics).
+type apiError struct {
+	Error       string `json:"error"`
+	Message     string `json:"message,omitempty"`
+	Diagnostics any    `json:"diagnostics,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, errCode, format string, args ...any) {
+	writeJSON(w, code, apiError{Error: errCode, Message: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	n := len(s.graphs)
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"graphs":   n,
+		"inflight": s.cfg.Inflight.Len(),
+		"draining": s.Draining(),
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	graphs := len(s.graphs)
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"graphs":    graphs,
+		"inflight":  s.cfg.Inflight.Len(),
+		"draining":  s.Draining(),
+		"cache":     s.cache.Stats(),
+		"admission": s.adm.stats(),
+		"limits": map[string]any{
+			"max_concurrent":      s.cfg.MaxConcurrent,
+			"max_queue":           s.cfg.MaxQueue,
+			"queue_wait_ms":       s.cfg.QueueWait.Milliseconds(),
+			"default_deadline_ms": s.cfg.DefaultDeadline.Milliseconds(),
+			"max_deadline_ms":     s.cfg.MaxDeadline.Milliseconds(),
+		},
+	})
+}

@@ -363,6 +363,17 @@ type Options struct {
 	// this gate, any query run under a Watchdog has its lint report
 	// attached to diagnostic bundles as lint.json.
 	Lint bool
+	// Cache, when non-nil, memoizes compiled queries (pattern → automaton,
+	// keyed by the canonical simplified AST and the graph's universe) so
+	// repeated patterns skip compilation entirely. See NewQueryCache; the
+	// query service shares one cache across all requests.
+	Cache *QueryCache
+	// OnBegin, when non-nil, is called with the query's in-flight registry
+	// id just after the query is registered (the same id that appears in
+	// InflightQueries and /debug/rpq/queries) and before solving starts.
+	// The query service uses it to map registry ids to cancel functions;
+	// the callback runs on the query's goroutine and must be cheap.
+	OnBegin func(id int64)
 }
 
 // Stats reports the instrumentation of a run; see core.Stats for the
@@ -571,6 +582,15 @@ func ServeObservabilityWith(addr string, cfg ObservabilityConfig) (*Observabilit
 	}
 	srv, err := obs.ServeWith(addr, obs.ServeOptions{TimeSeries: out.TS})
 	if err != nil {
+		// Failed startup (e.g. the port is already bound) must not leak the
+		// telemetry components: stop whichever were already running so no
+		// sampler or time-series goroutine outlives the error return.
+		if out.TS != nil {
+			out.TS.Stop()
+		}
+		if out.Sampler != nil {
+			out.Sampler.Stop()
+		}
 		return nil, err
 	}
 	out.Server = srv
@@ -600,6 +620,11 @@ type runState struct {
 	iq       *obs.InflightQuery
 	ring     *obs.RingSink
 	stopHung func()
+	// ended guards end(): the entry points defer it so the in-flight
+	// registry entry and the hung-query timer are released on every exit
+	// path — including a panic inside a solver variant — while the normal
+	// finish path releases them exactly once.
+	ended bool
 
 	// cpu0/alloc0 anchor the run's resource attribution: process CPU time
 	// and cumulative heap allocation at beginRun. finish stamps the deltas
@@ -668,7 +693,24 @@ func beginRun(opts *Options, kind, query string, lint any, co *core.Options) *ru
 	if opts != nil {
 		co.Deadline = opts.Deadline
 	}
+	if opts != nil && opts.OnBegin != nil {
+		opts.OnBegin(rs.iq.ID())
+	}
 	return rs
+}
+
+// end releases the run's lifecycle resources: it stops the hung-query timer
+// and unregisters the in-flight entry. It is idempotent, and the entry
+// points defer it immediately after beginRun so a panic escaping a solver
+// variant (or any future early return) can never leave a ghost entry in
+// /debug/rpq/queries. finish calls it as its final step on the normal paths.
+func (rs *runState) end() {
+	if rs.ended {
+		return
+	}
+	rs.ended = true
+	rs.stopHung()
+	rs.iq.Done()
 }
 
 // finish completes the run's observability: stop the hung timer, unregister
@@ -773,7 +815,7 @@ func (rs *runState) finish(res *Result, err error) {
 			}
 		}
 	}
-	rs.iq.Done()
+	rs.end()
 }
 
 // Binding is one parameter-to-symbol binding of an answer.
@@ -951,7 +993,7 @@ func (g *Graph) ExistContext(ctx context.Context, p *Pattern, opts *Options) (*R
 	if co.Algo == core.AlgoHybrid {
 		return nil, fmt.Errorf("rpq: the hybrid algorithm applies to universal queries only")
 	}
-	q, err := core.Compile(p.expr, ig.U)
+	q, err := compileForRun(opts, ig, cacheKindQuery, p.expr)
 	if err != nil {
 		return nil, err
 	}
@@ -960,6 +1002,7 @@ func (g *Graph) ExistContext(ctx context.Context, p *Pattern, opts *Options) (*R
 		return nil, err
 	}
 	rs := beginRun(opts, "exist", p.src, lintPayload(diags), &co)
+	defer rs.end()
 	var res *core.Result
 	rs.do(ctx, &co, func(ctx context.Context) {
 		res, err = core.ExistContext(ctx, ig, start, q, co)
@@ -989,7 +1032,7 @@ func (g *Graph) UniversalContext(ctx context.Context, p *Pattern, opts *Options)
 	if err != nil {
 		return nil, err
 	}
-	q, err := core.Compile(p.expr, ig.U)
+	q, err := compileForRun(opts, ig, cacheKindQuery, p.expr)
 	if err != nil {
 		return nil, err
 	}
@@ -998,6 +1041,7 @@ func (g *Graph) UniversalContext(ctx context.Context, p *Pattern, opts *Options)
 		return nil, err
 	}
 	rs := beginRun(opts, "universal", p.src, lintPayload(diags), &co)
+	defer rs.end()
 	var res *core.Result
 	rs.do(ctx, &co, func(ctx context.Context) {
 		res, err = core.UnivContext(ctx, ig, start, q, co)
@@ -1204,11 +1248,16 @@ func (g *Graph) ViolationsContext(ctx context.Context, discipline string, withEx
 	if err := gateLint(opts, diags); err != nil {
 		return nil, err
 	}
-	q, err := queries.ViolationQuery(e, ig.U, withExit)
+	kind := cacheKindViolations
+	if withExit {
+		kind = cacheKindViolationsExit
+	}
+	q, err := compileForRun(opts, ig, kind, e)
 	if err != nil {
 		return nil, err
 	}
 	rs := beginRun(opts, "violations", discipline, lintPayload(diags), &co)
+	defer rs.end()
 	var res *core.Result
 	rs.do(ctx, &co, func(ctx context.Context) {
 		res, err = core.ExistContext(ctx, ig, start, q, co)

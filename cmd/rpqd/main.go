@@ -17,10 +17,13 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -52,8 +55,62 @@ func (l *loadFlags) Set(v string) error {
 	return nil
 }
 
+// sloFlags collects repeated -slo route:objective[:latency] specs.
+type sloFlags []rpq.SLO
+
+func (s *sloFlags) String() string { return fmt.Sprint(*s) }
+
+func (s *sloFlags) Set(v string) error {
+	parts := strings.Split(v, ":")
+	if len(parts) < 2 || len(parts) > 3 {
+		return fmt.Errorf("want route:objective or route:objective:latency, got %q", v)
+	}
+	obj, err := strconv.ParseFloat(parts[1], 64)
+	if err != nil || obj <= 0 || obj >= 1 {
+		return fmt.Errorf("objective must be a fraction in (0,1), got %q", parts[1])
+	}
+	slo := rpq.SLO{Route: parts[0], Objective: obj}
+	if len(parts) == 3 {
+		thr, err := time.ParseDuration(parts[2])
+		if err != nil || thr <= 0 {
+			return fmt.Errorf("latency threshold must be a positive duration, got %q", parts[2])
+		}
+		slo.LatencyThreshold = thr
+	}
+	*s = append(*s, slo)
+	return nil
+}
+
+// openLogger builds the structured service logger from -log / -log-format.
+// Returns nil (logging disabled) for an empty path; "-" means stdout.
+func openLogger(path, format string) (*slog.Logger, io.Closer, error) {
+	if path == "" {
+		return nil, nil, nil
+	}
+	var w io.Writer = os.Stdout
+	var c io.Closer
+	if path != "-" {
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, nil, err
+		}
+		w, c = f, f
+	}
+	var h slog.Handler
+	switch format {
+	case "", "json":
+		h = slog.NewJSONHandler(w, nil)
+	case "text":
+		h = slog.NewTextHandler(w, nil)
+	default:
+		return nil, nil, fmt.Errorf("unknown log format %q (want json or text)", format)
+	}
+	return slog.New(h), c, nil
+}
+
 func main() {
 	var loads loadFlags
+	var slos sloFlags
 	var (
 		addr          = flag.String("addr", "127.0.0.1:8090", "API listen address")
 		obsAddr       = flag.String("obs", "", "observability listen address (empty = no observability listener)")
@@ -68,9 +125,18 @@ func main() {
 		drainTimeout  = flag.Duration("drain-timeout", 10*time.Second, "how long shutdown waits for in-flight queries before canceling them")
 		slowLogPath   = flag.String("slowlog", "", "append slow-query NDJSON records to this file")
 		slowThreshold = flag.Duration("slow", time.Second, "slow-query threshold for -slowlog")
+		logPath       = flag.String("log", "", `structured log destination: file path or "-" for stdout (empty = disabled)`)
+		logFormat     = flag.String("log-format", "json", "structured log format: json (NDJSON) or text")
+		watchdogDir   = flag.String("watchdog", "", "write flight-recorder bundles for anomalous queries under this directory")
+		watchdogSlow  = flag.Duration("watchdog-slow", 2*time.Second, "slow-query threshold for -watchdog bundles")
+		watchdogMax   = flag.Int("watchdog-max", 32, "max flight-recorder bundles kept in -watchdog (0 = unbounded)")
 	)
 	flag.Var(&loads, "load", "preload a graph: name=path or name=format:path (text, aut, aut-universal, xml); repeatable")
+	flag.Var(&slos, "slo", "track an SLO: route:objective[:latency], e.g. query:0.999:30s; repeatable (default query:0.999)")
 	flag.Parse()
+	if len(slos) == 0 {
+		slos = sloFlags{{Route: "query", Objective: 0.999}}
+	}
 
 	cfg := service.Config{
 		MaxConcurrent:   *maxConcurrent,
@@ -81,6 +147,7 @@ func main() {
 		CacheSize:       *cacheSize,
 		Workers:         *workers,
 		DisableLint:     *noLint,
+		SLOs:            slos,
 	}
 	if *slowLogPath != "" {
 		f, err := os.OpenFile(*slowLogPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
@@ -90,8 +157,23 @@ func main() {
 		defer f.Close()
 		cfg.SlowLog = rpq.NewSlowLog(f, *slowThreshold)
 	}
+	if *watchdogDir != "" {
+		cfg.Watchdog = &rpq.Watchdog{Dir: *watchdogDir, Slow: *watchdogSlow, MaxBundles: *watchdogMax}
+	}
+	logger, logCloser, err := openLogger(*logPath, *logFormat)
+	if err != nil {
+		fatal("open log: %v", err)
+	}
+	if logCloser != nil {
+		defer logCloser.Close()
+	}
+	cfg.Logger = logger
 
 	svc := service.NewServer(cfg)
+	// Not ready until the listeners are up; /api/v1/readyz answers 503 until
+	// then (and again once draining starts), while healthz stays pure
+	// liveness.
+	svc.SetReady(false)
 	for _, l := range loads {
 		f, err := os.Open(l.path)
 		if err != nil {
@@ -109,7 +191,7 @@ func main() {
 	var obsSrv *rpq.ObservabilityServer
 	if *obsAddr != "" {
 		var err error
-		obsSrv, err = rpq.ServeObservabilityWith(*obsAddr, rpq.ObservabilityConfig{})
+		obsSrv, err = rpq.ServeObservabilityWith(*obsAddr, rpq.ObservabilityConfig{SLOs: slos})
 		if err != nil {
 			fatal("observability: %v", err)
 		}
@@ -125,6 +207,7 @@ func main() {
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
+	svc.SetReady(true)
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)

@@ -5,9 +5,13 @@
 // lint-gate rejection, compiled-query-cache hits across a repeated-pattern
 // workload, a burst above the admission limit (expecting fast 429s with
 // Retry-After while every admitted query completes), cancellation of an
-// in-flight query through the API, and a SIGTERM drain with a query still
-// running. The scraped /debug/rpq/ts document is written to -out so CI can
-// archive the service's telemetry window. Any failed check exits nonzero.
+// in-flight query through the API, a fixed-traceparent round trip (the same
+// trace ID must surface in the response headers, the in-flight snapshot, the
+// slow-query log, the flight-recorder bundle, and the access log), the SLO
+// burn-rate endpoint, and a SIGTERM drain with a query still running (during
+// which readyz must report 503 while healthz stays 200). The scraped
+// /debug/rpq/ts document is written to -out and the structured access log to
+// -access-log so CI can archive both. Any failed check exits nonzero.
 package main
 
 import (
@@ -17,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"io/fs"
 	"net/http"
 	"os"
 	"os/exec"
@@ -34,16 +39,24 @@ var (
 
 func main() {
 	var (
-		out      = flag.String("out", "", "write the scraped rpq-tsdb/1 document to this file")
-		graph    = flag.String("graph", "testdata/queries/graph.txt", "fixture graph to preload")
-		vertices = flag.Int("vertices", 1000, "heavy-graph vertices (burst/cancel workload)")
-		degree   = flag.Int("degree", 5, "heavy-graph out-degree")
-		symbols  = flag.Int("symbols", 12, "heavy-graph symbol count")
+		out       = flag.String("out", "", "write the scraped rpq-tsdb/1 document to this file")
+		accessLog = flag.String("access-log", "", "write the daemon's NDJSON access log to this file")
+		graph     = flag.String("graph", "testdata/queries/graph.txt", "fixture graph to preload")
+		vertices  = flag.Int("vertices", 1000, "heavy-graph vertices (burst/cancel workload)")
+		degree    = flag.Int("degree", 5, "heavy-graph out-degree")
+		symbols   = flag.Int("symbols", 12, "heavy-graph symbol count")
 	)
 	flag.Parse()
 
 	bin := buildRpqd()
 	defer os.RemoveAll(filepath.Dir(bin))
+
+	logPath := *accessLog
+	if logPath == "" {
+		logPath = filepath.Join(filepath.Dir(bin), "access.ndjson")
+	}
+	slowPath := filepath.Join(filepath.Dir(bin), "slow.ndjson")
+	wdDir := filepath.Join(filepath.Dir(bin), "watchdog")
 
 	cmd := exec.Command(bin,
 		"-addr", "127.0.0.1:0",
@@ -53,6 +66,13 @@ func main() {
 		"-max-queue", "2",
 		"-queue-wait", "100ms",
 		"-drain-timeout", "10s",
+		"-log", logPath,
+		"-log-format", "json",
+		"-slowlog", slowPath,
+		"-slow", "50ms",
+		"-watchdog", wdDir,
+		"-watchdog-slow", "50ms",
+		"-slo", "query:0.999:30s",
 	)
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
@@ -93,14 +113,18 @@ func main() {
 		}
 	}
 
+	checkReadyz()
 	checkCatalogAndKinds()
 	checkLintGate()
 	checkCacheHits()
 	loadHeavyGraph(*vertices, *degree, *symbols)
 	checkBurst429()
 	checkCancel()
+	checkTraceRoundTrip(obsBase, slowPath, wdDir)
+	checkSLO(obsBase)
 	scrapeTS(obsBase, *out)
 	checkDrain(cmd)
+	checkAccessLog(logPath, *accessLog != "")
 
 	fmt.Println("svcsmoke: all checks passed")
 }
@@ -335,6 +359,175 @@ func checkCancel() {
 	fail("cancel: query finished before cancellation in every attempt")
 }
 
+// checkReadyz asserts the readiness probe goes green once the daemon reports
+// listening. rpqd flips it right after the API listener starts, a hair after
+// the "listening" line prints, so tolerate a brief 503.
+func checkReadyz() {
+	var last string
+	for i := 0; i < 500; i++ {
+		resp, err := http.Get(base + "/api/v1/readyz")
+		if err != nil {
+			fail("readyz: %v", err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == 200 && strings.Contains(string(body), `"ready"`) {
+			return
+		}
+		last = fmt.Sprintf("%d %s", resp.StatusCode, body)
+		time.Sleep(2 * time.Millisecond)
+	}
+	fail("readyz never went ready: %s", last)
+}
+
+// fixedTraceparent is the W3C trace context svcsmoke injects: the trace ID
+// must round-trip unchanged through every telemetry surface.
+const (
+	fixedTraceparent = "00-0123456789abcdef0123456789abcdef-00f067aa0ba902b7-01"
+	fixedTraceID     = "0123456789abcdef0123456789abcdef"
+)
+
+// checkTraceRoundTrip sends a long query with a fixed traceparent and asserts
+// the same trace ID surfaces in the response headers, the observability
+// plane's in-flight snapshot while the query runs, the slow-query log record,
+// and the flight-recorder bundle's meta.json after it completes. (The access
+// log is validated separately at the end of the run.)
+func checkTraceRoundTrip(obsBase, slowPath, wdDir string) {
+	type result struct {
+		code, tpLen              int
+		traceID, tp, reqID, body string
+	}
+	for attempt := 0; attempt < 5; attempt++ {
+		done := make(chan result, 1)
+		go func() {
+			req, _ := http.NewRequest("POST", base+"/api/v1/query", strings.NewReader(heavyQuery))
+			req.Header.Set("Content-Type", "application/json")
+			req.Header.Set("traceparent", fixedTraceparent)
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				fail("trace query: %v", err)
+			}
+			raw, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			tp := resp.Header.Get("traceparent")
+			done <- result{resp.StatusCode, len(tp), resp.Header.Get("X-RPQ-Trace-Id"),
+				tp, resp.Header.Get("X-RPQ-Request-Id"), string(raw)}
+		}()
+
+		// While the query runs, its snapshot on the observability plane must
+		// carry the injected trace ID.
+		var r result
+		received, seen := false, false
+		for i := 0; i < 500 && !seen && !received; i++ {
+			select {
+			case r = <-done:
+				received = true
+			default:
+				var listing struct {
+					Queries []struct {
+						TraceID string `json:"trace_id"`
+					} `json:"queries"`
+				}
+				getJSONURL(obsBase+"/debug/rpq/queries", &listing)
+				for _, q := range listing.Queries {
+					if q.TraceID == fixedTraceID {
+						seen = true
+					}
+				}
+				if !seen {
+					time.Sleep(2 * time.Millisecond)
+				}
+			}
+		}
+		if !received {
+			r = <-done
+		}
+		if r.code != 200 {
+			fail("trace query: %d %s", r.code, r.body)
+		}
+		if r.traceID != fixedTraceID {
+			fail("X-RPQ-Trace-Id = %q, want %q", r.traceID, fixedTraceID)
+		}
+		if !strings.HasPrefix(r.tp, "00-"+fixedTraceID+"-") || r.tpLen != len(fixedTraceparent) {
+			fail("traceparent response header = %q", r.tp)
+		}
+		if r.reqID == "" {
+			fail("response missing X-RPQ-Request-Id")
+		}
+		if !seen {
+			fmt.Printf("svcsmoke: trace attempt %d finished before the in-flight poll; retrying\n", attempt)
+			continue
+		}
+
+		// The query ran well past the 50ms slow threshold, so by the time the
+		// response was written the slow log and a flight-recorder bundle both
+		// carry the trace.
+		slow, err := os.ReadFile(slowPath)
+		if err != nil || !strings.Contains(string(slow), fixedTraceID) {
+			fail("slow log %s does not carry trace %s (err=%v)", slowPath, fixedTraceID, err)
+		}
+		found := false
+		filepath.WalkDir(wdDir, func(path string, d fs.DirEntry, err error) error {
+			if err != nil || d.IsDir() || d.Name() != "meta.json" {
+				return nil
+			}
+			if meta, err := os.ReadFile(path); err == nil && strings.Contains(string(meta), fixedTraceID) {
+				found = true
+			}
+			return nil
+		})
+		if !found {
+			fail("no flight-recorder bundle under %s carries trace %s", wdDir, fixedTraceID)
+		}
+		fmt.Println("svcsmoke: traceparent round-trip verified (headers, in-flight, slow log, bundle)")
+		return
+	}
+	fail("trace: query finished before the in-flight snapshot in every attempt")
+}
+
+// checkSLO polls the burn-rate endpoint until the query route's objective has
+// a usable window (the counters flow through the 1s tsdb cadence, so the
+// first usable delta needs two snapshots).
+func checkSLO(obsBase string) {
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		var doc struct {
+			Schema string `json:"schema"`
+			SLOs   []struct {
+				Route     string  `json:"route"`
+				Objective float64 `json:"objective"`
+				Windows   []struct {
+					Window   string  `json:"window"`
+					Total    int64   `json:"total"`
+					Bad      int64   `json:"bad"`
+					BurnRate float64 `json:"burn_rate"`
+				} `json:"windows"`
+				BudgetRemaining float64 `json:"error_budget_remaining"`
+			} `json:"slos"`
+		}
+		getJSONURL(obsBase+"/debug/rpq/slo", &doc)
+		if doc.Schema != "rpq-slo/1" {
+			fail("slo schema = %q", doc.Schema)
+		}
+		for _, s := range doc.SLOs {
+			if s.Route != "query" {
+				continue
+			}
+			for _, w := range s.Windows {
+				if w.Total > 0 {
+					fmt.Printf("svcsmoke: slo query objective=%.3f window=%s total=%d bad=%d burn=%.2f budget=%.3f\n",
+						s.Objective, w.Window, w.Total, w.Bad, w.BurnRate, s.BudgetRemaining)
+					return
+				}
+			}
+		}
+		if time.Now().After(deadline) {
+			fail("slo: no usable window for route \"query\" within 15s")
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+}
+
 // scrapeTS archives the observability time-series window and sanity-checks
 // that the service gauges are in it.
 func scrapeTS(obsBase, out string) {
@@ -376,8 +569,9 @@ func scrapeTS(obsBase, out string) {
 	}
 }
 
-// checkDrain sends SIGTERM with a query still in flight: the query must
-// complete (the drain budget is generous), and the process must exit zero.
+// checkDrain sends SIGTERM with a query still in flight: readiness must flip
+// to 503 while liveness stays 200, the query must complete (the drain budget
+// is generous), and the process must exit zero.
 func checkDrain(cmd *exec.Cmd) {
 	done := make(chan int, 1)
 	go func() {
@@ -398,13 +592,131 @@ func checkDrain(cmd *exec.Cmd) {
 	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
 		fail("SIGTERM: %v", err)
 	}
+	// The drain starts a moment after the signal lands; poll readyz until it
+	// reports 503 (the in-flight query holds the drain open long enough).
+	readyFlipped := false
+	for i := 0; i < 500 && !readyFlipped; i++ {
+		resp, err := http.Get(base + "/api/v1/readyz")
+		if err != nil {
+			fail("readyz during drain: %v", err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case 200:
+			time.Sleep(2 * time.Millisecond)
+		case 503:
+			if !strings.Contains(string(body), "not_ready") {
+				fail("readyz during drain: 503 body %s", body)
+			}
+			readyFlipped = true
+		default:
+			fail("readyz during drain: %d %s", resp.StatusCode, body)
+		}
+	}
+	if !readyFlipped {
+		fail("readyz never flipped to 503 during drain")
+	}
+	// Liveness is unaffected: healthz still answers 200 mid-drain.
+	var health struct {
+		Status   string `json:"status"`
+		Draining bool   `json:"draining"`
+	}
+	getJSON("/api/v1/healthz", &health)
+	if health.Status != "ok" {
+		fail("healthz during drain: %+v", health)
+	}
 	if code := <-done; code != 200 {
 		fail("in-flight query during drain: %d, want 200", code)
 	}
 	if err := cmd.Wait(); err != nil {
 		fail("rpqd exit: %v", err)
 	}
-	fmt.Println("svcsmoke: drained and exited clean")
+	fmt.Println("svcsmoke: drained (readyz 503, healthz 200) and exited clean")
+}
+
+// checkAccessLog validates the daemon's NDJSON access log line by line after
+// the run: every line must parse as JSON and carry the schema fields, the
+// fixed-traceparent query must appear with the injected trace ID and its
+// query annotations, and the heavy-graph PUT must have left an audit line.
+func checkAccessLog(path string, keep bool) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fail("read access log: %v", err)
+	}
+	type logLine struct {
+		Time      string  `json:"time"`
+		Level     string  `json:"level"`
+		Msg       string  `json:"msg"`
+		Stream    string  `json:"stream"`
+		Route     string  `json:"route"`
+		Method    string  `json:"method"`
+		Path      string  `json:"path"`
+		Status    int     `json:"status"`
+		DurMS     float64 `json:"dur_ms"`
+		RequestID string  `json:"request_id"`
+		TraceID   string  `json:"trace_id"`
+		SpanID    string  `json:"span_id"`
+		Kind      string  `json:"kind"`
+		Graph     string  `json:"graph"`
+		Admission string  `json:"admission"`
+		CPUNS     int64   `json:"cpu_ns"`
+		Action    string  `json:"action"`
+		Result    string  `json:"result"`
+	}
+	var access, audit, traced int
+	sc := bufio.NewScanner(bytes.NewReader(raw))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for n := 1; sc.Scan(); n++ {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var l logLine
+		if err := json.Unmarshal([]byte(line), &l); err != nil {
+			fail("access log line %d is not JSON: %v: %s", n, err, line)
+		}
+		if l.Time == "" || l.Level == "" || l.Msg == "" {
+			fail("access log line %d missing slog envelope: %s", n, line)
+		}
+		switch l.Stream {
+		case "access":
+			access++
+			if l.Route == "" || l.Method == "" || l.Path == "" || l.Status == 0 ||
+				l.RequestID == "" || len(l.TraceID) != 32 || len(l.SpanID) != 16 {
+				fail("access log line %d missing schema fields: %s", n, line)
+			}
+			if l.TraceID == fixedTraceID && l.Route == "query" {
+				traced++
+				if l.Status != 200 || l.Kind != "exist" || l.Graph != "heavy" ||
+					l.Admission != "ok" || l.CPUNS <= 0 {
+					fail("traced access line lacks query annotations: %s", line)
+				}
+			}
+		case "audit":
+			audit++
+			if l.Action == "" || l.Graph == "" || l.Result == "" || l.RequestID == "" {
+				fail("audit log line %d missing schema fields: %s", n, line)
+			}
+		default:
+			fail("access log line %d has unknown stream %q: %s", n, l.Stream, line)
+		}
+	}
+	if access < 10 {
+		fail("access log has only %d access lines", access)
+	}
+	if traced == 0 {
+		fail("access log has no line for trace %s on route query", fixedTraceID)
+	}
+	if audit == 0 {
+		fail("access log has no audit line for the heavy-graph load")
+	}
+	where := path
+	if !keep {
+		where = fmt.Sprintf("%s (temporary)", path)
+	}
+	fmt.Printf("svcsmoke: access log valid: %d access / %d audit lines, traced query present (%s)\n",
+		access, audit, where)
 }
 
 // ---- HTTP helpers ----
@@ -420,14 +732,18 @@ func post(path, body string) (int, string) {
 }
 
 func getJSON(path string, v any) {
-	resp, err := http.Get(base + path)
+	getJSONURL(base+path, v)
+}
+
+func getJSONURL(url string, v any) {
+	resp, err := http.Get(url)
 	if err != nil {
-		fail("GET %s: %v", path, err)
+		fail("GET %s: %v", url, err)
 	}
 	defer resp.Body.Close()
 	raw, _ := io.ReadAll(resp.Body)
 	if resp.StatusCode != 200 {
-		fail("GET %s: %d %s", path, resp.StatusCode, raw)
+		fail("GET %s: %d %s", url, resp.StatusCode, raw)
 	}
 	mustUnmarshal(string(raw), v)
 }

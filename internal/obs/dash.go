@@ -88,6 +88,10 @@ th { color: var(--text-secondary); font-weight: 500; font-size: 12px; }
   <span id="status">connecting&hellip;</span>
 </header>
 <div class="grid" id="cards"></div>
+<div id="slosec" style="display:none">
+<h1 style="font-size:15px;margin-top:20px">SLO burn rate</h1>
+<div id="slo"></div>
+</div>
 <h1 style="font-size:15px;margin-top:20px">Queries executing now</h1>
 <div id="inflight"><p id="empty">none</p></div>
 <script>
@@ -233,7 +237,7 @@ function renderInflight(qs) {
   var cols = [["id", "id"], ["kind", "kind"], ["algo", "algo"],
     ["phase", "phase"], ["elapsed ms", "elapsed_ms"], ["pops", "pops"],
     ["reach", "reach_size"], ["substs", "substs"], ["cpu ms", "cpu_ms"],
-    ["alloc bytes", "alloc_bytes"], ["query", "query"]];
+    ["alloc bytes", "alloc_bytes"], ["trace", "trace_id"], ["query", "query"]];
   var t = document.createElement("table");
   var tr = document.createElement("tr");
   cols.forEach(function (cc) {
@@ -254,6 +258,49 @@ function renderInflight(qs) {
   host.appendChild(t);
 }
 
+// renderSLO draws the burn-rate table from the rpq-slo/1 document; the
+// whole section stays hidden when the server has no SLO tracker (501).
+function renderSLO(doc) {
+  var sec = document.getElementById("slosec");
+  if (!doc || !doc.slos || doc.slos.length === 0) { sec.style.display = "none"; return; }
+  sec.style.display = "";
+  var host = document.getElementById("slo");
+  var t = document.createElement("table");
+  var tr = document.createElement("tr");
+  ["route", "objective", "window", "span", "total", "bad", "burn rate", "budget left"].forEach(function (h) {
+    var th = document.createElement("th"); th.textContent = h; tr.appendChild(th);
+  });
+  t.appendChild(tr);
+  doc.slos.forEach(function (s) {
+    var ws = s.windows && s.windows.length ? s.windows : [null];
+    ws.forEach(function (wdw, i) {
+      var row = document.createElement("tr");
+      function td(v, color) {
+        var c = document.createElement("td");
+        c.textContent = v;
+        if (color) { c.style.color = color; }
+        row.appendChild(c);
+      }
+      td(i === 0 ? s.route : "");
+      td(i === 0 ? (s.objective * 100).toFixed(2) + "%" : "");
+      if (!wdw) {
+        td("no data"); td(""); td(""); td(""); td(""); td("");
+      } else {
+        td(wdw.window);
+        td((wdw.span_ms / 1000).toFixed(0) + "s");
+        td(wdw.total);
+        td(wdw.bad);
+        td(wdw.burn_rate.toFixed(2) + "×",
+          wdw.burn_rate >= 1 ? "var(--series-2)" : "");
+      }
+      td(i === 0 ? (s.error_budget_remaining * 100).toFixed(1) + "%" : "");
+      t.appendChild(row);
+    });
+  });
+  host.innerHTML = "";
+  host.appendChild(t);
+}
+
 function tick() {
   fetch("/debug/rpq/ts").then(function (r) {
     if (!r.ok) { throw new Error("time-series store disabled (HTTP " + r.status + ")"); }
@@ -268,6 +315,12 @@ function tick() {
   fetch("/debug/rpq/queries").then(function (r) { return r.json(); })
     .then(function (doc) { renderInflight(doc.queries); })
     .catch(function () {});
+  fetch("/debug/rpq/slo").then(function (r) {
+    if (!r.ok) { throw new Error("disabled"); }
+    return r.json();
+  }).then(renderSLO).catch(function () {
+    document.getElementById("slosec").style.display = "none";
+  });
 }
 tick();
 setInterval(tick, 2000);

@@ -25,6 +25,9 @@ type ServeOptions struct {
 	// TimeSeries, when non-nil, is exported on /debug/rpq/ts and feeds the
 	// dashboard's sparklines. The server does not start or stop it.
 	TimeSeries *TimeSeries
+	// SLO, when non-nil, is served on /debug/rpq/slo and feeds the
+	// dashboard's burn-rate panel.
+	SLO *SLOTracker
 }
 
 // Serve starts the observability HTTP server on addr with default options;
@@ -41,6 +44,7 @@ func Serve(addr string, reg *Registry) (*http.Server, error) {
 //	                    rpq_build_info
 //	/debug/rpq/queries  JSON snapshots of the queries executing right now
 //	/debug/rpq/ts       the retained telemetry window as rpq-tsdb/1 JSON
+//	/debug/rpq/slo      SLO burn rates as rpq-slo/1 JSON (when configured)
 //	/debug/rpq/dash     the live HTML dashboard
 //	/debug/vars         expvar JSON (includes the registry under "rpq_metrics")
 //	/debug/pprof/       the standard pprof profile index
@@ -91,6 +95,14 @@ func ServeWith(addr string, o ServeOptions) (*http.Server, error) {
 		w.Header().Set("Content-Type", "application/json")
 		o.TimeSeries.WriteJSON(w)
 	})
+	mux.HandleFunc("/debug/rpq/slo", func(w http.ResponseWriter, r *http.Request) {
+		if o.SLO == nil {
+			http.Error(w, "SLO tracking not enabled on this server", http.StatusNotImplemented)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		o.SLO.WriteJSON(w)
+	})
 	mux.Handle("/debug/rpq/dash", DashHandler())
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -103,7 +115,7 @@ func ServeWith(addr string, o ServeOptions) (*http.Server, error) {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprint(w, "rpq observability\n\n/metrics\n/debug/rpq/queries\n/debug/rpq/ts\n/debug/rpq/dash\n/debug/vars\n/debug/pprof/\n")
+		fmt.Fprint(w, "rpq observability\n\n/metrics\n/debug/rpq/queries\n/debug/rpq/ts\n/debug/rpq/slo\n/debug/rpq/dash\n/debug/vars\n/debug/pprof/\n")
 	})
 	srv := &http.Server{Addr: ln.Addr().String(), Handler: mux}
 	go srv.Serve(ln)

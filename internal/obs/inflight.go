@@ -48,6 +48,12 @@ type InflightQuery struct {
 	cpu0   time.Duration
 	alloc0 int64
 
+	// trace holds the W3C trace identity (traceIdentity) of the originating
+	// request, if any. Unlike Ring and Lint it is atomic: the query is
+	// visible on /debug/rpq/queries the moment Begin returns, so SetTrace
+	// can race a concurrent Snapshot.
+	trace atomic.Value // traceIdentity
+
 	phase      atomic.Value // string
 	pops       atomic.Int64
 	depth      atomic.Int64
@@ -64,6 +70,21 @@ type InflightQuery struct {
 	// starts); the watchdog writes it into bundles as lint.json. Like Ring
 	// it must be set before Watchdog.Arm and never mutated afterwards.
 	Lint any
+}
+
+// traceIdentity is the request-trace pair published through an
+// InflightQuery's trace field.
+type traceIdentity struct {
+	traceID, spanID string
+}
+
+// SetTrace attaches the originating request's trace identity to the handle;
+// subsequent Snapshots report it. No-op when tc is invalid.
+func (q *InflightQuery) SetTrace(tc TraceContext) {
+	if q == nil || !tc.IsValid() {
+		return
+	}
+	q.trace.Store(traceIdentity{traceID: tc.TraceIDString(), spanID: tc.SpanIDString()})
 }
 
 // Begin registers a query and returns its live handle. kind is the query
@@ -150,11 +171,16 @@ type QuerySnapshot struct {
 	// handle's cpu0 field).
 	CPUMS      float64 `json:"cpu_ms"`
 	AllocBytes int64   `json:"alloc_bytes"`
+	// TraceID/SpanID are the W3C trace identity of the originating request,
+	// empty for library runs without one.
+	TraceID string `json:"trace_id,omitempty"`
+	SpanID  string `json:"span_id,omitempty"`
 }
 
 // Snapshot reads the handle's current state.
 func (q *InflightQuery) Snapshot() QuerySnapshot {
 	phase, _ := q.phase.Load().(string)
+	tid, _ := q.trace.Load().(traceIdentity)
 	var cpuMS float64
 	if q.cpu0 > 0 {
 		if d := ProcessCPUTime() - q.cpu0; d > 0 {
@@ -181,6 +207,8 @@ func (q *InflightQuery) Snapshot() QuerySnapshot {
 		Workers:    q.workers.Load(),
 		CPUMS:      cpuMS,
 		AllocBytes: allocBytes,
+		TraceID:    tid.traceID,
+		SpanID:     tid.spanID,
 	}
 }
 

@@ -6,6 +6,8 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -59,6 +61,87 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 	r.gauges[name] = g
 	r.help[name] = help
 	return g
+}
+
+// MetricKey renders a metric family plus ordered label pairs ("k1", "v1",
+// "k2", "v2", ...) in the canonical form family{k1="v1",k2="v2"} used as the
+// registry/Snapshot key of one label combination. With no pairs it returns
+// the family unchanged. Callers must pass pairs in a fixed order — the key
+// is a plain string, so the same labels in a different order name a
+// different metric.
+func MetricKey(family string, kv ...string) string {
+	if len(kv) == 0 {
+		return family
+	}
+	var b strings.Builder
+	b.WriteString(family)
+	b.WriteByte('{')
+	for i := 0; i+1 < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[i])
+		b.WriteByte('=')
+		b.WriteString(strconv.Quote(kv[i+1]))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// splitMetricName splits a registry key into its family and label body (the
+// text inside the braces, "" when unlabeled).
+func splitMetricName(name string) (fam, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 && strings.HasSuffix(name, "}") {
+		return name[:i], name[i+1 : len(name)-1]
+	}
+	return name, ""
+}
+
+// joinLabels renders fam plus up to two label bodies as one sample name.
+func joinLabels(fam, labels, extra string) string {
+	switch {
+	case labels == "" && extra == "":
+		return fam
+	case labels == "":
+		return fam + "{" + extra + "}"
+	case extra == "":
+		return fam + "{" + labels + "}"
+	}
+	return fam + "{" + labels + "," + extra + "}"
+}
+
+// LabeledGauge returns the gauge for one label combination of a metric
+// family, creating it on first use. The help text is attached to the family:
+// WritePrometheus renders one HELP/TYPE header per family followed by every
+// label combination's sample, and Snapshot exposes each combination under
+// its MetricKey, so labeled families flow into the tsdb unchanged.
+func (r *Registry) LabeledGauge(family, help string, kv ...string) *Gauge {
+	name := MetricKey(family, kv...)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	g := &Gauge{}
+	r.gauges[name] = g
+	r.help[family] = help
+	return g
+}
+
+// LabeledHistogram is LabeledGauge for latency histograms: one histogram per
+// label combination, rendered with the family's labels merged into each
+// quantile/bucket sample.
+func (r *Registry) LabeledHistogram(family, help string, kv ...string) *Histogram {
+	name := MetricKey(family, kv...)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.hists[name]; ok {
+		return h
+	}
+	h := &Histogram{}
+	r.hists[name] = h
+	r.help[family] = help
+	return h
 }
 
 // Histogram returns the latency histogram registered under name, creating
@@ -126,8 +209,11 @@ func (r *Registry) Snapshot() map[string]int64 {
 
 // WritePrometheus renders every gauge and histogram in the Prometheus text
 // exposition format (# HELP / # TYPE lines followed by the samples), sorted
-// by name. Histograms are rendered as summaries: quantile-labelled samples
-// in seconds plus <name>_sum and <name>_count.
+// by name. Labeled families (LabeledGauge/LabeledHistogram) render one
+// HELP/TYPE header followed by every label combination's sample — sorted
+// names keep a family's combinations contiguous, since '{' sorts after every
+// metric-name character. Histograms are rendered as summaries:
+// quantile-labelled samples in seconds plus <name>_sum and <name>_count.
 func (r *Registry) WritePrometheus(w io.Writer) {
 	r.mu.Lock()
 	names := make([]string, 0, len(r.gauges))
@@ -136,12 +222,17 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 	}
 	sort.Strings(names)
 	type row struct {
-		name, help string
-		value      int64
+		name, fam, labels, help string
+		value                   int64
 	}
 	rows := make([]row, 0, len(names))
 	for _, name := range names {
-		rows = append(rows, row{name, r.help[name], r.gauges[name].Value()})
+		fam, labels := splitMetricName(name)
+		help := r.help[fam]
+		if help == "" {
+			help = r.help[name]
+		}
+		rows = append(rows, row{name, fam, labels, help, r.gauges[name].Value()})
 	}
 	hnames := make([]string, 0, len(r.hists))
 	for name := range r.hists {
@@ -149,53 +240,70 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 	}
 	sort.Strings(hnames)
 	type hrow struct {
-		name, help    string
-		p50, p95, p99 float64
-		sum           float64
-		count         int64
-		buckets       [histBuckets]int64
+		fam, labels, help string
+		p50, p95, p99     float64
+		sum               float64
+		count             int64
+		buckets           [histBuckets]int64
 	}
 	hrows := make([]hrow, 0, len(hnames))
 	for _, name := range hnames {
 		h := r.hists[name]
 		counts, count, sumUS := h.snapshot()
+		fam, labels := splitMetricName(name)
+		help := r.help[fam]
+		if help == "" {
+			help = r.help[name]
+		}
 		hrows = append(hrows, hrow{
-			name: name, help: r.help[name],
+			fam: fam, labels: labels, help: help,
 			p50: h.Quantile(0.50).Seconds(), p95: h.Quantile(0.95).Seconds(),
 			p99: h.Quantile(0.99).Seconds(),
 			sum: float64(sumUS) / 1e6, count: count, buckets: counts,
 		})
 	}
 	r.mu.Unlock()
+	lastFam := ""
 	for _, rw := range rows {
-		if rw.help != "" {
-			fmt.Fprintf(w, "# HELP %s %s\n", rw.name, rw.help)
+		if rw.fam != lastFam {
+			if rw.help != "" {
+				fmt.Fprintf(w, "# HELP %s %s\n", rw.fam, rw.help)
+			}
+			fmt.Fprintf(w, "# TYPE %s gauge\n", rw.fam)
+			lastFam = rw.fam
 		}
-		fmt.Fprintf(w, "# TYPE %s gauge\n", rw.name)
 		fmt.Fprintf(w, "%s %d\n", rw.name, rw.value)
 	}
+	lastFam = ""
 	for _, hw := range hrows {
-		if hw.help != "" {
-			fmt.Fprintf(w, "# HELP %s %s\n", hw.name, hw.help)
+		if hw.fam != lastFam {
+			if hw.help != "" {
+				fmt.Fprintf(w, "# HELP %s %s\n", hw.fam, hw.help)
+			}
+			fmt.Fprintf(w, "# TYPE %s summary\n", hw.fam)
+			lastFam = hw.fam
 		}
-		fmt.Fprintf(w, "# TYPE %s summary\n", hw.name)
-		fmt.Fprintf(w, "%s{quantile=\"0.5\"} %g\n", hw.name, hw.p50)
-		fmt.Fprintf(w, "%s{quantile=\"0.95\"} %g\n", hw.name, hw.p95)
-		fmt.Fprintf(w, "%s{quantile=\"0.99\"} %g\n", hw.name, hw.p99)
-		fmt.Fprintf(w, "%s_sum %g\n", hw.name, hw.sum)
-		fmt.Fprintf(w, "%s_count %d\n", hw.name, hw.count)
+		fmt.Fprintf(w, "%s %g\n", joinLabels(hw.fam, hw.labels, `quantile="0.5"`), hw.p50)
+		fmt.Fprintf(w, "%s %g\n", joinLabels(hw.fam, hw.labels, `quantile="0.95"`), hw.p95)
+		fmt.Fprintf(w, "%s %g\n", joinLabels(hw.fam, hw.labels, `quantile="0.99"`), hw.p99)
+		fmt.Fprintf(w, "%s %g\n", joinLabels(hw.fam+"_sum", hw.labels, ""), hw.sum)
+		fmt.Fprintf(w, "%s %d\n", joinLabels(hw.fam+"_count", hw.labels, ""), hw.count)
 	}
 	// The same data again as native Prometheus histograms with cumulative le
 	// buckets, under a distinct <name>_hist family: the summary above already
 	// claims <name>_sum/<name>_count, and a metric cannot be both types. The
 	// bucket edges are the histogram's own log2 bucket upper bounds, 2^(i+1)
 	// microseconds expressed in seconds; empty tail buckets are elided.
+	lastFam = ""
 	for _, hw := range hrows {
-		fam := hw.name + "_hist"
-		if hw.help != "" {
-			fmt.Fprintf(w, "# HELP %s %s (cumulative le buckets)\n", fam, hw.help)
+		fam := hw.fam + "_hist"
+		if fam != lastFam {
+			if hw.help != "" {
+				fmt.Fprintf(w, "# HELP %s %s (cumulative le buckets)\n", fam, hw.help)
+			}
+			fmt.Fprintf(w, "# TYPE %s histogram\n", fam)
+			lastFam = fam
 		}
-		fmt.Fprintf(w, "# TYPE %s histogram\n", fam)
 		top := 0
 		for i, c := range hw.buckets {
 			if c > 0 {
@@ -206,11 +314,11 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 		for i := 0; i <= top; i++ {
 			cum += hw.buckets[i]
 			le := float64(int64(1)<<uint(i+1)) / 1e6
-			fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", fam, le, cum)
+			fmt.Fprintf(w, "%s %d\n", joinLabels(fam+"_bucket", hw.labels, fmt.Sprintf("le=%q", strconv.FormatFloat(le, 'g', -1, 64))), cum)
 		}
-		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", fam, hw.count)
-		fmt.Fprintf(w, "%s_sum %g\n", fam, hw.sum)
-		fmt.Fprintf(w, "%s_count %d\n", fam, hw.count)
+		fmt.Fprintf(w, "%s %d\n", joinLabels(fam+"_bucket", hw.labels, `le="+Inf"`), hw.count)
+		fmt.Fprintf(w, "%s %g\n", joinLabels(fam+"_sum", hw.labels, ""), hw.sum)
+		fmt.Fprintf(w, "%s %d\n", joinLabels(fam+"_count", hw.labels, ""), hw.count)
 	}
 }
 

@@ -75,6 +75,12 @@ type Event struct {
 	// (or a sequential run), i > 0 is parallel worker i-1. ChromeSink maps
 	// it to the trace's tid so per-worker timelines render as lanes.
 	Worker int
+	// TraceID/SpanID are the W3C trace identity of the request that caused
+	// this event, as lowercase hex strings; empty for library runs without a
+	// trace context. Solvers never set them — the StampTrace wrapper fills
+	// them in on the way to the sinks.
+	TraceID string
+	SpanID  string
 }
 
 // Tracer receives events. Implementations must be safe for concurrent use;

@@ -49,6 +49,16 @@ func (s *NDJSONSink) Emit(e Event) {
 		buf = append(buf, `,"worker":`...)
 		buf = strconv.AppendInt(buf, int64(e.Worker-1), 10)
 	}
+	if e.TraceID != "" {
+		buf = append(buf, `,"trace_id":"`...)
+		buf = append(buf, e.TraceID...)
+		buf = append(buf, '"')
+	}
+	if e.SpanID != "" {
+		buf = append(buf, `,"span_id":"`...)
+		buf = append(buf, e.SpanID...)
+		buf = append(buf, '"')
+	}
 	buf = append(buf, '}', '\n')
 	s.mu.Lock()
 	s.w.Write(buf)
@@ -90,19 +100,30 @@ func (s *ChromeSink) Emit(e Event) {
 	defer s.mu.Unlock()
 	ts := e.Time.UnixMicro()
 	tid := e.Worker + 1
+	// traceArg carries the request's trace identity into the event's args so
+	// a Perfetto query can slice one request out of a multi-request trace.
+	traceArg := ""
+	if e.TraceID != "" {
+		traceArg = fmt.Sprintf(`,"args":{"trace_id":%q}`, e.TraceID)
+	}
 	var line string
 	switch e.Kind {
 	case KPhaseBegin:
-		line = fmt.Sprintf(`{"name":%q,"ph":"B","ts":%d,"pid":%d,"tid":%d}`, e.Name, ts, s.pid, tid)
+		line = fmt.Sprintf(`{"name":%q,"ph":"B","ts":%d,"pid":%d,"tid":%d%s}`, e.Name, ts, s.pid, tid, traceArg)
 	case KPhaseEnd:
-		line = fmt.Sprintf(`{"name":%q,"ph":"E","ts":%d,"pid":%d,"tid":%d}`, e.Name, ts, s.pid, tid)
+		line = fmt.Sprintf(`{"name":%q,"ph":"E","ts":%d,"pid":%d,"tid":%d%s}`, e.Name, ts, s.pid, tid, traceArg)
 	case KSpan:
 		// Complete event: ts is the start, dur the length.
-		line = fmt.Sprintf(`{"name":%q,"ph":"X","ts":%d,"dur":%d,"pid":%d,"tid":%d}`,
-			e.Name, ts-e.Dur.Microseconds(), e.Dur.Microseconds(), s.pid, tid)
+		line = fmt.Sprintf(`{"name":%q,"ph":"X","ts":%d,"dur":%d,"pid":%d,"tid":%d%s}`,
+			e.Name, ts-e.Dur.Microseconds(), e.Dur.Microseconds(), s.pid, tid, traceArg)
 	case KCounter, KHighWater, KTableGrowth:
-		line = fmt.Sprintf(`{"name":%q,"ph":"C","ts":%d,"pid":%d,"tid":%d,"args":{"value":%d}}`,
-			e.Name, ts, s.pid, tid, e.Value)
+		if e.TraceID != "" {
+			line = fmt.Sprintf(`{"name":%q,"ph":"C","ts":%d,"pid":%d,"tid":%d,"args":{"value":%d,"trace_id":%q}}`,
+				e.Name, ts, s.pid, tid, e.Value, e.TraceID)
+		} else {
+			line = fmt.Sprintf(`{"name":%q,"ph":"C","ts":%d,"pid":%d,"tid":%d,"args":{"value":%d}}`,
+				e.Name, ts, s.pid, tid, e.Value)
+		}
 	default:
 		return
 	}

@@ -1,0 +1,178 @@
+package obs
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// layWindow records a synthetic tsdb window: 11 points at 60s cadence where
+// each step adds 10 requests on route "query", 9 of them good — a steady 10%
+// bad fraction.
+func layWindow(t *testing.T) *TimeSeries {
+	t.Helper()
+	reg := NewRegistry()
+	ts := NewTimeSeries(reg, TimeSeriesOptions{Interval: time.Second, Retention: time.Hour})
+	total := reg.LabeledGauge(SLOTotalFamily, "slo total", "route", "query")
+	good := reg.LabeledGauge(SLOGoodFamily, "slo good", "route", "query")
+	base := int64(1_700_000_000_000)
+	for i := 0; i <= 10; i++ {
+		if i > 0 {
+			total.Add(10)
+			good.Add(9)
+		}
+		ts.recordAt(base + int64(i)*60_000)
+	}
+	return ts
+}
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+// TestSLOTrackerBurnRate pins the burn-rate arithmetic over a synthetic
+// window: objective 0.99 leaves a 1% budget, a steady 10% bad fraction burns
+// it at 10x, and the remaining budget clamps to zero.
+func TestSLOTrackerBurnRate(t *testing.T) {
+	ts := layWindow(t)
+	tr := NewSLOTracker(ts, []SLO{{Route: "query", Objective: 0.99}}, 5*time.Minute, time.Hour)
+	rep := tr.Report()
+	if rep.Schema != SLOSchema {
+		t.Fatalf("schema = %q", rep.Schema)
+	}
+	if len(rep.SLOs) != 1 {
+		t.Fatalf("slos = %+v", rep.SLOs)
+	}
+	st := rep.SLOs[0]
+	if st.Route != "query" || !approx(st.Objective, 0.99) {
+		t.Fatalf("status head: %+v", st)
+	}
+	if len(st.Windows) != 2 {
+		t.Fatalf("windows: %+v", st.Windows)
+	}
+
+	// 5m window: endpoints are t=300s (total 50) and t=600s (total 100) —
+	// delta 50 total / 5 bad over a 300s span.
+	w5 := st.Windows[0]
+	if w5.Window != "5m" || w5.SpanMS != 300_000 {
+		t.Fatalf("5m window head: %+v", w5)
+	}
+	if w5.Total != 50 || w5.Bad != 5 {
+		t.Fatalf("5m counts: %+v", w5)
+	}
+	if !approx(w5.BadFraction, 0.1) || !approx(w5.BurnRate, 10) {
+		t.Fatalf("5m rates: %+v", w5)
+	}
+
+	// 1h window: thin history — the span is the full 600s of retained points,
+	// baseline total 0.
+	w1h := st.Windows[1]
+	if w1h.Window != "1h" || w1h.SpanMS != 600_000 {
+		t.Fatalf("1h window head: %+v", w1h)
+	}
+	if w1h.Total != 100 || w1h.Bad != 10 {
+		t.Fatalf("1h counts: %+v", w1h)
+	}
+	if !approx(w1h.BurnRate, 10) {
+		t.Fatalf("1h burn: %+v", w1h)
+	}
+
+	// Burning 10x leaves nothing: remaining budget clamps to 0.
+	if st.BudgetRemaining != 0 {
+		t.Fatalf("budget remaining = %v", st.BudgetRemaining)
+	}
+}
+
+// TestSLOTrackerHealthyRoute: a 10% bad fraction against a 0.5 objective
+// (budget 0.5) burns at 0.2x and leaves 80% of the budget.
+func TestSLOTrackerHealthyRoute(t *testing.T) {
+	ts := layWindow(t)
+	tr := NewSLOTracker(ts, []SLO{{Route: "query", Objective: 0.5}}, time.Hour)
+	st := tr.Report().SLOs[0]
+	if len(st.Windows) != 1 {
+		t.Fatalf("windows: %+v", st.Windows)
+	}
+	if !approx(st.Windows[0].BurnRate, 0.2) {
+		t.Fatalf("burn = %v", st.Windows[0].BurnRate)
+	}
+	if !approx(st.BudgetRemaining, 0.8) {
+		t.Fatalf("budget remaining = %v", st.BudgetRemaining)
+	}
+}
+
+// TestSLOTrackerMissingGoodCounter: a route that has served only bad
+// requests never registers the good counter; every request burns budget.
+func TestSLOTrackerMissingGoodCounter(t *testing.T) {
+	reg := NewRegistry()
+	ts := NewTimeSeries(reg, TimeSeriesOptions{Interval: time.Second, Retention: time.Hour})
+	total := reg.LabeledGauge(SLOTotalFamily, "slo total", "route", "broken")
+	base := int64(1_700_000_000_000)
+	for i := 0; i <= 3; i++ {
+		if i > 0 {
+			total.Add(5)
+		}
+		ts.recordAt(base + int64(i)*60_000)
+	}
+	tr := NewSLOTracker(ts, []SLO{{Route: "broken", Objective: 0.9}}, time.Hour)
+	st := tr.Report().SLOs[0]
+	if len(st.Windows) != 1 {
+		t.Fatalf("windows: %+v", st.Windows)
+	}
+	w := st.Windows[0]
+	if w.Total != 15 || w.Bad != 15 || !approx(w.BadFraction, 1) {
+		t.Fatalf("all-bad window: %+v", w)
+	}
+	if !approx(w.BurnRate, 10) { // 1.0 / 0.1 budget
+		t.Fatalf("burn = %v", w.BurnRate)
+	}
+}
+
+// TestSLOTrackerNoData: with no usable history the report still lists the
+// objective, with no windows and a full budget.
+func TestSLOTrackerNoData(t *testing.T) {
+	ts := NewTimeSeries(NewRegistry(), TimeSeriesOptions{})
+	tr := NewSLOTracker(ts, []SLO{{Route: "query", Objective: 0.999}})
+	st := tr.Report().SLOs[0]
+	if len(st.Windows) != 0 || st.BudgetRemaining != 1 {
+		t.Fatalf("empty-history status: %+v", st)
+	}
+}
+
+// TestSeriesDeltaZeroBaseline: increments that land before the series' first
+// retained point still count — a point inside the window from before the
+// series appeared is a zero baseline (counters register on first increment).
+func TestSeriesDeltaZeroBaseline(t *testing.T) {
+	reg := NewRegistry()
+	ts := NewTimeSeries(reg, TimeSeriesOptions{Interval: time.Second, Retention: time.Hour})
+	base := int64(1_700_000_000_000)
+	ts.recordAt(base) // counter does not exist yet
+	g := reg.LabeledGauge(SLOTotalFamily, "slo total", "route", "query")
+	g.Add(7)
+	ts.recordAt(base + 1_000)
+	name := MetricKey(SLOTotalFamily, "route", "query")
+	delta, span, ok := ts.SeriesDelta(name, time.Minute)
+	if !ok || delta != 7 || span != time.Second {
+		t.Fatalf("SeriesDelta = %d, %v, %v", delta, span, ok)
+	}
+
+	// A single point carrying the series and nothing before it is unusable.
+	ts2 := NewTimeSeries(reg, TimeSeriesOptions{Interval: time.Second, Retention: time.Hour})
+	ts2.recordAt(base)
+	if _, _, ok := ts2.SeriesDelta(name, time.Minute); ok {
+		t.Fatal("single-point window reported usable")
+	}
+	if _, _, ok := ts2.SeriesDelta("rpq_absent_series", time.Minute); ok {
+		t.Fatal("absent series reported usable")
+	}
+}
+
+func TestWindowName(t *testing.T) {
+	for d, want := range map[time.Duration]string{
+		5 * time.Minute:  "5m",
+		time.Hour:        "1h",
+		90 * time.Second: "90s",
+		2 * time.Hour:    "2h",
+	} {
+		if got := windowName(d); got != want {
+			t.Errorf("windowName(%v) = %q, want %q", d, got, want)
+		}
+	}
+}

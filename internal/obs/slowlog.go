@@ -43,6 +43,11 @@ type slowRecord struct {
 	// Bundle is the diagnostic-bundle directory the watchdog wrote for this
 	// query, when one was produced.
 	Bundle string `json:"bundle,omitempty"`
+	// TraceID/SpanID are the W3C trace identity of the originating request,
+	// when the run carried one, so a slow entry is greppable by the same key
+	// as the access log and trace sinks.
+	TraceID string `json:"trace_id,omitempty"`
+	SpanID  string `json:"span_id,omitempty"`
 }
 
 // SlowDetail is the optional execution context of a slow-query entry.
@@ -61,6 +66,10 @@ type SlowDetail struct {
 	// Bundle is the diagnostic-bundle path for this query, when the
 	// watchdog wrote one.
 	Bundle string
+	// TraceID/SpanID are the originating request's W3C trace identity
+	// (lowercase hex), empty when the run carried no trace context.
+	TraceID string
+	SpanID  string
 }
 
 // Observe records the query if it was slow; it reports whether it did.
@@ -89,6 +98,8 @@ func (l *SlowLog) ObserveDetail(kind, query string, d time.Duration, answers int
 		HotStates:  detail.HotStates,
 		Stats:      stats,
 		Bundle:     detail.Bundle,
+		TraceID:    detail.TraceID,
+		SpanID:     detail.SpanID,
 	}
 	b, err := json.Marshal(rec)
 	if err != nil {

@@ -104,12 +104,18 @@ func (t *TimeSeries) Len() int {
 // Record takes one snapshot now. Memory stays bounded: once the ring is
 // full, the oldest point is overwritten.
 func (t *TimeSeries) Record() {
+	t.recordAt(time.Now().UnixMilli())
+}
+
+// recordAt is Record with an explicit timestamp, so tests can lay down a
+// synthetic window and pin the arithmetic of window queries.
+func (t *TimeSeries) recordAt(unixMS int64) {
 	vals := t.reg.Snapshot()
 	t.mu.Lock()
 	for _, src := range t.sources {
 		src(vals)
 	}
-	p := tsPoint{unixMS: time.Now().UnixMilli(), vals: vals}
+	p := tsPoint{unixMS: unixMS, vals: vals}
 	if len(t.points) < t.capacity {
 		t.points = append(t.points, p)
 	} else {
@@ -117,6 +123,51 @@ func (t *TimeSeries) Record() {
 		t.next = (t.next + 1) % t.capacity
 	}
 	t.mu.Unlock()
+}
+
+// SeriesDelta reports how much the series named name increased over the
+// trailing window: the difference between its newest retained value and its
+// value at the oldest retained point no older than the window, along with
+// the actual span those endpoints cover (which can be shorter than the
+// window when history is thin — burn-rate consumers report the real span so
+// a freshly started process does not fake a full window of data). A point
+// inside the window from before the series first appeared counts as zero:
+// counters register on their first increment, so absence means the count
+// was still 0, and without that baseline every increment that lands between
+// two snapshots right after startup would be invisible to the delta. ok is
+// false when the window holds fewer than two points up to the newest one
+// carrying the series.
+func (t *TimeSeries) SeriesDelta(name string, window time.Duration) (delta int64, span time.Duration, ok bool) {
+	pts := t.ordered()
+	// Walk back to the newest point carrying the series.
+	hi := len(pts) - 1
+	for hi >= 0 {
+		if _, present := pts[hi].vals[name]; present {
+			break
+		}
+		hi--
+	}
+	if hi < 1 {
+		return 0, 0, false
+	}
+	cutoff := pts[hi].unixMS - window.Milliseconds()
+	lo := -1
+	for i := 0; i < hi; i++ {
+		if pts[i].unixMS >= cutoff {
+			lo = i
+			break
+		}
+	}
+	if lo < 0 {
+		return 0, 0, false
+	}
+	base := pts[lo].vals[name] // zero when the series had not appeared yet
+	delta = pts[hi].vals[name] - base
+	span = time.Duration(pts[hi].unixMS-pts[lo].unixMS) * time.Millisecond
+	if span <= 0 {
+		return 0, 0, false
+	}
+	return delta, span, true
 }
 
 // ordered returns the retained points oldest-first.

@@ -130,25 +130,30 @@ func (s *Server) handleListGraphs(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleLoadGraph(w http.ResponseWriter, r *http.Request) {
 	if !s.enter() {
-		writeError(w, http.StatusServiceUnavailable, "draining", "service is shutting down")
+		writeError(w, r, http.StatusServiceUnavailable, "draining", "service is shutting down")
 		return
 	}
 	defer s.wg.Done()
 	s.gRequests.Add(1)
 	name := r.PathValue("name")
+	if ri := requestInfo(r); ri != nil {
+		ri.graph = name
+	}
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxGraphBytes)
 	info, err := s.LoadGraph(name, r.URL.Query().Get("format"), body)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "bad_graph", "load graph %q: %v", name, err)
+		s.logAudit(r, "load", name, "rejected")
+		writeError(w, r, http.StatusBadRequest, "bad_graph", "load graph %q: %v", name, err)
 		return
 	}
+	s.logAudit(r, "load", name, "ok")
 	writeJSON(w, http.StatusCreated, map[string]any{"graph": info})
 }
 
 func (s *Server) handleGetGraph(w http.ResponseWriter, r *http.Request) {
 	e, ok := s.graph(r.PathValue("name"))
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown_graph", "graph %q is not in the catalog", r.PathValue("name"))
+		writeError(w, r, http.StatusNotFound, "unknown_graph", "graph %q is not in the catalog", r.PathValue("name"))
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"graph": e.info()})
@@ -156,14 +161,19 @@ func (s *Server) handleGetGraph(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleDeleteGraph(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
+	if ri := requestInfo(r); ri != nil {
+		ri.graph = name
+	}
 	s.mu.Lock()
 	_, ok := s.graphs[name]
 	delete(s.graphs, name)
 	s.gGraphs.Set(int64(len(s.graphs)))
 	s.mu.Unlock()
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown_graph", "graph %q is not in the catalog", name)
+		s.logAudit(r, "delete", name, "not_found")
+		writeError(w, r, http.StatusNotFound, "unknown_graph", "graph %q is not in the catalog", name)
 		return
 	}
+	s.logAudit(r, "delete", name, "ok")
 	w.WriteHeader(http.StatusNoContent)
 }

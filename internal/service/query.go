@@ -150,8 +150,9 @@ func (s *Server) buildOptions(q QueryOptions) (*rpq.Options, error) {
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	ri := requestInfo(r)
 	if !s.enter() {
-		writeError(w, http.StatusServiceUnavailable, "draining", "service is shutting down")
+		writeError(w, r, http.StatusServiceUnavailable, "draining", "service is shutting down")
 		return
 	}
 	defer s.wg.Done()
@@ -160,30 +161,34 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var req QueryRequest
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxQueryBytes)
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad_request", "decode request: %v", err)
+		writeError(w, r, http.StatusBadRequest, "bad_request", "decode request: %v", err)
 		return
 	}
 	switch req.Kind {
 	case "", "exist", "universal", "violations":
 	default:
-		writeError(w, http.StatusBadRequest, "bad_request", "unknown kind %q (want exist, universal, or violations)", req.Kind)
+		writeError(w, r, http.StatusBadRequest, "bad_request", "unknown kind %q (want exist, universal, or violations)", req.Kind)
 		return
 	}
 	if req.Kind == "" {
 		req.Kind = "exist"
 	}
+	if ri != nil {
+		ri.kind = req.Kind
+		ri.graph = req.Graph
+	}
 	if req.Pattern == "" {
-		writeError(w, http.StatusBadRequest, "bad_request", "missing pattern")
+		writeError(w, r, http.StatusBadRequest, "bad_request", "missing pattern")
 		return
 	}
 	entry, ok := s.graph(req.Graph)
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown_graph", "graph %q is not in the catalog", req.Graph)
+		writeError(w, r, http.StatusNotFound, "unknown_graph", "graph %q is not in the catalog", req.Graph)
 		return
 	}
 	opts, err := s.buildOptions(req.Options)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "bad_request", "%v", err)
+		writeError(w, r, http.StatusBadRequest, "bad_request", "%v", err)
 		return
 	}
 
@@ -194,15 +199,24 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		switch {
 		case errors.Is(err, errOverloaded), errors.Is(err, errQueueWait):
+			if ri != nil {
+				ri.admission = "rejected"
+			}
 			w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
-			writeError(w, http.StatusTooManyRequests, "overloaded", "%v", err)
+			writeError(w, r, http.StatusTooManyRequests, "overloaded", "%v", err)
 		default:
 			// Client went away while queued; nothing useful to write.
-			writeError(w, StatusClientClosedRequest, "canceled", "client closed request while queued")
+			if ri != nil {
+				ri.admission = "canceled"
+			}
+			writeError(w, r, StatusClientClosedRequest, "canceled", "client closed request while queued")
 		}
 		return
 	}
 	defer release()
+	if ri != nil {
+		ri.admission = "ok"
+	}
 	if s.hookAdmitted != nil {
 		s.hookAdmitted(r.Context())
 	}
@@ -231,9 +245,16 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	t0 := time.Now()
 	res, err := s.runQuery(ctx, entry, &req, opts)
 	entry.queries.Add(1)
+	if ri != nil {
+		ri.queryID = obsID
+	}
 	if err != nil {
-		s.writeQueryError(w, err)
+		s.writeQueryError(w, r, err)
 		return
+	}
+	if ri != nil {
+		ri.cpuNS = res.Stats.CPUTime.Nanoseconds()
+		ri.allocBytes = res.Stats.AllocBytes
 	}
 	out := QueryResponse{
 		QueryID:   obsID,
@@ -285,19 +306,21 @@ func (e *patternError) Unwrap() error { return e.err }
 // structured JSON), deadline breaches are 504 with the partial stats,
 // cancellations are 499, a failed universal determinism check with an
 // explicitly requested algorithm is 422, and anything else is a 500.
-func (s *Server) writeQueryError(w http.ResponseWriter, err error) {
+func (s *Server) writeQueryError(w http.ResponseWriter, r *http.Request, err error) {
 	var pe *patternError
 	if errors.As(err, &pe) {
-		writeError(w, http.StatusBadRequest, "bad_pattern", "%v", pe.err)
+		writeError(w, r, http.StatusBadRequest, "bad_pattern", "%v", pe.err)
 		return
 	}
 	var le *rpq.LintError
 	if errors.As(err, &le) {
-		writeJSON(w, http.StatusBadRequest, apiError{
+		e := apiError{
 			Error:       "lint_rejected",
 			Message:     le.Error(),
 			Diagnostics: le.Diags,
-		})
+		}
+		stampIdentity(r, &e)
+		writeJSON(w, http.StatusBadRequest, e)
 		return
 	}
 	var ie *rpq.InterruptError
@@ -308,18 +331,25 @@ func (s *Server) writeQueryError(w http.ResponseWriter, err error) {
 		} else {
 			s.gCanceled.Add(1)
 		}
-		writeJSON(w, code, map[string]any{
+		body := map[string]any{
 			"error":   name,
 			"message": err.Error(),
 			"stats":   ie.Stats,
-		})
+		}
+		if ri := requestInfo(r); ri != nil {
+			ri.cpuNS = ie.Stats.CPUTime.Nanoseconds()
+			ri.allocBytes = ie.Stats.AllocBytes
+			body["request_id"] = ri.requestID
+			body["trace_id"] = ri.trace.TraceIDString()
+		}
+		writeJSON(w, code, body)
 		return
 	}
 	if errors.Is(err, rpq.ErrNondeterministic) {
-		writeError(w, http.StatusUnprocessableEntity, "nondeterministic", "%v", err)
+		writeError(w, r, http.StatusUnprocessableEntity, "nondeterministic", "%v", err)
 		return
 	}
-	writeError(w, http.StatusInternalServerError, "internal", "%v", err)
+	writeError(w, r, http.StatusInternalServerError, "internal", "%v", err)
 }
 
 // handleListQueries serves the queries executing right now, straight from
@@ -342,14 +372,14 @@ func (s *Server) handleListQueries(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleCancelQuery(w http.ResponseWriter, r *http.Request) {
 	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "bad_request", "bad query id %q", r.PathValue("id"))
+		writeError(w, r, http.StatusBadRequest, "bad_request", "bad query id %q", r.PathValue("id"))
 		return
 	}
 	s.activeMu.Lock()
 	cancel, ok := s.active[id]
 	s.activeMu.Unlock()
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown_query", "query %d is not executing through this service", id)
+		writeError(w, r, http.StatusNotFound, "unknown_query", "query %d is not executing through this service", id)
 		return
 	}
 	cancel()

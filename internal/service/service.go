@@ -12,9 +12,11 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rpq"
@@ -73,6 +75,15 @@ type Config struct {
 	// cancellation; nil means the process-wide default registry (the one
 	// the rpq entry points register into).
 	Inflight *obs.Inflight
+	// Logger, when non-nil, receives the structured access log (one line
+	// per request, stream="access") and the catalog-mutation audit stream
+	// (stream="audit"). nil disables both.
+	Logger *slog.Logger
+	// SLOs configures which routes get SLO event counters
+	// (rpq_http_slo_total/rpq_http_slo_good) and what counts as a good
+	// request on them; the observability plane's burn-rate tracker consumes
+	// those counters from the tsdb.
+	SLOs []obs.SLO
 }
 
 // withDefaults resolves the zero values.
@@ -115,10 +126,18 @@ func (c Config) withDefaults() Config {
 // Shutdown before process exit so in-flight queries drain (or are canceled)
 // before the observability plane goes down.
 type Server struct {
-	cfg    Config
-	cache  *rpq.QueryCache
-	adm    *admission
-	gauges *rpq.SolverGauges
+	cfg         Config
+	cache       *rpq.QueryCache
+	adm         *admission
+	gauges      *rpq.SolverGauges
+	httpMetrics *obs.HTTPMetrics
+
+	// ready distinguishes readiness from liveness: /api/v1/readyz reports
+	// 503 until SetReady(true) (and again while draining), while
+	// /api/v1/healthz stays 200 for as long as the process serves. NewServer
+	// starts ready, so embedded/test use needs no extra call; cmd/rpqd
+	// clears it during boot and sets it once the listeners are up.
+	ready atomic.Bool
 
 	mu      sync.RWMutex
 	graphs  map[string]*graphEntry
@@ -164,25 +183,38 @@ func NewServer(cfg Config) *Server {
 		gCanceled: r.Gauge("rpq_svc_canceled_total", "queries canceled through the API since process start"),
 		gDraining: r.Gauge("rpq_svc_draining", "1 while the service is draining for shutdown"),
 	}
+	s.httpMetrics = obs.NewHTTPMetrics(r, cfg.SLOs)
+	s.ready.Store(true)
 	return s
 }
+
+// SetReady flips the readiness signal behind /api/v1/readyz. Liveness
+// (/api/v1/healthz) is unaffected.
+func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
+
+// Ready reports whether the service is accepting work: marked ready and not
+// draining.
+func (s *Server) Ready() bool { return s.ready.Load() && !s.Draining() }
 
 // Cache exposes the shared compiled-query cache (for stats and tests).
 func (s *Server) Cache() *rpq.QueryCache { return s.cache }
 
-// Handler returns the service's HTTP routes.
+// Handler returns the service's HTTP routes, each wrapped in the
+// request-telemetry middleware under a stable route name (the RED metric
+// and access-log "route" label).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /api/v1/healthz", s.handleHealth)
-	mux.HandleFunc("GET /api/v1/stats", s.handleStats)
-	mux.HandleFunc("GET /api/v1/graphs", s.handleListGraphs)
-	mux.HandleFunc("PUT /api/v1/graphs/{name}", s.handleLoadGraph)
-	mux.HandleFunc("POST /api/v1/graphs/{name}", s.handleLoadGraph)
-	mux.HandleFunc("GET /api/v1/graphs/{name}", s.handleGetGraph)
-	mux.HandleFunc("DELETE /api/v1/graphs/{name}", s.handleDeleteGraph)
-	mux.HandleFunc("POST /api/v1/query", s.handleQuery)
-	mux.HandleFunc("GET /api/v1/queries", s.handleListQueries)
-	mux.HandleFunc("POST /api/v1/queries/{id}/cancel", s.handleCancelQuery)
+	mux.HandleFunc("GET /api/v1/healthz", s.instrument("healthz", s.handleHealth))
+	mux.HandleFunc("GET /api/v1/readyz", s.instrument("readyz", s.handleReady))
+	mux.HandleFunc("GET /api/v1/stats", s.instrument("stats", s.handleStats))
+	mux.HandleFunc("GET /api/v1/graphs", s.instrument("graphs_list", s.handleListGraphs))
+	mux.HandleFunc("PUT /api/v1/graphs/{name}", s.instrument("graph_load", s.handleLoadGraph))
+	mux.HandleFunc("POST /api/v1/graphs/{name}", s.instrument("graph_load", s.handleLoadGraph))
+	mux.HandleFunc("GET /api/v1/graphs/{name}", s.instrument("graph_get", s.handleGetGraph))
+	mux.HandleFunc("DELETE /api/v1/graphs/{name}", s.instrument("graph_delete", s.handleDeleteGraph))
+	mux.HandleFunc("POST /api/v1/query", s.instrument("query", s.handleQuery))
+	mux.HandleFunc("GET /api/v1/queries", s.instrument("queries_list", s.handleListQueries))
+	mux.HandleFunc("POST /api/v1/queries/{id}/cancel", s.instrument("query_cancel", s.handleCancelQuery))
 	return mux
 }
 
@@ -254,11 +286,14 @@ func (s *Server) Shutdown(ctx context.Context) error {
 
 // apiError is the uniform error body: a stable machine-readable code plus a
 // human-readable message, with optional structured detail (e.g. lint
-// diagnostics).
+// diagnostics). RequestID and TraceID echo the response headers so a client
+// error report alone is greppable in the access log and trace sinks.
 type apiError struct {
 	Error       string `json:"error"`
 	Message     string `json:"message,omitempty"`
 	Diagnostics any    `json:"diagnostics,omitempty"`
+	RequestID   string `json:"request_id,omitempty"`
+	TraceID     string `json:"trace_id,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -269,8 +304,19 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	enc.Encode(v)
 }
 
-func writeError(w http.ResponseWriter, code int, errCode, format string, args ...any) {
-	writeJSON(w, code, apiError{Error: errCode, Message: fmt.Sprintf(format, args...)})
+// stampIdentity fills an apiError's request/trace identity from the request
+// (no-op when the request bypassed the middleware).
+func stampIdentity(r *http.Request, e *apiError) {
+	if ri := requestInfo(r); ri != nil {
+		e.RequestID = ri.requestID
+		e.TraceID = ri.trace.TraceIDString()
+	}
+}
+
+func writeError(w http.ResponseWriter, r *http.Request, code int, errCode, format string, args ...any) {
+	e := apiError{Error: errCode, Message: fmt.Sprintf(format, args...)}
+	stampIdentity(r, &e)
+	writeJSON(w, code, e)
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -282,6 +328,24 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		"graphs":   n,
 		"inflight": s.cfg.Inflight.Len(),
 		"draining": s.Draining(),
+	})
+}
+
+// handleReady is the readiness probe: 200 only when the process has been
+// marked ready and is not draining. Liveness (handleHealth) stays 200
+// throughout a drain so orchestrators do not kill a server that is still
+// finishing in-flight queries; readiness flips first so load balancers stop
+// routing new work to it.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	if !s.Ready() {
+		e := apiError{Error: "not_ready", Message: "service is draining or not yet serving"}
+		stampIdentity(r, &e)
+		writeJSON(w, http.StatusServiceUnavailable, e)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ready",
+		"inflight": s.cfg.Inflight.Len(),
 	})
 }
 

@@ -439,6 +439,30 @@ type SlowLog = obs.SlowLog
 // SolverGauges is the live gauge set sampled by a running query.
 type SolverGauges = obs.SolverGauges
 
+// TraceContext is a W3C Trace Context identity (128-bit trace ID, 64-bit
+// span ID, flags). Attach one to a query's context with WithTrace and every
+// piece of telemetry the run produces — trace events, the in-flight
+// snapshot, the slow-log record, flight-recorder bundles, pprof labels —
+// carries its trace ID. The service plane does this per HTTP request.
+type TraceContext = obs.TraceContext
+
+// NewTraceContext generates a fresh sampled trace context.
+func NewTraceContext() TraceContext { return obs.NewTraceContext() }
+
+// ParseTraceparent parses a W3C traceparent header (version 00), rejecting
+// malformed values and all-zero IDs.
+func ParseTraceparent(s string) (TraceContext, error) { return obs.ParseTraceparent(s) }
+
+// WithTrace returns ctx carrying tc; pass the result to the *Context query
+// methods to stamp the run's telemetry with the request identity.
+func WithTrace(ctx context.Context, tc TraceContext) context.Context {
+	return obs.WithTrace(ctx, tc)
+}
+
+// TraceFromContext returns the trace context attached to ctx by WithTrace
+// (or by the service middleware), if any.
+func TraceFromContext(ctx context.Context) (TraceContext, bool) { return obs.TraceFrom(ctx) }
+
 // Progress is one live snapshot of a running query, delivered to
 // Options.Progress: the current phase, worklist pops and depth, reach-set
 // and substitution-table sizes, enumeration progress, and worker count.
@@ -534,7 +558,20 @@ type ObservabilityConfig struct {
 	// The store's footprint is bounded by Retention/TSInterval points no
 	// matter how long the process runs.
 	Retention time.Duration
+	// SLOs, when non-empty, enables SLO burn-rate tracking over the
+	// time-series window: /debug/rpq/slo serves the multi-window readout and
+	// the dashboard gains a burn-rate panel. Requires the time-series store
+	// (ignored when TSInterval < 0).
+	SLOs []SLO
 }
+
+// SLO is one service-level objective for SLO burn-rate tracking; see
+// ObservabilityConfig.SLOs and internal/service.
+type SLO = obs.SLO
+
+// SLOTracker computes multi-window burn rates from the telemetry
+// time-series; see ObservabilityServer.SLO.
+type SLOTracker = obs.SLOTracker
 
 // ObservabilityServer is a running observability plane: the HTTP server
 // plus the background runtime sampler and time-series store feeding it.
@@ -544,6 +581,10 @@ type ObservabilityServer struct {
 	Server  *http.Server
 	Sampler *RuntimeSampler
 	TS      *TimeSeries
+	// SLO is the burn-rate tracker behind /debug/rpq/slo; nil unless
+	// ObservabilityConfig.SLOs was set alongside an enabled time-series
+	// store.
+	SLO *SLOTracker
 }
 
 // Close stops the time-series store, the runtime sampler, and the HTTP
@@ -580,7 +621,10 @@ func ServeObservabilityWith(addr string, cfg ObservabilityConfig) (*Observabilit
 		})
 		out.TS.WatchInflight(obs.DefaultInflight())
 	}
-	srv, err := obs.ServeWith(addr, obs.ServeOptions{TimeSeries: out.TS})
+	if out.TS != nil && len(cfg.SLOs) > 0 {
+		out.SLO = obs.NewSLOTracker(out.TS, cfg.SLOs)
+	}
+	srv, err := obs.ServeWith(addr, obs.ServeOptions{TimeSeries: out.TS, SLO: out.SLO})
 	if err != nil {
 		// Failed startup (e.g. the port is already bound) must not leak the
 		// telemetry components: stop whichever were already running so no
@@ -633,6 +677,11 @@ type runState struct {
 	// shared work; the pprof labels applied by do give exact attribution.
 	cpu0   time.Duration
 	alloc0 int64
+
+	// trace is the W3C trace context carried by the caller's ctx, if any
+	// (zero value = none). It joins the run's telemetry — events, snapshot,
+	// slow-log record, pprof labels — to the originating request.
+	trace obs.TraceContext
 }
 
 // do runs fn under pprof labels identifying the query — rpq_query_id (the
@@ -642,13 +691,17 @@ type runState struct {
 // solver spawns, covering parallel workers. Call it once per solver
 // invocation; a re-run after an algorithm fallback gets fresh labels.
 func (rs *runState) do(ctx context.Context, co *core.Options, fn func(ctx context.Context)) {
-	pprof.Do(ctx, pprof.Labels(
+	labels := []string{
 		"rpq_query_id", strconv.FormatInt(rs.iq.ID(), 10),
 		"rpq_kind", rs.kind,
 		"variant", co.Algo.String(),
 		"table", co.Table.String(),
 		"workers", strconv.Itoa(co.Workers),
-	), fn)
+	}
+	if rs.trace.IsValid() {
+		labels = append(labels, "rpq_trace_id", rs.trace.TraceIDString())
+	}
+	pprof.Do(ctx, pprof.Labels(labels...), fn)
 }
 
 // beginRun registers the query as in-flight, splices the flight-recorder
@@ -657,13 +710,21 @@ func (rs *runState) do(ctx context.Context, co *core.Options, fn func(ctx contex
 // live snapshot current. It mutates co (Tracer, Progress) in place. lint is
 // the query's lint report (or nil) for watchdog bundles; it must be attached
 // here, before the hung timer arms, because the timer reads the handle
-// asynchronously.
-func beginRun(opts *Options, kind, query string, lint any, co *core.Options) *runState {
+// asynchronously. When ctx carries a trace context (obs.WithTrace — the
+// service plane attaches one per HTTP request), the run's telemetry is
+// stamped with it: the in-flight snapshot, every trace event, the pprof
+// label set, and the slow-log record. The lookup is one ctx.Value call per
+// query, so library runs without a trace pay nothing measurable.
+func beginRun(ctx context.Context, opts *Options, kind, query string, lint any, co *core.Options) *runState {
 	rs := &runState{
 		opts: opts, kind: kind, query: query, t0: time.Now(), stopHung: func() {},
 		cpu0: obs.ProcessCPUTime(), alloc0: obs.HeapAllocBytes(),
 	}
+	if tc, ok := obs.TraceFrom(ctx); ok && tc.IsValid() {
+		rs.trace = tc
+	}
 	rs.iq = obs.DefaultInflight().Begin(kind, query, co.Algo.String())
+	rs.iq.SetTrace(rs.trace)
 	rs.iq.Lint = lint
 	var wd *Watchdog
 	if opts != nil {
@@ -679,6 +740,9 @@ func beginRun(opts *Options, kind, query string, lint any, co *core.Options) *ru
 		}
 		rs.stopHung = wd.Arm(rs.iq)
 	}
+	// Stamp outermost so every sink below — user tracer and flight ring
+	// alike — records the trace identity on each event.
+	co.Tracer = obs.StampTrace(co.Tracer, rs.trace)
 	var userProg func(Progress)
 	if opts != nil {
 		userProg = opts.Progress
@@ -805,6 +869,10 @@ func (rs *runState) finish(res *Result, err error) {
 		detail := obs.SlowDetail{
 			Workers: opts.Workers, Table: opts.Table.String(), Bundle: bundle,
 			CPUTime: cpu, AllocBytes: alloc,
+		}
+		if rs.trace.IsValid() {
+			detail.TraceID = rs.trace.TraceIDString()
+			detail.SpanID = rs.trace.SpanIDString()
 		}
 		if explain != nil {
 			detail.HotStates = explain.TopStates(3)
@@ -1001,7 +1069,7 @@ func (g *Graph) ExistContext(ctx context.Context, p *Pattern, opts *Options) (*R
 	if err := gateLint(opts, diags); err != nil {
 		return nil, err
 	}
-	rs := beginRun(opts, "exist", p.src, lintPayload(diags), &co)
+	rs := beginRun(ctx, opts, "exist", p.src, lintPayload(diags), &co)
 	defer rs.end()
 	var res *core.Result
 	rs.do(ctx, &co, func(ctx context.Context) {
@@ -1040,7 +1108,7 @@ func (g *Graph) UniversalContext(ctx context.Context, p *Pattern, opts *Options)
 	if err := gateLint(opts, diags); err != nil {
 		return nil, err
 	}
-	rs := beginRun(opts, "universal", p.src, lintPayload(diags), &co)
+	rs := beginRun(ctx, opts, "universal", p.src, lintPayload(diags), &co)
 	defer rs.end()
 	var res *core.Result
 	rs.do(ctx, &co, func(ctx context.Context) {
@@ -1256,7 +1324,7 @@ func (g *Graph) ViolationsContext(ctx context.Context, discipline string, withEx
 	if err != nil {
 		return nil, err
 	}
-	rs := beginRun(opts, "violations", discipline, lintPayload(diags), &co)
+	rs := beginRun(ctx, opts, "violations", discipline, lintPayload(diags), &co)
 	defer rs.end()
 	var res *core.Result
 	rs.do(ctx, &co, func(ctx context.Context) {

@@ -130,6 +130,10 @@ func main() {
 		watchdogDir   = flag.String("watchdog", "", "write flight-recorder bundles for anomalous queries under this directory")
 		watchdogSlow  = flag.Duration("watchdog-slow", 2*time.Second, "slow-query threshold for -watchdog bundles")
 		watchdogMax   = flag.Int("watchdog-max", 32, "max flight-recorder bundles kept in -watchdog (0 = unbounded)")
+		profOn        = flag.Bool("prof", true, "run the continuous profiler (effective with -obs): duty-cycled CPU windows + heap snapshots on /debug/rpq/prof")
+		profWindow    = flag.Duration("prof-window", 0, "continuous-profiler CPU capture window (0 = 10s)")
+		profInterval  = flag.Duration("prof-interval", 0, "continuous-profiler capture cadence (0 = 60s)")
+		profRetain    = flag.Int("prof-retain", 0, "continuous-profiler windows retained in memory (0 = 32)")
 	)
 	flag.Var(&loads, "load", "preload a graph: name=path or name=format:path (text, aut, aut-universal, xml); repeatable")
 	flag.Var(&slos, "slo", "track an SLO: route:objective[:latency], e.g. query:0.999:30s; repeatable (default query:0.999)")
@@ -190,12 +194,26 @@ func main() {
 
 	var obsSrv *rpq.ObservabilityServer
 	if *obsAddr != "" {
+		obsCfg := rpq.ObservabilityConfig{SLOs: slos}
+		if *profOn {
+			obsCfg.Profiling = &rpq.ProfilingConfig{
+				Window:   *profWindow,
+				Interval: *profInterval,
+				Retain:   *profRetain,
+			}
+		}
 		var err error
-		obsSrv, err = rpq.ServeObservabilityWith(*obsAddr, rpq.ObservabilityConfig{SLOs: slos})
+		obsSrv, err = rpq.ServeObservabilityWith(*obsAddr, obsCfg)
 		if err != nil {
 			fatal("observability: %v", err)
 		}
 		fmt.Printf("rpqd observability on http://%s\n", obsSrv.Server.Addr)
+		// Link the profiler into the watchdog before the API listener comes
+		// up: every bundle then carries the profile window covering its
+		// anomaly (meta.profile_window + profile.pb.gz).
+		if cfg.Watchdog != nil && obsSrv.Prof != nil {
+			cfg.Watchdog.Profiler = obsSrv.Prof
+		}
 	}
 
 	ln, err := net.Listen("tcp", *addr)

@@ -8,10 +8,15 @@
 // in-flight query through the API, a fixed-traceparent round trip (the same
 // trace ID must surface in the response headers, the in-flight snapshot, the
 // slow-query log, the flight-recorder bundle, and the access log), the SLO
-// burn-rate endpoint, and a SIGTERM drain with a query still running (during
+// burn-rate endpoint, the continuous-profiling surface (an rpq-prof/1 window
+// list with solver frames under the rpq_kind=exist slice, a two-window diff,
+// a flight-recorder bundle carrying the pinned window's profile.pb.gz, the
+// /debug/rpq/ index, and histogram exemplars in both JSON and Prometheus
+// exposition), and a SIGTERM drain with a query still running (during
 // which readyz must report 503 while healthz stays 200). The scraped
-// /debug/rpq/ts document is written to -out and the structured access log to
-// -access-log so CI can archive both. Any failed check exits nonzero.
+// /debug/rpq/ts document is written to -out, the structured access log to
+// -access-log, and a captured profile window to -prof-out so CI can archive
+// all three. Any failed check exits nonzero.
 package main
 
 import (
@@ -41,6 +46,7 @@ func main() {
 	var (
 		out       = flag.String("out", "", "write the scraped rpq-tsdb/1 document to this file")
 		accessLog = flag.String("access-log", "", "write the daemon's NDJSON access log to this file")
+		profOut   = flag.String("prof-out", "", "write a captured profile window (gzipped pprof) to this file")
 		graph     = flag.String("graph", "testdata/queries/graph.txt", "fixture graph to preload")
 		vertices  = flag.Int("vertices", 1000, "heavy-graph vertices (burst/cancel workload)")
 		degree    = flag.Int("degree", 5, "heavy-graph out-degree")
@@ -73,6 +79,10 @@ func main() {
 		"-watchdog", wdDir,
 		"-watchdog-slow", "50ms",
 		"-slo", "query:0.999:30s",
+		"-prof",
+		"-prof-window", "400ms",
+		"-prof-interval", "600ms",
+		"-prof-retain", "16",
 	)
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
@@ -122,6 +132,9 @@ func main() {
 	checkCancel()
 	checkTraceRoundTrip(obsBase, slowPath, wdDir)
 	checkSLO(obsBase)
+	checkDebugIndex(obsBase)
+	checkProf(obsBase, wdDir, *profOut)
+	checkExemplars(obsBase)
 	scrapeTS(obsBase, *out)
 	checkDrain(cmd)
 	checkAccessLog(logPath, *accessLog != "")
@@ -526,6 +539,223 @@ func checkSLO(obsBase string) {
 		}
 		time.Sleep(200 * time.Millisecond)
 	}
+}
+
+// checkDebugIndex validates the /debug/rpq/ index document: it must use the
+// rpq-debug/1 schema and enumerate the profiling surface as enabled.
+func checkDebugIndex(obsBase string) {
+	var doc struct {
+		Schema   string `json:"schema"`
+		Surfaces []struct {
+			Path    string `json:"path"`
+			Desc    string `json:"desc"`
+			Enabled bool   `json:"enabled"`
+		} `json:"surfaces"`
+	}
+	getJSONURL(obsBase+"/debug/rpq/", &doc)
+	if doc.Schema != "rpq-debug/1" {
+		fail("debug index schema = %q", doc.Schema)
+	}
+	profListed := false
+	for _, s := range doc.Surfaces {
+		if s.Desc == "" {
+			fail("debug index surface %s has no description", s.Path)
+		}
+		if s.Path == "/debug/rpq/prof" {
+			profListed = true
+			if !s.Enabled {
+				fail("debug index lists /debug/rpq/prof as disabled with -prof on")
+			}
+		}
+	}
+	if !profListed || len(doc.Surfaces) < 8 {
+		fail("debug index surfaces incomplete: %+v", doc.Surfaces)
+	}
+	fmt.Printf("svcsmoke: debug index lists %d surfaces (prof enabled)\n", len(doc.Surfaces))
+}
+
+// checkProf drives the continuous-profiling surface end to end: heavy exist
+// queries run until a capture window holds samples labeled rpq_kind=exist,
+// the kind-sliced view must show a solver frame under that slice, a
+// two-window diff must work, the watchdog bundles written for those slow
+// queries must carry the pinned window's profile, and the captured window is
+// archived to -prof-out for CI.
+func checkProf(obsBase, wdDir, out string) {
+	type window struct {
+		ID       int64               `json:"id"`
+		CPUBytes int                 `json:"cpu_bytes"`
+		Err      string              `json:"error"`
+		Labels   map[string][]string `json:"labels"`
+	}
+	var doc struct {
+		Schema   string   `json:"schema"`
+		WindowMS int64    `json:"window_ms"`
+		Windows  []window `json:"windows"`
+	}
+
+	// The daemon captures 400ms windows every 600ms, so a ~300ms solve per
+	// iteration quickly lands samples in some window.
+	var existWin int64 = -1
+	deadline := time.Now().Add(45 * time.Second)
+	for existWin < 0 {
+		if time.Now().After(deadline) {
+			fail("no profile window captured rpq_kind=exist samples within 45s")
+		}
+		if code, body := post("/api/v1/query", heavyQuery); code != 200 {
+			fail("prof workload query: %d %s", code, body)
+		}
+		getJSONURL(obsBase+"/debug/rpq/prof", &doc)
+		if doc.Schema != "rpq-prof/1" {
+			fail("prof schema = %q", doc.Schema)
+		}
+		if doc.WindowMS != 400 {
+			fail("prof window_ms = %d, want 400", doc.WindowMS)
+		}
+		for _, w := range doc.Windows {
+			for _, k := range w.Labels["rpq_kind"] {
+				if k == "exist" {
+					existWin = w.ID
+				}
+			}
+		}
+	}
+
+	// Kind-sliced aggregation: the exist slice's frames are solver frames.
+	var wdoc struct {
+		Value  string `json:"value_type"`
+		Slices []struct {
+			Value  string `json:"value"`
+			Total  int64  `json:"total"`
+			Frames []struct {
+				Func string `json:"func"`
+			} `json:"frames"`
+		} `json:"slices"`
+	}
+	getJSONURL(fmt.Sprintf("%s/debug/rpq/prof?window=%d&by=rpq_kind", obsBase, existWin), &wdoc)
+	if wdoc.Value != "cpu" {
+		fail("prof window value type = %q", wdoc.Value)
+	}
+	solver := false
+	for _, s := range wdoc.Slices {
+		if s.Value != "exist" {
+			continue
+		}
+		for _, f := range s.Frames {
+			if strings.Contains(f.Func, "rpq/internal/core.") {
+				solver = true
+			}
+		}
+	}
+	if !solver {
+		fail("rpq_kind=exist slice of window %d has no rpq/internal/core frame: %+v", existWin, wdoc.Slices)
+	}
+
+	// Baseline diffing between two retained windows.
+	var other int64 = -1
+	for _, w := range doc.Windows {
+		if w.ID != existWin && w.CPUBytes > 0 {
+			other = w.ID
+		}
+	}
+	if other >= 0 {
+		var ddoc struct {
+			Schema string `json:"schema"`
+			A      int64  `json:"a"`
+			B      int64  `json:"b"`
+			Diff   struct {
+				Frames []struct {
+					DeltaFlat int64 `json:"delta_flat"`
+					DeltaCum  int64 `json:"delta_cum"`
+				} `json:"frames"`
+			} `json:"diff"`
+		}
+		getJSONURL(fmt.Sprintf("%s/debug/rpq/prof/diff?a=%d&b=%d", obsBase, existWin, other), &ddoc)
+		if ddoc.Schema != "rpq-prof/1" || ddoc.A != existWin || ddoc.B != other {
+			fail("prof diff %d vs %d: schema %q a=%d b=%d", existWin, other, ddoc.Schema, ddoc.A, ddoc.B)
+		}
+		nonzero := false
+		for _, f := range ddoc.Diff.Frames {
+			if f.DeltaFlat != 0 || f.DeltaCum != 0 {
+				nonzero = true
+			}
+		}
+		if !nonzero {
+			fail("prof diff %d vs %d returned no frames with nonzero deltas", existWin, other)
+		}
+	}
+
+	// The slow queries above tripped the watchdog while captures were in
+	// flight, so at least one bundle links a pinned window and embeds its
+	// profile bytes.
+	withProfile := false
+	filepath.WalkDir(wdDir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || d.Name() != "profile.pb.gz" {
+			return nil
+		}
+		meta, merr := os.ReadFile(filepath.Join(filepath.Dir(path), "meta.json"))
+		if merr == nil && strings.Contains(string(meta), `"profile_window"`) {
+			withProfile = true
+		}
+		return nil
+	})
+	if !withProfile {
+		fail("no flight-recorder bundle under %s embeds a profile window", wdDir)
+	}
+
+	// Archive the labeled window for CI.
+	if out != "" {
+		resp, err := http.Get(fmt.Sprintf("%s/debug/rpq/prof/download?window=%d", obsBase, existWin))
+		if err != nil {
+			fail("prof download: %v", err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 || len(raw) == 0 {
+			fail("prof download: %d (%d bytes)", resp.StatusCode, len(raw))
+		}
+		if err := os.WriteFile(out, raw, 0o644); err != nil {
+			fail("write %s: %v", out, err)
+		}
+		fmt.Printf("svcsmoke: wrote %s (%d bytes, window %d)\n", out, len(raw), existWin)
+	}
+	fmt.Printf("svcsmoke: prof window %d sliced by rpq_kind, diffed, and linked into a bundle\n", existWin)
+}
+
+// checkExemplars asserts the latency histogram's top buckets carry trace IDs
+// in both the JSON surface and the Prometheus exposition.
+func checkExemplars(obsBase string) {
+	var doc struct {
+		Exemplars []struct {
+			TraceID string  `json:"trace_id"`
+			ValueMS float64 `json:"value_ms"`
+		} `json:"exemplars"`
+	}
+	getJSONURL(obsBase+"/debug/rpq/exemplars", &doc)
+	if len(doc.Exemplars) == 0 {
+		fail("no exemplars after a traced query workload")
+	}
+	for _, e := range doc.Exemplars {
+		if len(e.TraceID) != 32 || e.ValueMS <= 0 {
+			fail("malformed exemplar: %+v", e)
+		}
+	}
+
+	resp, err := http.Get(obsBase + "/metrics")
+	if err != nil {
+		fail("scrape metrics: %v", err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	found := false
+	for _, line := range strings.Split(string(raw), "\n") {
+		if strings.Contains(line, "_hist_bucket") && strings.Contains(line, `# {trace_id="`) {
+			found = true
+		}
+	}
+	if !found {
+		fail("no exemplar on any _hist_bucket line in /metrics")
+	}
+	fmt.Printf("svcsmoke: %d exemplars in JSON, exposition carries trace IDs\n", len(doc.Exemplars))
 }
 
 // scrapeTS archives the observability time-series window and sanity-checks

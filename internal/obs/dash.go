@@ -80,8 +80,10 @@ th { color: var(--text-secondary); font-weight: 500; font-size: 12px; }
 <header>
   <h1>rpq live dashboard</h1>
   <nav>
+    <a href="/debug/rpq/">debug index</a>
     <a href="/debug/rpq/queries">in-flight queries</a>
     <a href="/debug/rpq/ts">time-series JSON</a>
+    <a href="/debug/rpq/prof">profiles</a>
     <a href="/metrics">metrics</a>
     <a href="/debug/pprof/">pprof</a>
   </nav>
@@ -94,6 +96,15 @@ th { color: var(--text-secondary); font-weight: 500; font-size: 12px; }
 </div>
 <h1 style="font-size:15px;margin-top:20px">Queries executing now</h1>
 <div id="inflight"><p id="empty">none</p></div>
+<div id="profsec" style="display:none">
+<h1 style="font-size:15px;margin-top:20px">CPU profile <small id="profmeta" style="font-weight:400;color:var(--text-secondary)"></small></h1>
+<svg id="icicle" viewBox="0 0 1000 160" preserveAspectRatio="none" style="height:160px"></svg>
+<div class="hoverval" id="iciclehover"></div>
+</div>
+<div id="exsec" style="display:none">
+<h1 style="font-size:15px;margin-top:20px">Latency exemplars</h1>
+<div id="exemplars"></div>
+</div>
 <script>
 "use strict";
 // Card definitions: each pulls one or more series from the rpq-tsdb/1
@@ -120,7 +131,8 @@ var COLORS = ["var(--series-1)", "var(--series-2)", "var(--series-3)"];
 var W = 300, H = 64, PAD = 3;
 
 function el(tag, attrs, parent) {
-  var ns = (tag === "svg" || tag === "path" || tag === "line") ?
+  var ns = (tag === "svg" || tag === "path" || tag === "line" ||
+      tag === "rect" || tag === "text") ?
     document.createElementNS("http://www.w3.org/2000/svg", tag) :
     document.createElement(tag);
   for (var k in attrs) { ns.setAttribute(k, attrs[k]); }
@@ -301,6 +313,78 @@ function renderSLO(doc) {
   host.appendChild(t);
 }
 
+// renderIcicle draws the latest profile window's call tree as a root-down
+// icicle: each node a rect whose width is its share of the root total.
+function renderIcicle(doc) {
+  var sec = document.getElementById("profsec");
+  if (!doc || !doc.root || !doc.root.value) { sec.style.display = "none"; return; }
+  sec.style.display = "";
+  document.getElementById("profmeta").textContent =
+    "window " + doc.window + " · " + doc.profile + " (" + doc.unit + ")";
+  var svg = document.getElementById("icicle");
+  svg.innerHTML = "";
+  var total = doc.root.value, ROW = 20, MAXD = 8;
+  function draw(node, x0, x1, depth) {
+    if (depth > MAXD || x1 - x0 < 1) { return; }
+    var r = el("rect", {x: x0.toFixed(1), y: depth * ROW, width: (x1 - x0).toFixed(1),
+      height: ROW - 1, rx: 1}, svg);
+    r.setAttribute("fill", depth === 0 ? "var(--grid)" :
+      COLORS[(depth - 1) % COLORS.length]);
+    r.setAttribute("fill-opacity", depth === 0 ? "1" : (0.9 - 0.08 * depth).toFixed(2));
+    var pct = (100 * node.value / total).toFixed(1);
+    r.onmousemove = function () {
+      document.getElementById("iciclehover").textContent =
+        node.name + " — " + pct + "% (" + node.value + " " + doc.unit + ")";
+    };
+    if (x1 - x0 > 60) {
+      var t = el("text", {x: (x0 + 3).toFixed(1), y: depth * ROW + ROW - 6,
+        "font-size": 10, fill: "var(--text-primary)"}, svg);
+      t.textContent = node.name.split("/").pop();
+    }
+    var x = x0;
+    (node.children || []).forEach(function (c) {
+      var w = (x1 - x0) * c.value / node.value;
+      draw(c, x, x + w, depth + 1);
+      x += w;
+    });
+  }
+  draw(doc.root, 0, 1000, 0);
+}
+
+// renderExemplars draws the latency-bucket exemplar table: slowest buckets
+// first, each trace ID linking to its profile slice.
+function renderExemplars(doc) {
+  var sec = document.getElementById("exsec");
+  var ex = doc && doc.exemplars;
+  if (!ex || ex.length === 0) { sec.style.display = "none"; return; }
+  sec.style.display = "";
+  var host = document.getElementById("exemplars");
+  var t = document.createElement("table");
+  var tr = document.createElement("tr");
+  ["latency ms", "trace", "when"].forEach(function (h) {
+    var th = document.createElement("th"); th.textContent = h; tr.appendChild(th);
+  });
+  t.appendChild(tr);
+  ex.slice(0, 10).forEach(function (e) {
+    var row = document.createElement("tr");
+    var td1 = document.createElement("td");
+    td1.textContent = e.value_ms.toFixed(2);
+    row.appendChild(td1);
+    var td2 = document.createElement("td");
+    var a = document.createElement("a");
+    a.href = "/debug/rpq/prof?trace=" + encodeURIComponent(e.trace_id);
+    a.textContent = e.trace_id;
+    td2.appendChild(a);
+    row.appendChild(td2);
+    var td3 = document.createElement("td");
+    td3.textContent = new Date(e.time).toLocaleTimeString();
+    row.appendChild(td3);
+    t.appendChild(row);
+  });
+  host.innerHTML = "";
+  host.appendChild(t);
+}
+
 function tick() {
   fetch("/debug/rpq/ts").then(function (r) {
     if (!r.ok) { throw new Error("time-series store disabled (HTTP " + r.status + ")"); }
@@ -320,6 +404,18 @@ function tick() {
     return r.json();
   }).then(renderSLO).catch(function () {
     document.getElementById("slosec").style.display = "none";
+  });
+  fetch("/debug/rpq/prof/tree").then(function (r) {
+    if (!r.ok) { throw new Error("disabled"); }
+    return r.json();
+  }).then(renderIcicle).catch(function () {
+    document.getElementById("profsec").style.display = "none";
+  });
+  fetch("/debug/rpq/exemplars").then(function (r) {
+    if (!r.ok) { throw new Error("disabled"); }
+    return r.json();
+  }).then(renderExemplars).catch(function () {
+    document.getElementById("exsec").style.display = "none";
   });
 }
 tick();

@@ -19,6 +19,20 @@ type Histogram struct {
 	counts [histBuckets]atomic.Int64
 	count  atomic.Int64
 	sumUS  atomic.Int64
+	// exemplars holds, per bucket, the most recent traced observation — the
+	// jump from a latency bucket to the trace (and profile slice) that landed
+	// in it. Written only by ObserveTrace calls that carry a trace ID.
+	exemplars [histBuckets]atomic.Pointer[Exemplar]
+}
+
+// Exemplar links one histogram bucket to the most recent traced observation
+// that landed in it, OpenMetrics-style: the trace ID, the observed value, and
+// when it was recorded.
+type Exemplar struct {
+	TraceID string        `json:"trace_id"`
+	Value   time.Duration `json:"-"`
+	ValueMS float64       `json:"value_ms"`
+	Time    time.Time     `json:"time"`
 }
 
 // histBucket maps a duration to its bucket index.
@@ -36,15 +50,56 @@ func histBucket(d time.Duration) int {
 
 // Observe records one latency sample.
 func (h *Histogram) Observe(d time.Duration) {
+	h.ObserveTrace(d, "")
+}
+
+// ObserveTrace records one latency sample and, when traceID is non-empty,
+// replaces the bucket's exemplar so the exposition and dash can link the
+// bucket to the most recent trace that landed in it.
+func (h *Histogram) ObserveTrace(d time.Duration, traceID string) {
 	if h == nil {
 		return
 	}
 	if d < 0 {
 		d = 0
 	}
-	h.counts[histBucket(d)].Add(1)
+	b := histBucket(d)
+	h.counts[b].Add(1)
 	h.count.Add(1)
 	h.sumUS.Add(d.Microseconds())
+	if traceID != "" {
+		h.exemplars[b].Store(&Exemplar{
+			TraceID: traceID,
+			Value:   d,
+			ValueMS: float64(d.Microseconds()) / 1000,
+			Time:    time.Now().UTC(),
+		})
+	}
+}
+
+// BucketExemplar returns the exemplar of bucket i, nil when the bucket has
+// seen no traced observation.
+func (h *Histogram) BucketExemplar(i int) *Exemplar {
+	if h == nil || i < 0 || i >= histBuckets {
+		return nil
+	}
+	return h.exemplars[i].Load()
+}
+
+// Exemplars returns the buckets that carry an exemplar, hottest (highest
+// bucket index, i.e. slowest) first — the "top buckets with recent trace IDs"
+// view for the dash and /debug surfaces.
+func (h *Histogram) Exemplars() []Exemplar {
+	if h == nil {
+		return nil
+	}
+	var out []Exemplar
+	for i := histBuckets - 1; i >= 0; i-- {
+		if e := h.exemplars[i].Load(); e != nil {
+			out = append(out, *e)
+		}
+	}
+	return out
 }
 
 // Count returns the number of samples observed.

@@ -51,6 +51,13 @@ func StatusClass(status int) string {
 // the raw URL), status the response code, kind the query kind for the query
 // route ("" for others), dur the handler wall time.
 func (m *HTTPMetrics) Observe(route string, status int, kind string, dur time.Duration) {
+	m.ObserveTrace(route, status, kind, dur, "")
+}
+
+// ObserveTrace is Observe plus the request's trace ID: when non-empty it is
+// attached to the latency bucket as an OpenMetrics exemplar, so the slow
+// buckets in /metrics carry the most recent trace that landed in them.
+func (m *HTTPMetrics) ObserveTrace(route string, status int, kind string, dur time.Duration, traceID string) {
 	if m == nil {
 		return
 	}
@@ -61,7 +68,7 @@ func (m *HTTPMetrics) Observe(route string, status int, kind string, dur time.Du
 		"HTTP requests served, by route, status class, and query kind",
 		"route", route, "status", StatusClass(status), "kind", kind).Add(1)
 	m.reg.LabeledHistogram("rpq_http_request_seconds",
-		"HTTP request latency by route", "route", route).Observe(dur)
+		"HTTP request latency by route", "route", route).ObserveTrace(dur, traceID)
 	slo, ok := m.slos[route]
 	if !ok {
 		return

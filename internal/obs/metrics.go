@@ -245,6 +245,7 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 		sum               float64
 		count             int64
 		buckets           [histBuckets]int64
+		exemplars         [histBuckets]*Exemplar
 	}
 	hrows := make([]hrow, 0, len(hnames))
 	for _, name := range hnames {
@@ -255,12 +256,16 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 		if help == "" {
 			help = r.help[name]
 		}
-		hrows = append(hrows, hrow{
+		hr := hrow{
 			fam: fam, labels: labels, help: help,
 			p50: h.Quantile(0.50).Seconds(), p95: h.Quantile(0.95).Seconds(),
 			p99: h.Quantile(0.99).Seconds(),
 			sum: float64(sumUS) / 1e6, count: count, buckets: counts,
-		})
+		}
+		for i := range hr.exemplars {
+			hr.exemplars[i] = h.BucketExemplar(i)
+		}
+		hrows = append(hrows, hr)
 	}
 	r.mu.Unlock()
 	lastFam := ""
@@ -314,7 +319,15 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 		for i := 0; i <= top; i++ {
 			cum += hw.buckets[i]
 			le := float64(int64(1)<<uint(i+1)) / 1e6
-			fmt.Fprintf(w, "%s %d\n", joinLabels(fam+"_bucket", hw.labels, fmt.Sprintf("le=%q", strconv.FormatFloat(le, 'g', -1, 64))), cum)
+			fmt.Fprintf(w, "%s %d", joinLabels(fam+"_bucket", hw.labels, fmt.Sprintf("le=%q", strconv.FormatFloat(le, 'g', -1, 64))), cum)
+			// OpenMetrics exemplar: the most recent trace ID that landed in
+			// this bucket, so a slow bucket jumps straight to its trace (and
+			// from there to the pinned profile slice).
+			if e := hw.exemplars[i]; e != nil {
+				fmt.Fprintf(w, " # {trace_id=%q} %g %d.%03d",
+					e.TraceID, e.Value.Seconds(), e.Time.Unix(), e.Time.Nanosecond()/1e6)
+			}
+			fmt.Fprintln(w)
 		}
 		fmt.Fprintf(w, "%s %d\n", joinLabels(fam+"_bucket", hw.labels, `le="+Inf"`), hw.count)
 		fmt.Fprintf(w, "%s %g\n", joinLabels(fam+"_sum", hw.labels, ""), hw.sum)

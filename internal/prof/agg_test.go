@@ -1,0 +1,122 @@
+package prof
+
+import "testing"
+
+func fixtureProfile(t *testing.T, kind string) *Profile {
+	t.Helper()
+	p, err := ParseProfile(encodeTestProfile(fixtureSpec(kind)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestTopFramesFlatCum(t *testing.T) {
+	p := fixtureProfile(t, "exist")
+	sl := TopFrames(p, p.ValueIndex("cpu"), 0, nil)
+	if sl.Total != 120_000_000 {
+		t.Fatalf("total = %d", sl.Total)
+	}
+	byFn := map[string]Frame{}
+	for _, f := range sl.Frames {
+		byFn[f.Func] = f
+	}
+	// match is the leaf of the 60ms sample only.
+	if f := byFn["rpq/internal/core.match"]; f.Flat != 60_000_000 || f.Cum != 60_000_000 {
+		t.Fatalf("match = %+v", f)
+	}
+	// solve is a leaf once (30ms) but on-stack for 110ms of samples.
+	if f := byFn["rpq/internal/core.(*engine).solve"]; f.Flat != 30_000_000 || f.Cum != 110_000_000 {
+		t.Fatalf("solve = %+v", f)
+	}
+	// The entry point never leads; cum only.
+	if f := byFn["rpq.Exist"]; f.Flat != 0 || f.Cum != 110_000_000 {
+		t.Fatalf("entry = %+v", f)
+	}
+	// Ordered by flat.
+	if sl.Frames[0].Func != "rpq/internal/core.match" {
+		t.Fatalf("top frame = %q", sl.Frames[0].Func)
+	}
+}
+
+func TestSliceByLabelKind(t *testing.T) {
+	p := fixtureProfile(t, "violations")
+	slices := SliceByLabel(p, "rpq_kind", p.ValueIndex("cpu"), 10)
+	if len(slices) != 2 {
+		t.Fatalf("slices = %+v", slices)
+	}
+	// Labeled query work dominates the unlabeled GC sample.
+	if slices[0].Value != "violations" || slices[0].Total != 110_000_000 {
+		t.Fatalf("slice 0 = %+v", slices[0])
+	}
+	if slices[1].Value != "(none)" || slices[1].Total != 10_000_000 {
+		t.Fatalf("slice 1 = %+v", slices[1])
+	}
+	// The solver frame appears under its kind's slice — the svcsmoke check.
+	found := false
+	for _, f := range slices[0].Frames {
+		if f.Func == "rpq/internal/core.(*engine).solve" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("solver frame missing from rpq_kind=violations slice")
+	}
+}
+
+func TestSliceByTraceID(t *testing.T) {
+	p := fixtureProfile(t, "exist")
+	sl := TopFrames(p, p.ValueIndex("cpu"), 0, func(s Sample) bool {
+		return s.Labels["rpq_trace_id"] == "bbbb1111bbbb1111bbbb1111bbbb1111"
+	})
+	if sl.Total != 20_000_000 {
+		t.Fatalf("trace-filtered total = %d", sl.Total)
+	}
+	if sl.Frames[0].Func != "rpq/internal/core.memoLookup" {
+		t.Fatalf("trace-filtered top = %q", sl.Frames[0].Func)
+	}
+}
+
+func TestLabelValues(t *testing.T) {
+	p := fixtureProfile(t, "universal")
+	if vs := LabelValues(p, "rpq_kind"); len(vs) != 1 || vs[0] != "universal" {
+		t.Fatalf("rpq_kind values = %v", vs)
+	}
+	vs := LabelValues(p, "rpq_trace_id")
+	if len(vs) != 2 || vs[0] != "aaaa0000aaaa0000aaaa0000aaaa0000" {
+		t.Fatalf("trace values = %v", vs)
+	}
+}
+
+func TestStackTree(t *testing.T) {
+	p := fixtureProfile(t, "exist")
+	root := StackTree(p, p.ValueIndex("cpu"), nil, 0)
+	if root.Value != 120_000_000 {
+		t.Fatalf("root value = %d", root.Value)
+	}
+	// main.main → rpq.Exist → solve → {match leaf, self}.
+	var mainNode *TreeNode
+	for _, c := range root.Children {
+		if c.Name == "main.main" {
+			mainNode = c
+		}
+	}
+	if mainNode == nil || mainNode.Value != 110_000_000 {
+		t.Fatalf("main node = %+v", mainNode)
+	}
+	solve := mainNode.Children[0].Children[0]
+	if solve.Name != "rpq/internal/core.(*engine).solve" || solve.Value != 110_000_000 || solve.Self != 30_000_000 {
+		t.Fatalf("solve node = %+v", solve)
+	}
+	// Children sorted by value: match (60) before memoLookup (20).
+	if solve.Children[0].Name != "rpq/internal/core.match" {
+		t.Fatalf("solve children = %+v", solve.Children)
+	}
+	// Pruning folds small children into (other).
+	pruned := StackTree(p, p.ValueIndex("cpu"), nil, 0.5)
+	for _, c := range pruned.Children {
+		if c.Name == "runtime.gcBgMarkWorker" {
+			t.Fatal("sub-threshold child survived pruning")
+		}
+	}
+}

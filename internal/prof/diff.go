@@ -1,0 +1,91 @@
+package prof
+
+import "sort"
+
+// FrameDelta is one frame's a−b difference. Positive deltas mean profile A
+// spends more than profile B (A is usually the newer/suspect window, B the
+// baseline), negative means A improved. DeltaFlat/DeltaCum are always
+// FlatA−FlatB / CumA−CumB; a frame present in only one profile contributes
+// zeros for the other side, so a frame that disappeared in A shows up with
+// DeltaFlat = −FlatB.
+type FrameDelta struct {
+	Func      string `json:"func"`
+	FlatA     int64  `json:"flat_a"`
+	FlatB     int64  `json:"flat_b"`
+	CumA      int64  `json:"cum_a"`
+	CumB      int64  `json:"cum_b"`
+	DeltaFlat int64  `json:"delta_flat"`
+	DeltaCum  int64  `json:"delta_cum"`
+	// OnlyIn marks frames present in just one profile ("a", "b", or "").
+	OnlyIn string `json:"only_in,omitempty"`
+}
+
+// DiffResult is the frame-level diff of two profiles for one value dimension.
+type DiffResult struct {
+	Unit   string       `json:"unit"`
+	TotalA int64        `json:"total_a"`
+	TotalB int64        `json:"total_b"`
+	Delta  int64        `json:"delta"`
+	Frames []FrameDelta `json:"frames"`
+}
+
+// Diff computes a−b frame deltas between two profiles over the sample-value
+// dimension named typ (the first profile's default when typ is ""), keeping
+// the top n frames by |DeltaFlat| (|DeltaCum| breaks ties). The two profiles
+// need not share a dimension order; each resolves typ independently.
+func Diff(a, b *Profile, typ string, n int) DiffResult {
+	via, vib := a.DefaultValueIndex(), b.DefaultValueIndex()
+	if typ != "" {
+		via, vib = a.ValueIndex(typ), b.ValueIndex(typ)
+	}
+	fa := TopFrames(a, via, 0, nil)
+	fb := TopFrames(b, vib, 0, nil)
+
+	res := DiffResult{TotalA: fa.Total, TotalB: fb.Total, Delta: fa.Total - fb.Total}
+	if via >= 0 && via < len(a.SampleType) {
+		res.Unit = a.SampleType[via].Unit
+	}
+
+	byFunc := map[string]*FrameDelta{}
+	for _, f := range fa.Frames {
+		byFunc[f.Func] = &FrameDelta{Func: f.Func, FlatA: f.Flat, CumA: f.Cum, OnlyIn: "a"}
+	}
+	for _, f := range fb.Frames {
+		d := byFunc[f.Func]
+		if d == nil {
+			d = &FrameDelta{Func: f.Func, OnlyIn: "b"}
+			byFunc[f.Func] = d
+		} else {
+			d.OnlyIn = ""
+		}
+		d.FlatB = f.Flat
+		d.CumB = f.Cum
+	}
+	res.Frames = make([]FrameDelta, 0, len(byFunc))
+	for _, d := range byFunc {
+		d.DeltaFlat = d.FlatA - d.FlatB
+		d.DeltaCum = d.CumA - d.CumB
+		res.Frames = append(res.Frames, *d)
+	}
+	sort.Slice(res.Frames, func(i, j int) bool {
+		x, y := res.Frames[i], res.Frames[j]
+		if ax, ay := abs64(x.DeltaFlat), abs64(y.DeltaFlat); ax != ay {
+			return ax > ay
+		}
+		if ax, ay := abs64(x.DeltaCum), abs64(y.DeltaCum); ax != ay {
+			return ax > ay
+		}
+		return x.Func < y.Func
+	})
+	if n > 0 && len(res.Frames) > n {
+		res.Frames = res.Frames[:n]
+	}
+	return res
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

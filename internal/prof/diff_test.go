@@ -1,0 +1,125 @@
+package prof
+
+import "testing"
+
+func profileOf(samples ...testSample) *Profile {
+	p, err := ParseProfile(encodeTestProfile(testProfileSpec{
+		sampleTypes: []ValueType{{Type: "cpu", Unit: "nanoseconds"}},
+		samples:     samples,
+	}))
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func findDelta(t *testing.T, d DiffResult, fn string) FrameDelta {
+	t.Helper()
+	for _, f := range d.Frames {
+		if f.Func == fn {
+			return f
+		}
+	}
+	t.Fatalf("frame %q missing from diff %+v", fn, d.Frames)
+	return FrameDelta{}
+}
+
+func TestDiffSignConvention(t *testing.T) {
+	a := profileOf(
+		testSample{stack: []string{"solve", "main"}, values: []int64{70}},
+		testSample{stack: []string{"match", "solve", "main"}, values: []int64{30}},
+	)
+	b := profileOf(
+		testSample{stack: []string{"solve", "main"}, values: []int64{40}},
+		testSample{stack: []string{"match", "solve", "main"}, values: []int64{40}},
+	)
+	d := Diff(a, b, "", 0)
+	if d.TotalA != 100 || d.TotalB != 80 || d.Delta != 20 {
+		t.Fatalf("totals = %d/%d/%d", d.TotalA, d.TotalB, d.Delta)
+	}
+	// A spends more in solve: positive delta (regression when A is newer).
+	solve := findDelta(t, d, "solve")
+	if solve.DeltaFlat != 30 {
+		t.Fatalf("solve DeltaFlat = %d, want +30", solve.DeltaFlat)
+	}
+	// solve cum: A = 70+30, B = 40+40 → 0... both sample stacks include it.
+	if solve.DeltaCum != 20 {
+		t.Fatalf("solve DeltaCum = %d, want +20", solve.DeltaCum)
+	}
+	// A spends less in match: negative delta (improvement).
+	match := findDelta(t, d, "match")
+	if match.DeltaFlat != -10 || match.OnlyIn != "" {
+		t.Fatalf("match = %+v, want DeltaFlat -10 in both", match)
+	}
+	// Frames are ordered by |DeltaFlat|.
+	if d.Frames[0].Func != "solve" {
+		t.Fatalf("top frame = %q, want solve", d.Frames[0].Func)
+	}
+	if d.Unit != "nanoseconds" {
+		t.Fatalf("unit = %q", d.Unit)
+	}
+}
+
+func TestDiffDisappearedFrames(t *testing.T) {
+	a := profileOf(
+		testSample{stack: []string{"newHot", "main"}, values: []int64{50}},
+	)
+	b := profileOf(
+		testSample{stack: []string{"oldHot", "main"}, values: []int64{50}},
+	)
+	d := Diff(a, b, "", 0)
+	// oldHot disappeared in A: its delta is the full −FlatB, marked only_in=b.
+	old := findDelta(t, d, "oldHot")
+	if old.DeltaFlat != -50 || old.FlatA != 0 || old.OnlyIn != "b" {
+		t.Fatalf("disappeared frame = %+v", old)
+	}
+	neu := findDelta(t, d, "newHot")
+	if neu.DeltaFlat != 50 || neu.FlatB != 0 || neu.OnlyIn != "a" {
+		t.Fatalf("appeared frame = %+v", neu)
+	}
+	// main is in both.
+	if m := findDelta(t, d, "main"); m.OnlyIn != "" || m.DeltaCum != 0 {
+		t.Fatalf("shared frame = %+v", m)
+	}
+}
+
+func TestDiffIdenticalProfilesZero(t *testing.T) {
+	a := profileOf(testSample{stack: []string{"solve", "main"}, values: []int64{10}})
+	b := profileOf(testSample{stack: []string{"solve", "main"}, values: []int64{10}})
+	d := Diff(a, b, "", 0)
+	if d.Delta != 0 {
+		t.Fatalf("Delta = %d", d.Delta)
+	}
+	for _, f := range d.Frames {
+		if f.DeltaFlat != 0 || f.DeltaCum != 0 {
+			t.Fatalf("nonzero delta on identical profiles: %+v", f)
+		}
+	}
+}
+
+func TestDiffTopN(t *testing.T) {
+	a := profileOf(
+		testSample{stack: []string{"f1"}, values: []int64{100}},
+		testSample{stack: []string{"f2"}, values: []int64{50}},
+		testSample{stack: []string{"f3"}, values: []int64{10}},
+	)
+	b := profileOf(testSample{stack: []string{"f1"}, values: []int64{1}})
+	d := Diff(a, b, "", 2)
+	if len(d.Frames) != 2 {
+		t.Fatalf("topN kept %d frames", len(d.Frames))
+	}
+	if d.Frames[0].Func != "f1" || d.Frames[1].Func != "f2" {
+		t.Fatalf("order = %q, %q", d.Frames[0].Func, d.Frames[1].Func)
+	}
+}
+
+func TestDiffRecursionCumOncePerSample(t *testing.T) {
+	// A recursive stack must count each function once per sample in cum.
+	a := profileOf(testSample{stack: []string{"rec", "rec", "rec", "main"}, values: []int64{30}})
+	b := profileOf(testSample{stack: []string{"rec", "main"}, values: []int64{30}})
+	d := Diff(a, b, "", 0)
+	rec := findDelta(t, d, "rec")
+	if rec.CumA != 30 || rec.CumB != 30 || rec.DeltaCum != 0 {
+		t.Fatalf("recursive cum = %+v", rec)
+	}
+}

@@ -1,0 +1,186 @@
+package prof
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// handlerFixture returns a profiler (not started) whose store holds two
+// decodable windows: exist-shaped then violations-shaped.
+func handlerFixture(t *testing.T) (*Profiler, int64, int64) {
+	t.Helper()
+	p := newTestProfiler(time.Second, time.Minute)
+	idA := p.store.Add(&Window{
+		Start: time.Unix(1700000000, 0), End: time.Unix(1700000010, 0),
+		CPU: encodeTestProfile(fixtureSpec("exist")),
+	})
+	idB := p.store.Add(&Window{
+		Start: time.Unix(1700000060, 0), End: time.Unix(1700000070, 0),
+		CPU: encodeTestProfile(fixtureSpec("violations")),
+	})
+	return p, idA, idB
+}
+
+func getJSON(t *testing.T, p *Profiler, url string, out any) int {
+	t.Helper()
+	req := httptest.NewRequest("GET", url, nil)
+	rec := httptest.NewRecorder()
+	p.Handler().ServeHTTP(rec, req)
+	if rec.Code == 200 {
+		if err := json.Unmarshal(rec.Body.Bytes(), out); err != nil {
+			t.Fatalf("GET %s: bad JSON: %v\n%s", url, err, rec.Body.String())
+		}
+	}
+	return rec.Code
+}
+
+func TestHandlerIndexSchema(t *testing.T) {
+	p, idA, _ := handlerFixture(t)
+	var doc struct {
+		Schema   string `json:"schema"`
+		WindowMS int64  `json:"window_ms"`
+		Windows  []struct {
+			ID     int64               `json:"id"`
+			Labels map[string][]string `json:"labels"`
+		} `json:"windows"`
+	}
+	if code := getJSON(t, p, "/debug/rpq/prof", &doc); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if doc.Schema != Schema {
+		t.Fatalf("schema = %q, want %q", doc.Schema, Schema)
+	}
+	if doc.WindowMS != 1000 {
+		t.Fatalf("window_ms = %d", doc.WindowMS)
+	}
+	if len(doc.Windows) != 2 || doc.Windows[0].ID != idA {
+		t.Fatalf("windows = %+v", doc.Windows)
+	}
+	if got := doc.Windows[0].Labels["rpq_kind"]; len(got) != 1 || got[0] != "exist" {
+		t.Fatalf("window labels = %v", doc.Windows[0].Labels)
+	}
+}
+
+func TestHandlerWindowSlicedByKind(t *testing.T) {
+	p, idA, _ := handlerFixture(t)
+	var doc windowDoc
+	url := "/debug/rpq/prof?window=1&by=rpq_kind&n=5"
+	if code := getJSON(t, p, url, &doc); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if doc.Window.ID != idA || doc.Profile != "cpu" || doc.Value != "cpu" {
+		t.Fatalf("doc = %+v", doc)
+	}
+	if len(doc.Top.Frames) == 0 || len(doc.Top.Frames) > 5 {
+		t.Fatalf("top frames = %+v", doc.Top.Frames)
+	}
+	if len(doc.Slices) != 2 || doc.Slices[0].Value != "exist" {
+		t.Fatalf("slices = %+v", doc.Slices)
+	}
+}
+
+func TestHandlerDiffNonzero(t *testing.T) {
+	p, idA, idB := handlerFixture(t)
+	var doc diffDoc
+	url := "/debug/rpq/prof/diff?a=2&b=1"
+	if code := getJSON(t, p, url, &doc); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if doc.Schema != Schema || doc.A != idB || doc.B != idA {
+		t.Fatalf("doc = %+v", doc)
+	}
+	// exist vs violations differ in entry frames, so deltas are nonzero.
+	nonzero := false
+	for _, f := range doc.Diff.Frames {
+		if f.DeltaFlat != 0 || f.DeltaCum != 0 {
+			nonzero = true
+		}
+	}
+	if !nonzero {
+		t.Fatal("diff of different kinds returned all-zero deltas")
+	}
+}
+
+func TestHandlerDiffBaseline(t *testing.T) {
+	p, _, _ := handlerFixture(t)
+	var doc diffDoc
+	if code := getJSON(t, p, "/debug/rpq/prof/diff?a=1&b=baseline", &doc); code != 400 {
+		t.Fatalf("diff without baseline: status %d, want 400", code)
+	}
+	p.SetBaseline(encodeTestProfile(fixtureSpec("exist")))
+	if code := getJSON(t, p, "/debug/rpq/prof/diff?a=1&b=baseline", &doc); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if !doc.BIsBase || doc.Diff.Delta != 0 {
+		t.Fatalf("baseline self-diff = %+v", doc)
+	}
+}
+
+func TestHandlerTraceView(t *testing.T) {
+	p, _, _ := handlerFixture(t)
+	var doc traceDoc
+	url := "/debug/rpq/prof?trace=bbbb1111bbbb1111bbbb1111bbbb1111"
+	if code := getJSON(t, p, url, &doc); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	// The trace appears in both windows (same fixture trace IDs).
+	if len(doc.Windows) != 2 || doc.Top.Total != 40_000_000 {
+		t.Fatalf("trace doc = %+v", doc)
+	}
+	if doc.Top.Frames[0].Func != "rpq/internal/core.memoLookup" {
+		t.Fatalf("trace top frame = %+v", doc.Top.Frames)
+	}
+}
+
+func TestHandlerTree(t *testing.T) {
+	p, _, idB := handlerFixture(t)
+	var doc struct {
+		Window int64     `json:"window"`
+		Root   *TreeNode `json:"root"`
+	}
+	// No ?window defaults to the latest window with CPU bytes.
+	if code := getJSON(t, p, "/debug/rpq/prof/tree", &doc); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if doc.Window != idB || doc.Root == nil || doc.Root.Value != 120_000_000 {
+		t.Fatalf("tree = %+v", doc)
+	}
+}
+
+func TestHandlerDownloadRoundtrips(t *testing.T) {
+	p, idA, _ := handlerFixture(t)
+	req := httptest.NewRequest("GET", "/debug/rpq/prof/download?window=1", nil)
+	rec := httptest.NewRecorder()
+	p.Handler().ServeHTTP(rec, req)
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	prof, err := ParseProfile(rec.Body.Bytes())
+	if err != nil {
+		t.Fatalf("downloaded bytes do not decode: %v", err)
+	}
+	if len(prof.Samples) != 4 {
+		t.Fatalf("downloaded profile has %d samples", len(prof.Samples))
+	}
+	_ = idA
+}
+
+func TestHandlerErrors(t *testing.T) {
+	p, _, _ := handlerFixture(t)
+	for _, url := range []string{
+		"/debug/rpq/prof?window=99",
+		"/debug/rpq/prof?window=abc",
+		"/debug/rpq/prof?window=1&profile=wat",
+		"/debug/rpq/prof/diff?a=1&b=99",
+		"/debug/rpq/prof/download?window=99",
+	} {
+		req := httptest.NewRequest("GET", url, nil)
+		rec := httptest.NewRecorder()
+		p.Handler().ServeHTTP(rec, req)
+		if rec.Code != 400 {
+			t.Fatalf("GET %s: status %d, want 400", url, rec.Code)
+		}
+	}
+}

@@ -1,0 +1,370 @@
+// Package prof is the always-on continuous profiler behind /debug/rpq/prof:
+// a duty-cycled capture loop recording short CPU-profile windows and
+// heap/alloc snapshots into a bounded ring store, a stdlib-only decoder for
+// the pprof protobuf format (gzip + wire-format walk, no dependency on
+// github.com/google/pprof or runtime/pprof internals), label-sliced flat/cum
+// aggregation over the rpq_* pprof labels the query layer stamps, and
+// frame-level diffing between windows — the tool the data-plane rewrites are
+// gated with. docs/observability.md ("Continuous profiling") documents the
+// rpq-prof/1 schema and the diff workflow.
+package prof
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+)
+
+// ValueType is one sample-value dimension of a profile ("cpu"/"nanoseconds",
+// "alloc_space"/"bytes", ...).
+type ValueType struct {
+	Type string `json:"type"`
+	Unit string `json:"unit"`
+}
+
+// Sample is one decoded profile sample: its call stack (leaf first, inline
+// frames expanded), one value per ValueType, and the pprof labels attached to
+// it (string labels only; numeric labels are kept separately).
+type Sample struct {
+	// Stack holds function names, leaf first.
+	Stack []string
+	// Values aligns with Profile.SampleType.
+	Values []int64
+	// Labels holds the sample's string pprof labels (rpq_kind, variant, ...).
+	Labels map[string]string
+	// NumLabels holds numeric labels (e.g. "bytes" on heap samples).
+	NumLabels map[string]int64
+}
+
+// Profile is a decoded pprof profile — the subset of the proto the
+// aggregation and diff layers need.
+type Profile struct {
+	SampleType    []ValueType
+	Samples       []Sample
+	TimeNanos     int64
+	DurationNanos int64
+	Period        int64
+	PeriodType    ValueType
+	// DefaultSampleType names the sample type tools should show by default
+	// ("" when the profile does not set one).
+	DefaultSampleType string
+}
+
+// ValueIndex returns the index of the sample-value dimension named typ, or -1.
+func (p *Profile) ValueIndex(typ string) int {
+	for i, st := range p.SampleType {
+		if st.Type == typ {
+			return i
+		}
+	}
+	return -1
+}
+
+// DefaultValueIndex picks the dimension aggregation should use when the
+// caller does not name one: "cpu" for CPU profiles, "alloc_space" for heap
+// profiles (the heap-bytes attribution the data-plane work needs), otherwise
+// the last dimension — the convention pprof itself uses.
+func (p *Profile) DefaultValueIndex() int {
+	if i := p.ValueIndex("cpu"); i >= 0 {
+		return i
+	}
+	if i := p.ValueIndex("alloc_space"); i >= 0 {
+		return i
+	}
+	return len(p.SampleType) - 1
+}
+
+// ---- protobuf wire walk ----
+//
+// profile.proto field numbers (github.com/google/pprof/proto/profile.proto):
+//
+//	Profile:  1 sample_type, 2 sample, 4 location, 5 function,
+//	          6 string_table, 9 time_nanos, 10 duration_nanos,
+//	          11 period_type, 12 period, 14 default_sample_type
+//	ValueType: 1 type, 2 unit (string-table indexes)
+//	Sample:   1 location_id (repeated), 2 value (repeated), 3 label
+//	Label:    1 key, 2 str, 3 num (key/str are string-table indexes)
+//	Location: 1 id, 4 line (repeated; line[0] is the leaf-most inline frame)
+//	Line:     1 function_id
+//	Function: 1 id, 2 name (string-table index)
+
+const (
+	wireVarint  = 0
+	wireFixed64 = 1
+	wireBytes   = 2
+	wireFixed32 = 5
+)
+
+// walkMessage iterates the fields of one encoded message. For varint fields
+// fn receives the value in v; for length-delimited fields the payload in b.
+// Fixed32/fixed64 fields are skipped (profile.proto does not use them) but
+// must still be consumed to stay in sync.
+func walkMessage(data []byte, fn func(num, typ int, v uint64, b []byte) error) error {
+	for len(data) > 0 {
+		key, n := uvarint(data)
+		if n <= 0 {
+			return fmt.Errorf("prof: truncated field key")
+		}
+		data = data[n:]
+		num, typ := int(key>>3), int(key&7)
+		switch typ {
+		case wireVarint:
+			v, n := uvarint(data)
+			if n <= 0 {
+				return fmt.Errorf("prof: truncated varint in field %d", num)
+			}
+			data = data[n:]
+			if err := fn(num, typ, v, nil); err != nil {
+				return err
+			}
+		case wireBytes:
+			l, n := uvarint(data)
+			if n <= 0 || uint64(len(data)-n) < l {
+				return fmt.Errorf("prof: truncated bytes in field %d", num)
+			}
+			payload := data[n : n+int(l)]
+			data = data[n+int(l):]
+			if err := fn(num, typ, 0, payload); err != nil {
+				return err
+			}
+		case wireFixed64:
+			if len(data) < 8 {
+				return fmt.Errorf("prof: truncated fixed64 in field %d", num)
+			}
+			data = data[8:]
+		case wireFixed32:
+			if len(data) < 4 {
+				return fmt.Errorf("prof: truncated fixed32 in field %d", num)
+			}
+			data = data[4:]
+		default:
+			return fmt.Errorf("prof: unsupported wire type %d in field %d", typ, num)
+		}
+	}
+	return nil
+}
+
+// uvarint decodes one varint; it mirrors encoding/binary.Uvarint but reports
+// overlong encodings as errors via n <= 0.
+func uvarint(b []byte) (uint64, int) {
+	var v uint64
+	for i := 0; i < len(b) && i < 10; i++ {
+		v |= uint64(b[i]&0x7f) << (7 * i)
+		if b[i] < 0x80 {
+			return v, i + 1
+		}
+	}
+	return 0, 0
+}
+
+// ints appends the int64 values of a repeated integer field, handling both
+// packed (length-delimited) and unpacked (single varint) encodings.
+func ints(dst []int64, typ int, v uint64, b []byte) ([]int64, error) {
+	if typ == wireVarint {
+		return append(dst, int64(v)), nil
+	}
+	for len(b) > 0 {
+		x, n := uvarint(b)
+		if n <= 0 {
+			return nil, fmt.Errorf("prof: truncated packed int")
+		}
+		dst = append(dst, int64(x))
+		b = b[n:]
+	}
+	return dst, nil
+}
+
+// rawSample keeps a sample's encoded references until the tables are known.
+type rawSample struct {
+	locs   []int64
+	values []int64
+	labels []rawLabel
+}
+
+type rawLabel struct{ key, str, num int64 }
+
+// ParseProfile decodes a pprof profile — gzip-compressed or raw protobuf —
+// into the Profile subset: sample types, samples with symbolized stacks and
+// labels, and the timing metadata.
+func ParseProfile(data []byte) (*Profile, error) {
+	if len(data) >= 2 && data[0] == 0x1f && data[1] == 0x8b {
+		zr, err := gzip.NewReader(bytes.NewReader(data))
+		if err != nil {
+			return nil, fmt.Errorf("prof: gunzip profile: %w", err)
+		}
+		raw, err := io.ReadAll(zr)
+		zr.Close()
+		if err != nil {
+			return nil, fmt.Errorf("prof: gunzip profile: %w", err)
+		}
+		data = raw
+	}
+
+	var (
+		strtab      []string
+		sampleTypes []rawLabel // reuse: key=type idx, str=unit idx
+		raws        []rawSample
+		funcs       = map[uint64]int64{} // function id -> name strtab idx
+		locFns      = map[uint64][]uint64{}
+		p           = &Profile{}
+		periodType  rawLabel
+		defaultType int64
+	)
+
+	err := walkMessage(data, func(num, typ int, v uint64, b []byte) error {
+		switch num {
+		case 1: // sample_type
+			vt, err := parseValueTypeRaw(b)
+			if err != nil {
+				return err
+			}
+			sampleTypes = append(sampleTypes, vt)
+		case 2: // sample
+			s := rawSample{}
+			err := walkMessage(b, func(num, typ int, v uint64, b []byte) error {
+				var err error
+				switch num {
+				case 1:
+					s.locs, err = ints(s.locs, typ, v, b)
+				case 2:
+					s.values, err = ints(s.values, typ, v, b)
+				case 3:
+					var l rawLabel
+					err = walkMessage(b, func(num, typ int, v uint64, b []byte) error {
+						switch num {
+						case 1:
+							l.key = int64(v)
+						case 2:
+							l.str = int64(v)
+						case 3:
+							l.num = int64(v)
+						}
+						return nil
+					})
+					s.labels = append(s.labels, l)
+				}
+				return err
+			})
+			if err != nil {
+				return err
+			}
+			raws = append(raws, s)
+		case 4: // location
+			var id uint64
+			var fns []uint64
+			err := walkMessage(b, func(num, typ int, v uint64, b []byte) error {
+				switch num {
+				case 1:
+					id = v
+				case 4: // line
+					return walkMessage(b, func(num, typ int, v uint64, b []byte) error {
+						if num == 1 {
+							fns = append(fns, v)
+						}
+						return nil
+					})
+				}
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+			locFns[id] = fns
+		case 5: // function
+			var id uint64
+			var name int64
+			err := walkMessage(b, func(num, typ int, v uint64, b []byte) error {
+				switch num {
+				case 1:
+					id = v
+				case 2:
+					name = int64(v)
+				}
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+			funcs[id] = name
+		case 6: // string_table
+			strtab = append(strtab, string(b))
+		case 9:
+			p.TimeNanos = int64(v)
+		case 10:
+			p.DurationNanos = int64(v)
+		case 11:
+			vt, err := parseValueTypeRaw(b)
+			if err != nil {
+				return err
+			}
+			periodType = vt
+		case 12:
+			p.Period = int64(v)
+		case 14:
+			defaultType = int64(v)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	str := func(i int64) string {
+		if i < 0 || i >= int64(len(strtab)) {
+			return ""
+		}
+		return strtab[i]
+	}
+	for _, vt := range sampleTypes {
+		p.SampleType = append(p.SampleType, ValueType{Type: str(vt.key), Unit: str(vt.str)})
+	}
+	p.PeriodType = ValueType{Type: str(periodType.key), Unit: str(periodType.str)}
+	p.DefaultSampleType = str(defaultType)
+
+	p.Samples = make([]Sample, 0, len(raws))
+	for _, rs := range raws {
+		s := Sample{Values: rs.values}
+		for _, lid := range rs.locs {
+			for _, fid := range locFns[uint64(lid)] {
+				if name := str(funcs[fid]); name != "" {
+					s.Stack = append(s.Stack, name)
+				}
+			}
+		}
+		for _, l := range rs.labels {
+			k := str(l.key)
+			if k == "" {
+				continue
+			}
+			if l.str != 0 {
+				if s.Labels == nil {
+					s.Labels = map[string]string{}
+				}
+				s.Labels[k] = str(l.str)
+			} else {
+				if s.NumLabels == nil {
+					s.NumLabels = map[string]int64{}
+				}
+				s.NumLabels[k] = l.num
+			}
+		}
+		p.Samples = append(p.Samples, s)
+	}
+	return p, nil
+}
+
+// parseValueTypeRaw decodes a ValueType message into its string-table refs.
+func parseValueTypeRaw(b []byte) (rawLabel, error) {
+	var vt rawLabel
+	err := walkMessage(b, func(num, typ int, v uint64, b []byte) error {
+		switch num {
+		case 1:
+			vt.key = int64(v)
+		case 2:
+			vt.str = int64(v)
+		}
+		return nil
+	})
+	return vt, err
+}

@@ -1,0 +1,192 @@
+package prof
+
+import (
+	"bytes"
+	"compress/gzip"
+	"context"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"testing"
+	"time"
+)
+
+var kinds = []string{"exist", "universal", "violations"}
+
+// fixturePath is the committed golden for one query kind. Regenerate with
+//
+//	PROF_UPDATE_GOLDEN=1 go test ./internal/prof -run TestParseProfileGolden
+//
+// after an intentional encoder change; the decoder assertions below pin the
+// wire format either way.
+func fixturePath(kind string) string {
+	return filepath.Join("testdata", "cpu_"+kind+".pb.gz")
+}
+
+func TestParseProfileGolden(t *testing.T) {
+	for _, kind := range kinds {
+		t.Run(kind, func(t *testing.T) {
+			path := fixturePath(kind)
+			want := encodeTestProfile(fixtureSpec(kind))
+			if os.Getenv("PROF_UPDATE_GOLDEN") != "" {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, want, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden fixture (run with PROF_UPDATE_GOLDEN=1): %v", err)
+			}
+			if !bytes.Equal(data, want) {
+				t.Fatalf("golden %s drifted from the encoder output (%d vs %d bytes)", path, len(data), len(want))
+			}
+
+			p, err := ParseProfile(data)
+			if err != nil {
+				t.Fatalf("ParseProfile: %v", err)
+			}
+			if len(p.SampleType) != 2 || p.SampleType[1].Type != "cpu" || p.SampleType[1].Unit != "nanoseconds" {
+				t.Fatalf("sample types = %+v", p.SampleType)
+			}
+			if p.DefaultValueIndex() != 1 {
+				t.Fatalf("DefaultValueIndex = %d, want 1 (cpu)", p.DefaultValueIndex())
+			}
+			if len(p.Samples) != 4 {
+				t.Fatalf("got %d samples, want 4", len(p.Samples))
+			}
+			if p.Period != 10_000_000 || p.PeriodType.Type != "cpu" {
+				t.Fatalf("period = %d %+v", p.Period, p.PeriodType)
+			}
+
+			entry := map[string]string{
+				"exist": "rpq.Exist", "universal": "rpq.Universal", "violations": "rpq.Violations",
+			}[kind]
+			s0 := p.Samples[0]
+			wantStack := []string{"rpq/internal/core.match", "rpq/internal/core.(*engine).solve", entry, "main.main"}
+			if len(s0.Stack) != len(wantStack) {
+				t.Fatalf("sample 0 stack = %v", s0.Stack)
+			}
+			for i := range wantStack {
+				if s0.Stack[i] != wantStack[i] {
+					t.Fatalf("sample 0 stack[%d] = %q, want %q", i, s0.Stack[i], wantStack[i])
+				}
+			}
+			if s0.Values[0] != 6 || s0.Values[1] != 60_000_000 {
+				t.Fatalf("sample 0 values = %v", s0.Values)
+			}
+			if s0.Labels["rpq_kind"] != kind || s0.Labels["variant"] != "memo" ||
+				s0.Labels["workers"] != "1" || s0.Labels["rpq_trace_id"] != "aaaa0000aaaa0000aaaa0000aaaa0000" {
+				t.Fatalf("sample 0 labels = %v", s0.Labels)
+			}
+			// The GC sample carries no labels.
+			if got := p.Samples[3]; len(got.Labels) != 0 || got.Stack[0] != "runtime.gcBgMarkWorker" {
+				t.Fatalf("sample 3 = %+v", got)
+			}
+		})
+	}
+}
+
+func TestParseProfileUncompressed(t *testing.T) {
+	// The decoder must accept raw (non-gzip) protos too: strip the gzip
+	// framing from a fixture and re-parse.
+	gz := encodeTestProfile(fixtureSpec("exist"))
+	p1, err := ParseProfile(gz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := ParseProfile(mustGunzip(t, gz))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p1.Samples) != len(p2.Samples) || p1.Period != p2.Period {
+		t.Fatalf("gzip vs raw decode disagree: %d/%d samples", len(p1.Samples), len(p2.Samples))
+	}
+}
+
+func TestParseProfileTruncated(t *testing.T) {
+	raw := mustGunzip(t, encodeTestProfile(fixtureSpec("exist")))
+	for _, n := range []int{1, 7, len(raw) / 2, len(raw) - 1} {
+		if _, err := ParseProfile(raw[:n]); err == nil {
+			t.Fatalf("ParseProfile accepted a %d-byte truncation", n)
+		}
+	}
+}
+
+func TestParseProfileNumLabels(t *testing.T) {
+	spec := testProfileSpec{
+		sampleTypes: []ValueType{{Type: "alloc_space", Unit: "bytes"}},
+		samples: []testSample{
+			{stack: []string{"rpq/internal/core.grow"}, values: []int64{4096},
+				nums: map[string]int64{"bytes": 2048}},
+		},
+	}
+	p, err := ParseProfile(encodeTestProfile(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Samples[0].NumLabels["bytes"] != 2048 {
+		t.Fatalf("num labels = %v", p.Samples[0].NumLabels)
+	}
+	if p.DefaultValueIndex() != 0 {
+		t.Fatalf("heap default value index = %d", p.DefaultValueIndex())
+	}
+}
+
+// TestParseRealCPUProfile decodes an actual runtime/pprof capture — the
+// format the capture loop stores — including pprof labels, proving the
+// stdlib-only decoder handles real profiles, not just fixtures.
+func TestParseRealCPUProfile(t *testing.T) {
+	var buf bytes.Buffer
+	if err := pprof.StartCPUProfile(&buf); err != nil {
+		t.Skipf("cpu profile unavailable: %v", err)
+	}
+	done := time.Now().Add(300 * time.Millisecond)
+	// Burn CPU under a label so at least one labeled sample lands.
+	pprof.Do(context.Background(), pprof.Labels("rpq_kind", "exist"), func(context.Context) {
+		x := 0
+		for time.Now().Before(done) {
+			x++
+		}
+		_ = x
+	})
+	pprof.StopCPUProfile()
+
+	p, err := ParseProfile(buf.Bytes())
+	if err != nil {
+		t.Fatalf("ParseProfile(real capture): %v", err)
+	}
+	if p.ValueIndex("cpu") < 0 {
+		t.Fatalf("real profile lacks a cpu dimension: %+v", p.SampleType)
+	}
+	if len(p.Samples) == 0 {
+		t.Skip("no samples captured (heavily loaded CI machine)")
+	}
+	labeled := false
+	for _, s := range p.Samples {
+		if s.Labels["rpq_kind"] == "exist" {
+			labeled = true
+			break
+		}
+	}
+	if !labeled {
+		t.Skip("no labeled samples captured (scheduler starvation)")
+	}
+}
+
+func mustGunzip(t *testing.T, gz []byte) []byte {
+	t.Helper()
+	zr, err := gzip.NewReader(bytes.NewReader(gz))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer zr.Close()
+	raw, err := io.ReadAll(zr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}

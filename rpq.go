@@ -44,6 +44,7 @@ import (
 	"rpq/internal/minipy"
 	"rpq/internal/obs"
 	"rpq/internal/pattern"
+	"rpq/internal/prof"
 	"rpq/internal/queries"
 	"rpq/internal/subst"
 	"rpq/internal/xmldata"
@@ -563,7 +564,36 @@ type ObservabilityConfig struct {
 	// the dashboard gains a burn-rate panel. Requires the time-series store
 	// (ignored when TSInterval < 0).
 	SLOs []SLO
+	// Profiling, when non-nil, starts the always-on continuous profiler:
+	// duty-cycled CPU windows plus heap snapshots in a bounded ring, served
+	// on /debug/rpq/prof (window list, label-sliced frames, diffs, icicle
+	// tree) and pinned into watchdog bundles on anomalies.
+	Profiling *ProfilingConfig
 }
+
+// ProfilingConfig tunes the continuous profiler; see
+// ObservabilityConfig.Profiling. The zero value captures a 10s CPU window
+// every 60s — a duty cycle whose steady-state overhead stays under 2% (the
+// pinned BenchmarkExist/prof-on budget).
+type ProfilingConfig struct {
+	// Window is the CPU-capture duration per cycle (0 = 10s).
+	Window time.Duration
+	// Interval is the capture cadence — one window starts every Interval
+	// (0 = 60s; clamped up to Window).
+	Interval time.Duration
+	// Retain bounds the unpinned windows kept in memory (0 = 32).
+	Retain int
+	// MaxPinned bounds the anomaly-pinned windows kept in memory (0 = 8).
+	MaxPinned int
+	// SLOBurnThreshold is the burn rate at which the active window is pinned
+	// when SLO tracking is enabled (0 = 1.0, i.e. burning error budget faster
+	// than the objective allows; < 0 disables the SLO pin hook).
+	SLOBurnThreshold float64
+}
+
+// Profiler is the running continuous profiler; see
+// ObservabilityServer.Prof and internal/prof.
+type Profiler = prof.Profiler
 
 // SLO is one service-level objective for SLO burn-rate tracking; see
 // ObservabilityConfig.SLOs and internal/service.
@@ -585,13 +615,20 @@ type ObservabilityServer struct {
 	// ObservabilityConfig.SLOs was set alongside an enabled time-series
 	// store.
 	SLO *SLOTracker
+	// Prof is the continuous profiler behind /debug/rpq/prof; nil unless
+	// ObservabilityConfig.Profiling was set. Wire it into a Watchdog
+	// (Watchdog.Profiler = srv.Prof) to pin profile windows into bundles.
+	Prof *Profiler
 }
 
-// Close stops the time-series store, the runtime sampler, and the HTTP
-// server, in that order. No background goroutine survives it.
+// Close stops the profiler, the time-series store, the runtime sampler, and
+// the HTTP server, in that order. No background goroutine survives it.
 func (s *ObservabilityServer) Close() error {
 	if s == nil {
 		return nil
+	}
+	if s.Prof != nil {
+		s.Prof.Stop()
 	}
 	if s.TS != nil {
 		s.TS.Stop()
@@ -624,7 +661,23 @@ func ServeObservabilityWith(addr string, cfg ObservabilityConfig) (*Observabilit
 	if out.TS != nil && len(cfg.SLOs) > 0 {
 		out.SLO = obs.NewSLOTracker(out.TS, cfg.SLOs)
 	}
-	srv, err := obs.ServeWith(addr, obs.ServeOptions{TimeSeries: out.TS, SLO: out.SLO})
+	if pc := cfg.Profiling; pc != nil {
+		out.Prof = prof.New(prof.Options{
+			Window:    pc.Window,
+			Interval:  pc.Interval,
+			Retain:    pc.Retain,
+			MaxPinned: pc.MaxPinned,
+		})
+	}
+	so := obs.ServeOptions{
+		TimeSeries: out.TS,
+		SLO:        out.SLO,
+		QueryHist:  obs.NewSolverGauges(nil).QueryHist,
+	}
+	if out.Prof != nil {
+		so.Prof = out.Prof.Handler()
+	}
+	srv, err := obs.ServeWith(addr, so)
 	if err != nil {
 		// Failed startup (e.g. the port is already bound) must not leak the
 		// telemetry components: stop whichever were already running so no
@@ -643,6 +696,16 @@ func ServeObservabilityWith(addr string, cfg ObservabilityConfig) (*Observabilit
 	}
 	if out.TS != nil {
 		out.TS.Start()
+	}
+	if out.Prof != nil {
+		out.Prof.Start()
+		if out.SLO != nil && cfg.Profiling.SLOBurnThreshold >= 0 {
+			threshold := cfg.Profiling.SLOBurnThreshold
+			if threshold == 0 {
+				threshold = 1.0
+			}
+			out.Prof.WatchSLO(out.SLO, threshold, 0)
+		}
 	}
 	return out, nil
 }
@@ -830,7 +893,11 @@ func (rs *runState) finish(res *Result, err error) {
 	}
 	if gauges != nil {
 		gauges.Queries.Add(1)
-		gauges.QueryHist.Observe(d)
+		traceID := ""
+		if rs.trace.IsValid() {
+			traceID = rs.trace.TraceIDString()
+		}
+		gauges.QueryHist.ObserveTrace(d, traceID)
 		gauges.CPUTotalUS.Add(cpu.Microseconds())
 		gauges.AllocTotal.Add(alloc)
 		if stats != nil {

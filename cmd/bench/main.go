@@ -32,6 +32,7 @@ import (
 	"rpq/internal/analyze"
 	"rpq/internal/core"
 	"rpq/internal/gen"
+	"rpq/internal/gofront"
 	"rpq/internal/graph"
 	"rpq/internal/obs"
 	"rpq/internal/pattern"
@@ -81,8 +82,12 @@ type scenarioResult struct {
 	// allocation per rep — machine-dependent context like the timings, so
 	// deliberately absent from Counters and from -compare. omitempty keeps
 	// reports from before these fields schema-compatible.
-	CPUNS      int64            `json:"cpu_ns,omitempty"`
-	AllocBytes int64            `json:"alloc_bytes,omitempty"`
+	CPUNS      int64 `json:"cpu_ns,omitempty"`
+	AllocBytes int64 `json:"alloc_bytes,omitempty"`
+	// FrontendNS is the one-time cost of lowering the workload's source to
+	// a program graph (gofront scenarios only) — front-end build time,
+	// machine-dependent like the timings, excluded from -compare.
+	FrontendNS int64            `json:"frontend_ns,omitempty"`
 	Counters   map[string]int64 `json:"counters"`
 	// HotState names the automaton state with the most worklist visits, from
 	// the explain profile collected alongside each run.
@@ -122,7 +127,17 @@ var (
 const (
 	bwdUninitPattern = "_* use(x,l) (!def(x))* entry()"
 	fwdUninitPattern = "(!def(x))* use(x,_)"
+	dlockPattern     = "_* lock(m) (!unlock(m))* lock(m)"
+	closePattern     = "_* close(x) (!def(x))* (close(x) | send(x) | mcall(x, _))"
+
+	// benchmodDir is the committed real-Go module the gofront scenarios
+	// lower; bench must run from the repository root (as CI does).
+	benchmodDir = "testdata/goprog/benchmod"
 )
+
+// gofrontBuildNS records the one-time front-end lowering cost measured in
+// buildWorkloads, reported on gofront scenarios as frontend_ns.
+var gofrontBuildNS int64
 
 // scenarios returns the pinned matrix: the C-dataflow workload across the
 // sequential variants and both table kinds, parallel runs at 4 workers, the
@@ -146,6 +161,11 @@ func scenarios() []scenario {
 		{"lts-deadlock/memo/hash/w4", "lts", "exist", deadlock.Pattern, core.AlgoMemo, subst.Hash, 4},
 		{"univ-fwd/enum/hash/w1", "univ-fwd", "universal", fwdUninitPattern, core.AlgoEnum, subst.Hash, 1},
 		{"univ-fwd/hybrid/hash/w1", "univ-fwd", "universal", fwdUninitPattern, core.AlgoHybrid, subst.Hash, 1},
+		// Real-Go workload: the committed multi-package benchmod module
+		// lowered by gofront (interprocedural call/ret/go edges), queried
+		// with two checks from the rpqcheck catalog.
+		{"gofront-benchmod/dlock/memo/hash/w1", "gofront", "exist", dlockPattern, core.AlgoMemo, subst.Hash, 1},
+		{"gofront-benchmod/close/basic/hash/w1", "gofront", "exist", closePattern, core.AlgoBasic, subst.Hash, 1},
 	}
 }
 
@@ -171,11 +191,18 @@ func buildWorkloads() map[string]workloadGraph {
 	}
 	ug := gen.Program(univSpec)
 	lg := gen.RandomLTS(ltsSpec).ForExistential()
+	ft0 := time.Now()
+	gp, err := gofront.Load([]string{benchmodDir + "/..."}, gofront.Config{Interproc: true, Workers: 1})
+	if err != nil {
+		fail("gofront workload: %v (run bench from the repository root)", err)
+	}
+	gofrontBuildNS = time.Since(ft0).Nanoseconds()
 	return map[string]workloadGraph{
 		"prog-fwd": {pg, pg.Start()},
 		"prog-bwd": {pg.Reverse(), bwdStart},
 		"univ-fwd": {ug, ug.Start()},
 		"lts":      {lg, lg.Start()},
+		"gofront":  {gp.Graph, gp.Graph.Start()},
 	}
 }
 
@@ -373,6 +400,9 @@ func runScenario(sc scenario, wl workloadGraph, n int) scenarioResult {
 		CPUNS:      median(cpu),
 		AllocBytes: median(allocs),
 		Counters:   prevCtr,
+	}
+	if sc.workload == "gofront" {
+		out.FrontendNS = gofrontBuildNS
 	}
 	if ex := last.Explain; ex != nil {
 		if top := ex.TopStates(1); len(top) > 0 {

@@ -47,7 +47,7 @@ func (l *loadFlags) Set(v string) error {
 	spec := loadSpec{name: name, path: rest}
 	if format, path, ok := strings.Cut(rest, ":"); ok {
 		switch format {
-		case "text", "aut", "aut-universal", "xml":
+		case "text", "aut", "aut-universal", "xml", "go":
 			spec.format, spec.path = format, path
 		}
 	}
@@ -135,7 +135,7 @@ func main() {
 		profInterval  = flag.Duration("prof-interval", 0, "continuous-profiler capture cadence (0 = 60s)")
 		profRetain    = flag.Int("prof-retain", 0, "continuous-profiler windows retained in memory (0 = 32)")
 	)
-	flag.Var(&loads, "load", "preload a graph: name=path or name=format:path (text, aut, aut-universal, xml); repeatable")
+	flag.Var(&loads, "load", "preload a graph: name=path or name=format:path (text, aut, aut-universal, xml, go); repeatable")
 	flag.Var(&slos, "slo", "track an SLO: route:objective[:latency], e.g. query:0.999:30s; repeatable (default query:0.999)")
 	flag.Parse()
 	if len(slos) == 0 {

@@ -115,6 +115,10 @@ const (
 	// CodeTableAdvice: the selected table representation is predictably
 	// poor for this query/graph (Table 3).
 	CodeTableAdvice = "RPQ015"
+	// CodeAlphabetCoverage: a constructor referenced inside a negation never
+	// occurs in the graph's alphabet, so the negation silently excludes less
+	// than written — the usual symptom of frontend/schema drift.
+	CodeAlphabetCoverage = "RPQ016"
 )
 
 // Diagnostic is one lint finding.

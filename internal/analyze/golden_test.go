@@ -58,7 +58,7 @@ func TestGoldenDiagnostics(t *testing.T) {
 		CodeEmpty, CodeOnlyEps, CodeDeadLabel, CodeNeverBinds, CodeMayNotBind,
 		CodeNegBeforeBind, CodeUnsatLabel, CodeDupBranch, CodeRedundantRep,
 		CodeUnknownCtor, CodeArityMismatch, CodeGraphEmpty, CodeNegVacuous,
-		CodeVariantAdvice, CodeTableAdvice,
+		CodeVariantAdvice, CodeTableAdvice, CodeAlphabetCoverage,
 	}
 	for _, c := range allCodes {
 		if !covered[c] {

@@ -218,6 +218,42 @@ func (l *linter) checkLabelAlphabet(a *alphabet, t *label.Term, sp span.Span,
 		}
 	}
 	walkNeg(t)
+
+	// Alphabet coverage under negation (RPQ016). RPQ010/RPQ011 judge only
+	// positive occurrences, and RPQ013 judges a negation as a whole — so a
+	// never-emitted constructor inside a negation whose other alternatives
+	// do exclude something slips through both: the query still "works" but
+	// excludes less than written. That is the shape frontend/schema drift
+	// takes (e.g. a pattern written against acq/rel run on a graph whose
+	// front end emits the canonical lock/unlock).
+	var walkCover func(t *label.Term, negated bool)
+	walkCover = func(t *label.Term, negated bool) {
+		switch t.Kind {
+		case label.KApp:
+			if negated {
+				if arities, ok := a.ctorArities(t.Name); !ok {
+					once(CodeAlphabetCoverage, Warning, sp,
+						fmt.Sprintf("negated constructor %s never occurs in the graph; the negation excludes less than written", t.Name),
+						"if the operation can occur, the front end may emit a different constructor; internal/cfgschema lists the canonical names (e.g. lock/unlock, not acq/rel)")
+				} else if !arities[len(t.Args)] {
+					once(CodeAlphabetCoverage, Warning, sp,
+						fmt.Sprintf("negated constructor %s occurs in the graph only with arity %s, not %d; the negation excludes less than written",
+							t.Name, formatArities(arities), len(t.Args)),
+						"adjust the argument count to match the graph's labels")
+				}
+			}
+			for _, arg := range t.Args {
+				walkCover(arg, negated)
+			}
+		case label.KOr:
+			for _, alt := range t.Args {
+				walkCover(alt, negated)
+			}
+		case label.KNeg:
+			walkCover(t.Args[0], true)
+		}
+	}
+	walkCover(t, false)
 }
 
 func formatArities(s map[int]bool) string {

@@ -1,0 +1,81 @@
+package cfgschema
+
+import (
+	"testing"
+
+	"rpq/internal/label"
+)
+
+func TestCanonicalAliases(t *testing.T) {
+	cases := map[string]string{
+		"acq":    "lock",
+		"rel":    "unlock",
+		"lock":   "lock",
+		"unlock": "unlock",
+		"open":   "open",
+		"def":    "def",
+		"frob":   "frob", // unknown names pass through
+	}
+	for in, want := range cases {
+		if got := Canonical(in); got != want {
+			t.Errorf("Canonical(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestAliasTargetsAreInSchema(t *testing.T) {
+	for alias, canon := range aliases {
+		if _, ok := Lookup(canon); !ok {
+			t.Errorf("alias %s maps to %s, which is not in the schema", alias, canon)
+		}
+		if _, ok := Lookup(alias); ok {
+			t.Errorf("alias %s must not itself be a schema constructor", alias)
+		}
+	}
+}
+
+func TestSchemaWellFormed(t *testing.T) {
+	seen := map[string]bool{}
+	for _, c := range Schema() {
+		if c.Name == "" || c.Doc == "" || len(c.Arities) == 0 || len(c.Emitters) == 0 {
+			t.Errorf("incomplete schema entry %+v", c)
+		}
+		if seen[c.Name] {
+			t.Errorf("duplicate schema constructor %s", c.Name)
+		}
+		seen[c.Name] = true
+	}
+}
+
+// TestHelpersMatchSchema pins every helper constructor to a schema-known
+// (name, arity) pair so helpers and table cannot drift apart.
+func TestHelpersMatchSchema(t *testing.T) {
+	terms := []*label.Term{
+		Nop(), Entry(), EntryOf("f"), Exit(), ExitOf("f"),
+		Def("x"), DefConst("x", "1"), Decl("x"), Use("x"), UseAt("x", 3),
+		Call("f"), MCall("x", "Read"), Ret("f"), DeferAt("f", "s1"), Go("f"),
+		Send("ch"), Recv("ch"), Close("ch"),
+		Lock("m"), Unlock("m"), RLock("m"), RUnlock("m"),
+		Effect("acq", label.Sym("m")), Effect("rel", label.Sym("m")),
+	}
+	for _, tm := range terms {
+		if !HasArity(tm.Name, len(tm.Args)) {
+			t.Errorf("helper emitted %s/%d, not in schema", tm.Name, len(tm.Args))
+		}
+	}
+}
+
+func TestEffectCanonicalizes(t *testing.T) {
+	tm := Effect("acq", label.Sym("m"))
+	if tm.Name != "lock" {
+		t.Errorf("Effect(acq) emitted %s, want lock", tm.Name)
+	}
+	tm = Effect("rel", label.Sym("m"))
+	if tm.Name != "unlock" {
+		t.Errorf("Effect(rel) emitted %s, want unlock", tm.Name)
+	}
+	tm = Effect("close", label.Sym("f"))
+	if tm.Name != "close" {
+		t.Errorf("Effect(close) emitted %s, want close", tm.Name)
+	}
+}

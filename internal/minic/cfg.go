@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strconv"
 
+	"rpq/internal/cfgschema"
 	"rpq/internal/graph"
 	"rpq/internal/label"
 )
@@ -35,11 +36,13 @@ type Config struct {
 }
 
 // effectCalls are library calls emitted directly as labels (Section 2.2's
-// files, memory, interrupts, security, and locking examples).
+// files, memory, interrupts, security, and locking examples). Emitted names
+// pass through cfgschema.Effect, so the paper's acq/rel spellings lower to
+// the canonical lock/unlock constructors shared with the other front ends.
 var effectCalls = map[string]bool{
 	"open": true, "close": true, "access": true,
 	"malloc": true, "free": true, "deref": true,
-	"acq": true, "rel": true,
+	"acq": true, "rel": true, "lock": true, "unlock": true,
 	"save": true, "restore": true, "change": true,
 	"seteuid": true, "exit": true,
 }
@@ -517,7 +520,7 @@ func (b *builder) emitCall(fn *fnCtx, cur int32, x *CallExpr) (int32, string, er
 				args = append(args, label.Sym("_complex"))
 			}
 		}
-		return b.step(name, cur, label.App(x.Name, args...)), "", nil
+		return b.step(name, cur, cfgschema.Effect(x.Name, args...)), "", nil
 	}
 	callee, known := b.funcs[x.Name]
 	if !known || !b.cfg.Interproc {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strconv"
 
+	"rpq/internal/cfgschema"
 	"rpq/internal/graph"
 	"rpq/internal/label"
 )
@@ -18,10 +19,12 @@ type Config struct {
 }
 
 // effectCalls mirrors minic's set: recognized library calls become labels.
+// Names lower through cfgschema.Effect, so acq/rel emit the canonical
+// lock/unlock constructors.
 var effectCalls = map[string]bool{
 	"open": true, "close": true, "access": true,
 	"malloc": true, "free": true, "deref": true,
-	"acq": true, "rel": true,
+	"acq": true, "rel": true, "lock": true, "unlock": true,
 	"save": true, "restore": true, "change": true,
 	"seteuid": true, "exit": true,
 }
@@ -246,7 +249,7 @@ func (b *pyBuilder) expr(cur int32, e Expr) (int32, error) {
 					args = append(args, label.Sym("_complex"))
 				}
 			}
-			return b.step(cur, label.App(x.Name, args...)), nil
+			return b.step(cur, cfgschema.Effect(x.Name, args...)), nil
 		}
 		for _, a := range x.Args {
 			var err error

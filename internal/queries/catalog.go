@@ -167,14 +167,14 @@ func Catalog() []Analysis {
 		},
 		{
 			Name:        "locking-discipline",
-			Description: "Locking discipline (Section 2.2): universal query; ⟨v, {x↦a,l↦m}⟩ means variable a is accessed only under lock m on all paths to v.",
-			Pattern:     "((!access(x))* acq(l) (!rel(l))*)*",
+			Description: "Locking discipline (Section 2.2): universal query; ⟨v, {x↦a,l↦m}⟩ means variable a is accessed only under lock m on all paths to v. The paper writes acq/rel; the shared schema's canonical constructors are lock/unlock (internal/cfgschema).",
+			Pattern:     "((!access(x))* lock(l) (!unlock(l))*)*",
 			Kind:        Universal,
 		},
 		{
 			Name:        "deadlock-avoidance",
 			Description: "Lock-order discovery (Section 2.2): ⟨v, {l1↦m1,l2↦m2}⟩ means m2 is acquired while m1 is held on some path; inspect the exit's substitutions for a consistent partial order.",
-			Pattern:     "_* acq(l1) (!rel(l1))* acq(l2) _*",
+			Pattern:     "_* lock(l1) (!unlock(l1))* lock(l2) _*",
 			Kind:        Existential,
 		},
 		{

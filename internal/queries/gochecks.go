@@ -1,0 +1,110 @@
+package queries
+
+// The Go check catalog: the dataflow checks cmd/rpqcheck runs over program
+// graphs built by internal/gofront. Each check is one parametric regular
+// path query against the shared cfgschema label vocabulary; parameters bind
+// to qualified variable symbols (pkgpath.func.var), so one existential
+// answer names both the program point and the offending resource.
+//
+// Because gofront's identity is syntactic (no go/types, no aliasing),
+// answers are *possible* findings in the certain/possible-answer sense of
+// Barceló et al., "Parameterized Regular Expressions and their Languages":
+// every finding names a real CFG path, with the resource identity along it
+// approximated by spelling.
+
+// GoCheck is one rpqcheck diagnostic backed by a parametric query.
+type GoCheck struct {
+	// Name is the check key, used by -checks and //rpqcheck:allow.
+	Name string
+	// Doc is the one-line description shown by rpqcheck -list.
+	Doc string
+	// Pattern is the existential query; it matches paths from the graph
+	// root to the finding vertex.
+	Pattern string
+	// Interproc selects the interprocedural graph (call/ret edges linking
+	// call sites to callees). Purely local checks stay on the
+	// intraprocedural graph so a finding never depends on a path that
+	// leaves and re-enters a function.
+	Interproc bool
+	// Param is the binding reported as the finding's subject.
+	Param string
+	// Message is the finding template; {x}-style placeholders are replaced
+	// with the short names of same-named parameter bindings.
+	Message string
+}
+
+// GoChecks returns the rpqcheck catalog, in presentation order.
+func GoChecks() []GoCheck {
+	return []GoCheck{
+		{
+			Name: "uninit-use",
+			Doc:  "variable declared without initializer and read before any assignment on some path",
+			// decl(x) only exists for `var x T` without initializer; params,
+			// named results, := and var-with-value sites all emit def.
+			Pattern:   "_* decl(x) (!def(x))* use(x)",
+			Interproc: false,
+			Param:     "x",
+			Message:   "{x} may be read before assignment (declared without initializer)",
+		},
+		{
+			Name: "use-after-close",
+			Doc:  "channel or resource used after close on some path",
+			// A later close, send, or method call on the same (un-redefined)
+			// resource panics or races; def(x) in between means the variable
+			// was rebound to a fresh resource. Intraprocedural: local symbols
+			// are function-qualified, so cross-function identities never
+			// match anyway, and the regular (non-CFL) approximation of valid
+			// interprocedural paths would mix unmatched call/ret pairs into
+			// false positives.
+			Pattern:   "_* close(x) (!def(x))* (close(x) | send(x) | mcall(x, _))",
+			Interproc: false,
+			Param:     "x",
+			Message:   "{x} used after close",
+		},
+		{
+			Name: "double-lock",
+			Doc:  "mutex locked twice with no intervening unlock on some path",
+			// sync.Mutex is not reentrant: the second Lock deadlocks. rlock
+			// is a distinct constructor, so shared read-locking never fires
+			// this.
+			Pattern:   "_* lock(m) (!unlock(m))* lock(m)",
+			Interproc: true,
+			Param:     "m",
+			Message:   "{m} locked twice without an intervening unlock (sync.Mutex is not reentrant)",
+		},
+		{
+			Name: "unlock-without-lock",
+			Doc:  "mutex unlocked on a path that never locked it",
+			// Unlocking an unlocked sync.Mutex is a run-time fatal error.
+			// Intraprocedural: on the interprocedural graph, a path may enter
+			// a function mid-body through the ret edge of a shared callee
+			// (regular approximation of CFL-reachability), skipping the
+			// function's own lock and flagging every lock/defer-unlock pair.
+			Pattern:   "(!lock(m))* unlock(m)",
+			Interproc: false,
+			Param:     "m",
+			Message:   "{m} unlocked without a preceding lock on this path (fatal at run time)",
+		},
+		{
+			Name: "defer-in-loop",
+			Doc:  "defer registered repeatedly inside a loop; deferred calls accumulate until function exit",
+			// The same defer site s reached twice on one intraprocedural
+			// path means a loop wraps the registration; with one iteration
+			// per resource, the resources pile up until return.
+			Pattern:   "_* defer(f, s) _* defer(f, s)",
+			Interproc: false,
+			Param:     "s",
+			Message:   "defer of {f} inside a loop: deferred calls only run at function exit",
+		},
+	}
+}
+
+// GoCheckByName finds a check in the rpqcheck catalog.
+func GoCheckByName(name string) (GoCheck, bool) {
+	for _, c := range GoChecks() {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return GoCheck{}, false
+}

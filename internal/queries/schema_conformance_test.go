@@ -1,0 +1,79 @@
+package queries
+
+import (
+	"fmt"
+	"testing"
+
+	"rpq/internal/cfgschema"
+	"rpq/internal/label"
+	"rpq/internal/pattern"
+)
+
+// TestPatternsConformToSchema walks every pattern in the analysis catalog
+// and the Go check catalog and verifies each constructor it mentions exists
+// in the unified CFG label schema at that arity. This is the guard against
+// frontend/query drift: a query spelling acq where the frontends emit lock
+// would silently match nothing.
+func TestPatternsConformToSchema(t *testing.T) {
+	type src struct{ name, pat string }
+	var all []src
+	for _, a := range Catalog() {
+		all = append(all, src{"catalog/" + a.Name, a.Pattern})
+	}
+	for _, c := range GoChecks() {
+		all = append(all, src{"gochecks/" + c.Name, c.Pattern})
+	}
+	if len(all) < 5 {
+		t.Fatalf("suspiciously small pattern set: %d", len(all))
+	}
+	for _, s := range all {
+		t.Run(s.name, func(t *testing.T) {
+			e, err := pattern.Parse(s.pat)
+			if err != nil {
+				t.Fatalf("parse %q: %v", s.pat, err)
+			}
+			for _, term := range pattern.Labels(e) {
+				for _, app := range apps(term) {
+					ctor := cfgschema.Canonical(app.Name)
+					if ctor != app.Name {
+						t.Errorf("pattern %q spells alias %s; write the canonical %s", s.pat, app.Name, ctor)
+					}
+					if _, ok := cfgschema.Lookup(app.Name); !ok {
+						t.Errorf("pattern %q uses constructor %s, absent from cfgschema", s.pat, app.Name)
+						continue
+					}
+					if !cfgschema.HasArity(app.Name, len(app.Args)) {
+						t.Errorf("pattern %q uses %s/%d; cfgschema allows %v", s.pat, app.Name, len(app.Args), arities(app.Name))
+					}
+				}
+			}
+		})
+	}
+}
+
+// apps collects every constructor application inside a transition label,
+// looking through negation and alternation.
+func apps(t *label.Term) []*label.Term {
+	if t == nil {
+		return nil
+	}
+	switch t.Kind {
+	case label.KApp:
+		return []*label.Term{t}
+	case label.KNeg, label.KOr:
+		var out []*label.Term
+		for _, a := range t.Args {
+			out = append(out, apps(a)...)
+		}
+		return out
+	}
+	return nil
+}
+
+func arities(name string) string {
+	c, ok := cfgschema.Lookup(name)
+	if !ok {
+		return "?"
+	}
+	return fmt.Sprint(c.Arities)
+}

@@ -64,7 +64,9 @@ func validGraphName(name string) bool {
 // loadGraph parses a graph document in the named format using the engine's
 // loaders: "text" (the repository's textual graph format, the default),
 // "aut" / "aut-universal" (Aldébaran LTS with the Section 2.3 existential /
-// universal transforms), and "xml" (semi-structured data).
+// universal transforms), "xml" (semi-structured data), and "go" (real Go
+// source — one file body or a txtar-style "-- name --" multi-file archive —
+// lowered to an interprocedural program graph by the gofront front end).
 func loadGraph(format string, r io.Reader) (*rpq.Graph, string, error) {
 	switch format {
 	case "", "text":
@@ -79,8 +81,18 @@ func loadGraph(format string, r io.Reader) (*rpq.Graph, string, error) {
 	case "xml":
 		g, err := rpq.FromXML(r)
 		return g, "xml", err
+	case "go":
+		body, err := io.ReadAll(r)
+		if err != nil {
+			return nil, "", err
+		}
+		gp, err := rpq.FromGoSource(string(body), rpq.GoConfig{Interproc: true})
+		if err != nil {
+			return nil, "", err
+		}
+		return gp.Graph, "go", nil
 	default:
-		return nil, "", fmt.Errorf("unknown graph format %q (want text, aut, aut-universal, or xml)", format)
+		return nil, "", fmt.Errorf("unknown graph format %q (want text, aut, aut-universal, xml, or go)", format)
 	}
 }
 

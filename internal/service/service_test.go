@@ -105,6 +105,41 @@ func TestCatalogCRUD(t *testing.T) {
 	}
 }
 
+// TestGoGraphLoader loads real Go source through the "go" format and runs a
+// parametric query against the resulting program graph end to end.
+func TestGoGraphLoader(t *testing.T) {
+	s := newTestServer(t, Config{})
+	h := s.Handler()
+	src := `-- go.mod --
+module demo
+
+-- main.go --
+package main
+
+func main() {
+	ch := make(chan int)
+	close(ch)
+	ch <- 1
+}
+`
+	rec := doReq(h, "PUT", "/api/v1/graphs/prog?format=go", src)
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("PUT go graph: %d %s", rec.Code, rec.Body)
+	}
+	rec = doReq(h, "POST", "/api/v1/query",
+		`{"graph":"prog","pattern":"_* close(x) (!def(x))* send(x)"}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("query go graph: %d %s", rec.Code, rec.Body)
+	}
+	body := rec.Body.String()
+	if !strings.Contains(body, "demo.main.ch") {
+		t.Fatalf("send-after-close answer should bind x to demo.main.ch: %s", body)
+	}
+	if rec = doReq(h, "PUT", "/api/v1/graphs/bad?format=go", "package broken\nfunc ("); rec.Code != http.StatusBadRequest {
+		t.Fatalf("PUT unparsable go source: %d %s", rec.Code, rec.Body)
+	}
+}
+
 func TestQueryKindsAndCacheStats(t *testing.T) {
 	s := newTestServer(t, Config{})
 	h := s.Handler()

@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"rpq/internal/core"
+	"rpq/internal/gofront"
 	"rpq/internal/graph"
 	"rpq/internal/lts"
 	"rpq/internal/minic"
@@ -1287,6 +1288,65 @@ func FromMiniPy(src string, cfg MiniPyConfig) (*Graph, error) {
 		return nil, err
 	}
 	return &Graph{g: g}, nil
+}
+
+// GoConfig controls the real-Go front end (internal/gofront).
+type GoConfig struct {
+	// Interproc links call sites to callee entries/exits with call/ret
+	// edges, and goroutine launches to entries with go edges, producing
+	// one whole-program supergraph.
+	Interproc bool
+	// IncludeTests also analyzes _test.go files.
+	IncludeTests bool
+	// Workers bounds the parallel per-function CFG construction
+	// (0 = GOMAXPROCS). The resulting graph is byte-identical for every
+	// worker count.
+	Workers int
+}
+
+// GoProgram pairs the queryable graph with the front end's source map, so
+// query answers can be projected back to file:line:col locations.
+type GoProgram struct {
+	*Graph
+	// Program retains per-vertex source locations, retained file contents,
+	// the function index, and //rpqcheck:allow suppressions.
+	Program *gofront.Program
+}
+
+// FromGoPackages lowers real Go packages to a program graph using pure
+// go/parser syntax analysis (no go/types, no build step). Patterns are
+// directories or .go files; the go-style "dir/..." form walks recursively.
+// Labels follow the unified internal/cfgschema vocabulary — def(x), use(x),
+// call(f), close(x), lock(m), ... — with symbols qualified as
+// pkgpath.func.var, so the paper's parametric queries run unchanged on Go
+// code. The start vertex is a synthetic root with an entry(f) edge to every
+// function, making every function a path source.
+func FromGoPackages(patterns []string, cfg GoConfig) (*GoProgram, error) {
+	p, err := gofront.Load(patterns, gofront.Config{
+		Interproc:    cfg.Interproc,
+		IncludeTests: cfg.IncludeTests,
+		Workers:      cfg.Workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &GoProgram{Graph: &Graph{g: p.Graph}, Program: p}, nil
+}
+
+// FromGoSource is FromGoPackages over in-memory sources: either a plain Go
+// file body, or a txtar-style archive ("-- name --" section markers) whose
+// go.mod section, when present, supplies the module path for symbol
+// qualification.
+func FromGoSource(body string, cfg GoConfig) (*GoProgram, error) {
+	p, err := gofront.LoadSource(gofront.SplitSource(body), gofront.Config{
+		Interproc:    cfg.Interproc,
+		IncludeTests: cfg.IncludeTests,
+		Workers:      cfg.Workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &GoProgram{Graph: &Graph{g: p.Graph}, Program: p}, nil
 }
 
 // FromAUT reads a labeled transition system in the Aldébaran (.aut) format

@@ -1,0 +1,3 @@
+module benchmod
+
+go 1.22

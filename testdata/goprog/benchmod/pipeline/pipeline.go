@@ -1,0 +1,48 @@
+// Package pipeline is benchmod's worker stage: fan-out over a channel with
+// per-worker accumulation merged into the shared store.
+package pipeline
+
+import (
+	"sync"
+
+	"benchmod/store"
+)
+
+const workers = 4
+
+// Run fans jobs out to workers and folds their sums into the store.
+func Run(jobs chan int, s *store.Store) int {
+	var wg sync.WaitGroup
+	results := make(chan int, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			sum := 0
+			for j := range jobs {
+				sum += weight(j)
+			}
+			s.Put(id, sum)
+			results <- sum
+		}(w)
+	}
+	wg.Wait()
+	close(results)
+	total := 0
+	for r := range results {
+		total += r
+	}
+	return total
+}
+
+func weight(j int) int {
+	switch {
+	case j%15 == 0:
+		return 4
+	case j%3 == 0:
+		return 2
+	case j%5 == 0:
+		return 3
+	}
+	return 1
+}

@@ -1,0 +1,55 @@
+// Package store is benchmod's mutex-guarded key store.
+package store
+
+import "sync"
+
+type Store struct {
+	mu     sync.Mutex
+	vals   map[int]int
+	max    int
+	closed bool
+}
+
+func New(cap int) *Store {
+	return &Store{vals: make(map[int]int, cap)}
+}
+
+func (s *Store) Put(k, v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.vals[k] = v
+	if v > s.max {
+		s.max = v
+	}
+}
+
+func (s *Store) Get(k int) (int, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.vals[k]
+	return v, ok
+}
+
+func (s *Store) Max() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.max
+}
+
+func (s *Store) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+}
+
+// Drain empties the store under a single critical section.
+func (s *Store) Drain() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]int, 0, len(s.vals))
+	for _, v := range s.vals {
+		out = append(out, v)
+	}
+	s.vals = make(map[int]int)
+	return out
+}

@@ -1,0 +1,46 @@
+// Package closechan is a gofront fixture for the use-after-close check:
+// channel sends and method calls on resources that were already closed.
+package closechan
+
+// Drain closes ch and then sends on it — a guaranteed panic at run time.
+func Drain(ch chan int, done chan struct{}) {
+	close(done)
+	ch <- 1 // fine: ch itself is still open
+	close(ch)
+	ch <- 2 // finding: send on closed channel
+}
+
+// DoubleClose closes the same channel twice — also a panic.
+func DoubleClose(ch chan int) {
+	close(ch)
+	close(ch) // finding: close of closed channel
+}
+
+// Reopen redefines the variable between the close and the send, so the
+// second send targets a fresh channel; no finding.
+func Reopen(ch chan int) {
+	close(ch)
+	ch = make(chan int)
+	ch <- 3
+}
+
+type conn struct{}
+
+func (c *conn) Close() error { return nil }
+func (c *conn) Send(s string) error {
+	_ = s
+	return nil
+}
+
+// UseClosedConn calls a method on a closed resource; mcall(c, Send) after
+// close(c) is the finding.
+func UseClosedConn(c *conn) {
+	c.Close()
+	c.Send("late") // finding: method call on closed resource
+}
+
+// Guarded only uses the connection before closing; no finding.
+func Guarded(c *conn) {
+	c.Send("early")
+	c.Close()
+}

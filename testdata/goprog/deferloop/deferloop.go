@@ -1,0 +1,48 @@
+// Package deferloop is a gofront fixture for the defer-in-loop check:
+// defers registered inside a loop accumulate until the function returns.
+package deferloop
+
+import "os"
+
+// LeakAll opens every file up front but defers every close to function
+// exit; with many names the descriptors pile up.
+func LeakAll(names []string) error {
+	for _, n := range names {
+		f, err := os.Open(n)
+		if err != nil {
+			return err
+		}
+		defer f.Close() // finding: defer inside the loop
+	}
+	return nil
+}
+
+// Single registers one defer outside any loop; no finding.
+func Single(name string) error {
+	f, err := os.Open(name)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return nil
+}
+
+// Scoped hoists the loop body into a helper closure so each iteration's
+// defer runs at closure exit; the defer is inside the literal, not the
+// loop, so no finding.
+func Scoped(names []string) error {
+	for _, n := range names {
+		err := func() error {
+			f, err := os.Open(n)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			return nil
+		}()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,63 @@
+// Package locks is a gofront fixture for the lock-discipline checks:
+// double-lock and unlock-without-lock, over sync.Mutex method calls on
+// locals, package globals, and struct fields.
+package locks
+
+import "sync"
+
+var mu sync.Mutex
+
+// Double locks the package mutex twice with no intervening unlock.
+func Double() {
+	mu.Lock()
+	mu.Lock() // finding: double-lock of locks.mu
+	mu.Unlock()
+	mu.Unlock()
+}
+
+// Forgot releases a mutex it never acquired.
+func Forgot() {
+	mu.Unlock() // finding: unlock without a preceding lock
+}
+
+// Balanced is the defer idiom; the deferred unlock is emitted on the exit
+// path after the lock, so neither check fires.
+func Balanced() {
+	mu.Lock()
+	defer mu.Unlock()
+}
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Add locks the field mutex around the update; an early return before the
+// lock must not look like unlock-without-lock.
+func (c *counter) Add(delta int) {
+	if delta == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n += delta
+}
+
+// Reenter locks a field mutex twice through the same path.
+func (c *counter) Reenter() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.mu.Lock() // finding: double-lock of the field mutex
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// ReadHeavy uses the read-lock variants; rlock is a distinct constructor,
+// so two RLocks are not a double-lock finding.
+func ReadHeavy(rw *sync.RWMutex) int {
+	rw.RLock()
+	defer rw.RUnlock()
+	rw.RLock()
+	defer rw.RUnlock()
+	return 1
+}

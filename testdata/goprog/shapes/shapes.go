@@ -1,0 +1,113 @@
+// Package shapes is the gofront golden fixture: its DebugDump is pinned in
+// internal/gofront/testdata/shapes.golden, so any change to the lowering
+// rules shows up as a reviewable diff of this package's CFG.
+package shapes
+
+// Branch: if/else with an init statement and a join.
+func Branch(a int) int {
+	if b := a * 2; b > 3 {
+		a = b
+	} else {
+		a = 0
+	}
+	return a
+}
+
+// Loops: for with condition, break, continue, and a labeled outer loop.
+func Loops(n int) int {
+	s := 0
+outer:
+	for i := 0; i < n; i++ {
+		for {
+			if i > 2 {
+				break outer
+			}
+			if i == 1 {
+				continue outer
+			}
+			break
+		}
+		s += i
+	}
+	return s
+}
+
+// Sum: range loop with shadowing — the inner v shadows the outer one.
+func Sum(xs []int) int {
+	v := 0
+	for _, v := range xs {
+		if v > 0 {
+			v--
+		}
+		_ = v
+	}
+	return v
+}
+
+// Pick: switch with fallthrough and a default clause.
+func Pick(k int) int {
+	switch k {
+	case 0:
+		k = 10
+		fallthrough
+	case 1:
+		k = 11
+	default:
+		k = 12
+	}
+	return k
+}
+
+// Kind: type switch binding a per-clause variable.
+func Kind(v interface{}) int {
+	switch t := v.(type) {
+	case int:
+		return t
+	case string:
+		return len(t)
+	}
+	return 0
+}
+
+// Fan: goroutine launching a closure that captures ch, and a select over
+// two channels.
+func Fan(ch chan int, done chan struct{}) int {
+	go func() {
+		ch <- 1
+	}()
+	select {
+	case v := <-ch:
+		return v
+	case <-done:
+		return -1
+	}
+}
+
+// Jump: goto over a statement.
+func Jump(a int) int {
+	if a > 0 {
+		goto out
+	}
+	a = 1
+out:
+	return a
+}
+
+type point struct{ x, y int }
+
+// Shift is a method; the receiver is defined at entry.
+func (p *point) Shift(dx int) {
+	p.x += dx
+}
+
+// Deferred: defers run in LIFO order on both return paths.
+func Deferred(a int) int {
+	defer release(1)
+	if a > 0 {
+		return a
+	}
+	defer release(2)
+	return -a
+}
+
+func release(k int) { _ = k }

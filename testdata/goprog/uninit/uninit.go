@@ -1,0 +1,44 @@
+// Package uninit is a gofront fixture: the seeded known-positive
+// uninitialized-use finding lives at the `return total` below, and its
+// exact file:line:col span is pinned by internal/gocheck's golden test and
+// asserted again by the CI self-analysis job.
+package uninit
+
+// Report declares total without an initializer and only assigns it on one
+// branch; the fall-through path reads the zero value.
+func Report(steps int) int {
+	var total int
+	if steps > 0 {
+		total = steps
+	}
+	return total // seeded uninit-use: the steps<=0 path never defines total
+}
+
+// Primed initializes on every path; no finding.
+func Primed(steps int) int {
+	var total int
+	if steps > 0 {
+		total = steps
+	} else {
+		total = -1
+	}
+	return total
+}
+
+// Escaped passes &n to a helper; address-taking counts as a definition, so
+// the read below must not be flagged.
+func Escaped() int {
+	var n int
+	fill(&n)
+	return n
+}
+
+func fill(p *int) {
+	*p = 42
+}
+
+// Allowed demonstrates suppression: the finding is real but acknowledged.
+func Allowed() int {
+	var n int
+	return n //rpqcheck:allow uninit-use
+}
